@@ -1,0 +1,104 @@
+"""Table 1: CPU times for symbolic simulation at three accumulation levels.
+
+Paper (DAC 2001, Table 1)::
+
+    Circuit  #lines  with event-acc.  no acc. merge  w/o event-acc.
+    DRAM     1048    37s              37s            37s
+    RISC     2531    149s             178s           388s
+    GCD      313     302s             353s           64199s
+
+Absolute numbers are testbed-specific; the *shape* to reproduce is:
+
+* DRAM — symbolic data never reaches control statements, so all three
+  levels cost the same;
+* RISC — moderate splitting: accumulation helps (~2.6x), accumulation
+  events add ~19% on top of queue merging;
+* GCD — heavy zero-delay splitting in a data-dependent while loop:
+  simulation without accumulation is disproportionately slow.
+
+Each (design, mode) cell runs once under pytest-benchmark; the final
+report benchmark prints the assembled table and checks the orderings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro
+from repro import AccumulationMode, SimOptions
+from repro.designs import load
+
+from benchmarks.conftest import report
+
+#: workload per design: loader kwargs + simulation bound
+WORKLOADS = {
+    "dram": ({"bursts": 2}, 3000),
+    "risc8": ({"runtime": 180}, 400),
+    "gcd": ({"rounds": 1, "width": 5}, 5000),
+}
+
+_RESULTS: dict = {}
+
+
+def _run_cell(design: str, mode: AccumulationMode):
+    kwargs, until = WORKLOADS[design]
+    source, top, defines = load(design, **kwargs)
+    sim = repro.SymbolicSimulator.from_source(
+        source, top=top, defines=defines,
+        options=SimOptions(accumulation=mode))
+    started = time.perf_counter()
+    result = sim.run(until=until)
+    elapsed = time.perf_counter() - started
+    assert not result.violations, f"{design} checker mismatch!"
+    _RESULTS[(design, mode)] = (elapsed, result.stats.events_processed)
+    return result
+
+
+@pytest.mark.parametrize("design", list(WORKLOADS))
+@pytest.mark.parametrize("mode", list(AccumulationMode))
+def test_table1_cell(benchmark, design, mode):
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["accumulation"] = mode.value
+    benchmark.pedantic(_run_cell, args=(design, mode), rounds=1, iterations=1)
+
+
+def test_table1_report(benchmark):
+    def build_report():
+        lines = [
+            "Table 1 — CPU seconds (events) for symbolic simulation",
+            f"{'Circuit':8s} {'with event-acc.':>22s} "
+            f"{'no acc. merge':>22s} {'w/o event-acc.':>22s}",
+        ]
+        for design in ("dram", "risc8", "gcd"):
+            cells = []
+            for mode in (AccumulationMode.FULL,
+                         AccumulationMode.QUEUE_MERGE_ONLY,
+                         AccumulationMode.NONE):
+                elapsed, events = _RESULTS[(design, mode)]
+                cells.append(f"{elapsed:9.2f}s ({events:6d}ev)")
+            lines.append(f"{design:8s} {cells[0]:>22s} {cells[1]:>22s} "
+                         f"{cells[2]:>22s}")
+        report("table1", lines)
+
+        # --- shape assertions (paper's qualitative claims) ----------
+        dram = {m: _RESULTS[("dram", m)] for m in AccumulationMode}
+        events = {m: e for m, (_, e) in dram.items()}
+        assert len(set(events.values())) == 1, \
+            "DRAM event counts must be identical across modes"
+
+        gcd_full, _ = _RESULTS[("gcd", AccumulationMode.FULL)]
+        gcd_none, _ = _RESULTS[("gcd", AccumulationMode.NONE)]
+        assert gcd_none > 3 * gcd_full, \
+            "GCD without accumulation must be disproportionately slow"
+
+        _, risc_full_ev = _RESULTS[("risc8", AccumulationMode.FULL)]
+        _, risc_none_ev = _RESULTS[("risc8", AccumulationMode.NONE)]
+        assert risc_none_ev > risc_full_ev, \
+            "RISC event multiplication without accumulation"
+        risc_full, _ = _RESULTS[("risc8", AccumulationMode.FULL)]
+        risc_none, _ = _RESULTS[("risc8", AccumulationMode.NONE)]
+        assert risc_none > 1.5 * risc_full
+
+    benchmark.pedantic(build_report, rounds=1, iterations=1)

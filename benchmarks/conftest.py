@@ -1,0 +1,26 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints a paper-style table/series through
+:func:`report`, which bypasses pytest's capture so the rows appear in
+the terminal *and* land in ``benchmarks/results/<name>.txt`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+
+
+def report(name: str, lines) -> None:
+    """Print benchmark output unbuffered and persist it to a file."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+              encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    # __stderr__ bypasses pytest capture so the table is always visible
+    print(f"\n{text}", file=sys.__stderr__, flush=True)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Exhaustive verification of a GCD unit in one symbolic run.
+
+The GCD design (paper Table 1) computes gcd(a, b) with a
+data-dependent while loop and a req/ack handshake.  The testbench
+checks the hardware against a zero-delay reference model.  Driving the
+operands symbolically verifies *all* 2^(2W) operand pairs in a single
+simulation — the state-space coverage argument from the paper's
+introduction — and demonstrates the effect of event accumulation on a
+design whose control flow splits heavily.
+
+Run:  python examples/exhaustive_gcd.py
+"""
+
+import time
+
+import repro
+from repro import AccumulationMode, SimOptions
+from repro.designs import load
+
+
+def run_mode(mode: AccumulationMode, width: int = 4):
+    source, top, defines = load("gcd", rounds=1, width=width)
+    sim = repro.SymbolicSimulator.from_source(
+        source, top=top, defines=defines,
+        options=SimOptions(accumulation=mode))
+    started = time.perf_counter()
+    result = sim.run(until=5000)
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def main() -> None:
+    width = 4
+    print(f"verifying gcd_unit for ALL {2 ** (2 * width)} operand pairs "
+          f"({width}-bit operands) in one run\n")
+    for mode in AccumulationMode:
+        result, elapsed = run_mode(mode, width)
+        verdict = "MISMATCH FOUND" if result.violations else "all pairs OK"
+        print(f"accumulation={mode.value:18s} {verdict}  "
+              f"cpu={elapsed:7.2f}s  "
+              f"events={result.stats.events_processed:6d}  "
+              f"merged={result.stats.events_merged}")
+    print("\nNote the event-count blow-up without accumulation: the while")
+    print("loop splits execution paths every iteration, and only event")
+    print("accumulation (Section 4 of the paper) re-merges them.")
+
+
+if __name__ == "__main__":
+    main()

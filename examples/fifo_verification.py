@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Verifying a FIFO with symbolic data and post-simulation analysis.
+
+A synchronous FIFO design is pushed symbolic payloads; the testbench
+pops them back and a checker compares against a reference queue.  The
+example then uses :mod:`repro.analysis` to interrogate the symbolic
+final state: which status-flag combinations were reachable, and under
+what stimulus.
+
+Run:  python examples/fifo_verification.py
+"""
+
+import repro
+from repro import analysis
+
+SOURCE = r"""
+module fifo(clk, rst, push, pop, din, dout, full, empty);
+  parameter W = 4;
+  parameter DEPTH = 4;
+  input clk, rst, push, pop;
+  input  [W-1:0] din;
+  output [W-1:0] dout;
+  output full, empty;
+
+  reg [W-1:0] store [0:DEPTH-1];
+  reg [2:0] count;
+  reg [1:0] rp, wp;
+
+  assign full = (count == DEPTH);
+  assign empty = (count == 0);
+  assign dout = store[rp];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 0; rp <= 0; wp <= 0;
+    end
+    else begin
+      if (push && !full) begin
+        store[wp] <= din;
+        wp <= wp + 1;
+        if (!(pop && !empty)) count <= count + 1;
+      end
+      if (pop && !empty) begin
+        rp <= rp + 1;
+        if (!(push && !full)) count <= count - 1;
+      end
+    end
+  end
+endmodule
+
+module tb;
+  reg clk, rst, push, pop;
+  reg [3:0] din;
+  wire [3:0] dout;
+  wire full, empty;
+  reg [3:0] expect0, expect1;
+  reg goal;
+
+  fifo dut(.clk(clk), .rst(rst), .push(push), .pop(pop),
+           .din(din), .dout(dout), .full(full), .empty(empty));
+
+  always #5 clk = ~clk;
+
+  task cycle;
+    begin
+      @(posedge clk);
+      #1;
+    end
+  endtask
+
+  initial begin
+    clk = 0; rst = 1; push = 0; pop = 0; din = 0; goal = 0;
+    $assert(goal == 0);
+    cycle;
+    rst = 0;
+
+    // push two symbolic payloads
+    expect0 = $random;
+    expect1 = $random;
+    push = 1; din = expect0; cycle;
+    din = expect1; cycle;
+    push = 0;
+
+    // pop the first back and check order; leave the second in place
+    if (dout !== expect0) goal = 1;
+    pop = 1; cycle;
+    pop = 0;
+    if (dout !== expect1) goal = 1;
+    if (empty !== 1'b0) goal = 1;   // one element remains
+    cycle;
+    $finish;
+  end
+endmodule
+"""
+
+
+def main() -> None:
+    print("symbolically verifying FIFO order for all 256 payload pairs...")
+    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    result = sim.run(until=500)
+    verdict = "FAILED" if result.violations else "passed"
+    print(f"order/flag checks: {verdict} "
+          f"({result.stats.symbols_injected} symbolic bits, "
+          f"{result.stats.events_processed} events)\n")
+
+    print("post-simulation analysis of the DUT state:")
+    for net in ("dut.count", "empty", "full"):
+        values = analysis.reachable_values(sim, net)
+        print(f"  reachable {net}: {sorted(values)}")
+
+    histogram = analysis.value_histogram(sim, "dout")
+    print(f"  dout takes {len(histogram)} distinct values; counts over "
+          f"2^8 stimuli sum to {sum(histogram.values())}")
+
+    witness = analysis.witness_for(sim, "dout", 9)
+    if witness is not None:
+        concrete = sim.value("dout").substitute(witness)
+        print(f"  example stimulus driving dout to 9: bits {witness} "
+              f"-> dout={concrete.to_int()}")
+
+
+if __name__ == "__main__":
+    main()

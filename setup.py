@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file only
+exists so ``pip install -e .`` works on environments without the
+``wheel`` package (legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""Symbolic RTL simulation of behavioral Verilog — DAC 2001 reproduction.
+
+This package reimplements Kölbl, Kukula & Damiano, *"Symbolic RTL
+Simulation"* (DAC 2001): an event-driven simulator that executes the
+full behavioral Verilog subset — delays, event controls, zero-delay
+loops, non-synthesizable testbench code — over *symbolic* four-valued
+data represented with BDDs.  One run covers ``2^n`` input patterns at
+once; ``$random`` injects fresh symbolic variables anywhere in the
+code; *event accumulation* merges re-converging execution paths to
+avoid exponential event multiplication; ``$error``/``$assert``
+violations yield concrete error traces that can be resimulated.
+
+Quick start::
+
+    import repro
+
+    sim = repro.SymbolicSimulator.from_source('''
+        module tb;
+          reg [1:0] a; reg [3:0] b;
+          initial begin
+            a = $random;               // symbolic 2-bit value
+            if (a == 0) b = $random;   // both branches simulated
+            else        b = 1;
+            $assert(b != 9);
+          end
+        endmodule
+    ''')
+    result = sim.run()
+    for violation in result.violations:
+        print(violation)                     # concrete error trace
+        sim.resimulate(violation)            # conventional replay
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bdd import BddManager
+from repro.compile import compile_design, Program
+from repro.compile.instructions import AccumulationMode
+from repro.errors import (
+    AssertionViolation, BddError, CompileError, ElaborationError,
+    FourValueError, ReproError, ResimulationError, SimulationError,
+    SimulationHang, SymbolicDelayError, VerilogSyntaxError,
+)
+from repro.fourval import FourVec
+from repro.frontend import elaborate, parse_source
+from repro.sim import (
+    ErrorTrace, Kernel, SimOptions, SimResult, Violation,
+)
+from repro.sim.resim import resimulate, resimulate_violation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SymbolicSimulator", "SimOptions", "SimResult", "AccumulationMode",
+    "FourVec", "BddManager", "ErrorTrace", "Violation",
+    "parse_source", "elaborate", "compile_design", "resimulate",
+    "resimulate_violation",
+    "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
+    "SimulationError", "SimulationHang", "SymbolicDelayError",
+    "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
+]
+
+
+class SymbolicSimulator:
+    """High-level façade: source text in, symbolic simulation out.
+
+    Wraps the full pipeline (preprocess → parse → elaborate → compile →
+    kernel) and keeps the compiled :class:`Program` so error traces can
+    be resimulated against the identical design.
+    """
+
+    def __init__(self, program: Program,
+                 options: Optional[SimOptions] = None) -> None:
+        self.program = program
+        self.options = options or SimOptions()
+        self.kernel = Kernel(program, options=self.options)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        top: Optional[str] = None,
+        options: Optional[SimOptions] = None,
+        defines: Optional[Dict[str, str]] = None,
+    ) -> "SymbolicSimulator":
+        """Build a simulator from Verilog source text."""
+        modules = parse_source(source, defines=defines)
+        design = elaborate(modules, top=top)
+        program = compile_design(design)
+        return cls(program, options=options)
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        top: Optional[str] = None,
+        options: Optional[SimOptions] = None,
+        defines: Optional[Dict[str, str]] = None,
+    ) -> "SymbolicSimulator":
+        """Build a simulator from a Verilog file on disk."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_source(handle.read(), top=top, options=options,
+                                   defines=defines)
+
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> SimResult:
+        """Run (or continue) the symbolic simulation."""
+        return self.kernel.run(until=until)
+
+    def value(self, name: str) -> FourVec:
+        """Current symbolic value of a net by full hierarchical name."""
+        return self.kernel.state.value(name)
+
+    @property
+    def mgr(self) -> BddManager:
+        return self.kernel.mgr
+
+    def resimulate(
+        self,
+        violation_or_trace,
+        until: Optional[int] = None,
+        expect_violation: bool = True,
+    ) -> SimResult:
+        """Concrete replay of a violation / error trace on this design."""
+        trace = (
+            violation_or_trace.trace
+            if isinstance(violation_or_trace, Violation)
+            else violation_or_trace
+        )
+        return resimulate(self.program, trace,
+                          options=SimOptions(
+                              stop_on_violation=self.options.stop_on_violation
+                          ),
+                          until=until, expect_violation=expect_violation)

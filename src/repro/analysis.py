@@ -1,0 +1,115 @@
+"""Post-simulation analysis helpers.
+
+Symbolic simulation leaves every net holding a *function* of the
+injected variables — far more information than a scalar waveform.
+These helpers turn that into answers a verification engineer asks for:
+
+* which values can this net reach, over all simulated stimuli?
+* under what condition (BDD) does it take a particular value?
+* how many of the ``2^n`` covered stimuli drive it to each value?
+
+All functions accept either a :class:`~repro.SymbolicSimulator` or a
+:class:`~repro.sim.kernel.Kernel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.bdd import FALSE, TRUE
+from repro.fourval import FourVec, ops
+
+
+def _kernel(sim_or_kernel):
+    return getattr(sim_or_kernel, "kernel", sim_or_kernel)
+
+
+def value_condition(sim_or_kernel, net: str, value: Union[int, str]) -> int:
+    """BDD condition under which ``net`` equals ``value``.
+
+    ``value`` may be an int (compared 0/1-exactly) or an MSB-first
+    0/1/x/z string (compared ``===``-style, so X/Z patterns can be
+    asked about too).
+    """
+    kern = _kernel(sim_or_kernel)
+    current = kern.state.value(net)
+    if isinstance(value, int):
+        target = FourVec.from_int(kern.mgr, value, current.width)
+    else:
+        target = FourVec.from_verilog_bits(kern.mgr, value).resize(
+            current.width
+        )
+    return ops.case_equal(current, target).truthy()
+
+
+def reachable_values(
+    sim_or_kernel, net: str, limit: Optional[int] = None
+) -> List[str]:
+    """All values ``net`` can take, as MSB-first bit strings.
+
+    Enumerates by recursive case-splitting on the net's rails, so the
+    cost is proportional to the number of *distinct* values (plus BDD
+    ops), not ``2^width``.  ``limit`` caps the enumeration.
+    """
+    kern = _kernel(sim_or_kernel)
+    value = kern.state.value(net)
+    mgr = kern.mgr
+    results: List[str] = []
+
+    def walk(index: int, prefix: List[str], condition: int) -> bool:
+        # returns False when the limit has been hit
+        if limit is not None and len(results) >= limit:
+            return False
+        if index < 0:
+            results.append("".join(prefix))
+            return True
+        a, b = value.bits[index]
+        for char, bit_cond in (
+            ("0", mgr.nor(a, b)),
+            ("1", mgr.and_(a, mgr.not_(b))),
+            ("z", mgr.and_(mgr.not_(a), b)),
+            ("x", mgr.and_(a, b)),
+        ):
+            sub = mgr.and_(condition, bit_cond)
+            if sub == FALSE:
+                continue
+            prefix.append(char)
+            alive = walk(index - 1, prefix, sub)
+            prefix.pop()
+            if not alive:
+                return False
+        return True
+
+    walk(value.width - 1, [], TRUE)
+    return results
+
+
+def value_histogram(
+    sim_or_kernel, net: str, nvars: Optional[int] = None
+) -> Dict[str, int]:
+    """Map each reachable value of ``net`` to its stimulus count.
+
+    The counts partition the ``2^nvars`` covered assignments (``nvars``
+    defaults to all injected variables), i.e. they sum to ``2^nvars``.
+    """
+    kern = _kernel(sim_or_kernel)
+    mgr = kern.mgr
+    histogram: Dict[str, int] = {}
+    for bits in reachable_values(sim_or_kernel, net):
+        condition = value_condition(sim_or_kernel, net, bits)
+        histogram[bits] = mgr.sat_count(condition, nvars=nvars)
+    return histogram
+
+
+def can_reach(sim_or_kernel, net: str, value: Union[int, str]) -> bool:
+    """True when some covered stimulus drives ``net`` to ``value``."""
+    return value_condition(sim_or_kernel, net, value) != FALSE
+
+
+def witness_for(
+    sim_or_kernel, net: str, value: Union[int, str]
+) -> Optional[Dict[int, bool]]:
+    """A variable assignment driving ``net`` to ``value`` (or None)."""
+    kern = _kernel(sim_or_kernel)
+    condition = value_condition(sim_or_kernel, net, value)
+    return kern.mgr.sat_one(condition)

@@ -1,0 +1,20 @@
+"""A from-scratch hash-consed ROBDD package.
+
+The paper's simulator represents every symbolic expression with BDDs
+built by CUDD; this package is the pure-Python substitute.  It provides
+a classic reduced ordered BDD with:
+
+* a unique table (hash consing) so equality is pointer equality,
+* an ``ite``-based operator core with a computed-table cache,
+* restriction, functional composition, quantification,
+* satisfiability helpers (``sat_one``, ``sat_count``, ``all_sat``)
+  used for error-trace extraction (paper Section 5).
+
+Variable order is the static order of creation; the paper's experiments
+explicitly *disabled* dynamic variable reordering, so a static order is
+the faithful default.
+"""
+
+from repro.bdd.manager import BddManager, FALSE, TRUE
+
+__all__ = ["BddManager", "FALSE", "TRUE"]

@@ -1,0 +1,568 @@
+"""Hash-consed reduced ordered binary decision diagrams.
+
+Nodes are plain integers.  The two terminals are the constants
+:data:`FALSE` (``0``) and :data:`TRUE` (``1``); internal nodes are ids
+``>= 2`` indexing parallel arrays inside the owning
+:class:`BddManager`.  Because the unique table enforces structural
+sharing, two nodes represent the same Boolean function iff their ids
+are equal — the property the simulator relies on to detect dead
+execution paths (``control == FALSE``) in O(1).
+
+The manager is deliberately garbage-collection free: symbolic
+simulation creates and drops huge numbers of intermediate functions,
+and reference counting in pure Python costs more than it saves at the
+scale this package targets.  ``clear_caches`` can be called to drop the
+operator caches between simulation phases if memory pressure matters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import BddError
+
+FALSE = 0
+TRUE = 1
+
+_TERMINAL_LEVEL = 1 << 30
+
+
+class BddManager:
+    """Owner of a BDD node arena and its operator caches.
+
+    All node ids returned by one manager are only meaningful to that
+    manager.  Typical use::
+
+        m = BddManager()
+        a = m.new_var("a")
+        b = m.new_var("b")
+        f = m.and_(a, m.not_(b))
+        assert m.eval(f, {0: True, 1: False})
+    """
+
+    def __init__(self) -> None:
+        # Parallel node arrays; slots 0/1 are placeholders for terminals.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [0, 0]
+        self._high: List[int] = [0, 0]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._var_names: List[str] = []
+        self._var_bdds: List[int] = []
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+
+    @property
+    def var_count(self) -> int:
+        """Number of variables created so far."""
+        return len(self._var_names)
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Create a fresh variable at the bottom of the order.
+
+        Returns the BDD of the variable itself.  ``name`` is only used
+        for diagnostics (:meth:`var_name`, :meth:`to_expr`).
+        """
+        level = len(self._var_names)
+        self._var_names.append(name if name is not None else f"v{level}")
+        node = self._mk(level, FALSE, TRUE)
+        self._var_bdds.append(node)
+        return node
+
+    def var(self, level: int) -> int:
+        """Return the BDD for the existing variable at ``level``."""
+        try:
+            return self._var_bdds[level]
+        except IndexError:
+            raise BddError(f"unknown variable level {level}") from None
+
+    def var_name(self, level: int) -> str:
+        """Return the diagnostic name of the variable at ``level``."""
+        try:
+            return self._var_names[level]
+        except IndexError:
+            raise BddError(f"unknown variable level {level}") from None
+
+    def level_of(self, node: int) -> int:
+        """Return the level (order position) of ``node``'s top variable."""
+        return self._level[node]
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(level, low, high)`` (reduced)."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        """Return the (low, high) cofactors of ``node`` w.r.t. ``level``.
+
+        ``level`` must not be below ``node``'s top level.
+        """
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    # ------------------------------------------------------------------
+    # core operators
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + ¬f·h`` — the universal BDD operator."""
+        # Terminal and triple reductions (cheap canonicalization that
+        # multiplies computed-table hit rates).
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == f:
+            g = TRUE
+        if h == f:
+            h = FALSE
+        if g == TRUE and h == FALSE:
+            return f
+        cache = self._ite_cache
+        key = (f, g, h)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        lf, lg, lh = levels[f], levels[g], levels[h]
+        top = lf if lf < lg else lg
+        if lh < top:
+            top = lh
+        if lf == top:
+            f0, f1 = lows[f], highs[f]
+        else:
+            f0 = f1 = f
+        if lg == top:
+            g0, g1 = lows[g], highs[g]
+        else:
+            g0 = g1 = g
+        if lh == top:
+            h0, h1 = lows[h], highs[h]
+        else:
+            h0 = h1 = h
+        r0 = self.ite(f0, g0, h0)
+        r1 = self.ite(f1, g1, h1)
+        if r0 == r1:
+            result = r0
+        else:
+            ukey = (top, r0, r1)
+            unique = self._unique
+            result = unique.get(ukey)
+            if result is None:
+                result = len(levels)
+                levels.append(top)
+                lows.append(r0)
+                highs.append(r1)
+                unique[ukey] = result
+        cache[key] = result
+        return result
+
+    def not_(self, f: int) -> int:
+        """Boolean complement."""
+        if f == TRUE:
+            return FALSE
+        if f == FALSE:
+            return TRUE
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
+        )
+        self._not_cache[f] = result
+        self._not_cache[result] = f
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction (operands sorted for cache locality)."""
+        if f > g:
+            f, g = g, f
+        return self.ite(g, f, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction (operands sorted for cache locality)."""
+        if f > g:
+            f, g = g, f
+        return self.ite(g, TRUE, f)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or (operands sorted for cache locality)."""
+        if f > g:
+            f, g = g, f
+        if f == FALSE:
+            return g
+        return self.ite(g, self.not_(f), f)
+
+    def xnor(self, f: int, g: int) -> int:
+        """Equivalence (operands sorted for cache locality)."""
+        if f > g:
+            f, g = g, f
+        if f == FALSE:
+            return self.not_(g)
+        return self.ite(g, f, self.not_(f))
+
+    def nand(self, f: int, g: int) -> int:
+        """Negated conjunction."""
+        return self.not_(self.and_(f, g))
+
+    def nor(self, f: int, g: int) -> int:
+        """Negated disjunction."""
+        return self.not_(self.or_(f, g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f → g``."""
+        return self.ite(f, g, TRUE)
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        """Conjunction of an iterable of functions (TRUE when empty)."""
+        result = TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        """Disjunction of an iterable of functions (FALSE when empty)."""
+        result = FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # ------------------------------------------------------------------
+    # restriction / composition / quantification
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int, level: int, value: bool) -> int:
+        """Cofactor ``f`` with the variable at ``level`` fixed to ``value``."""
+        return self._restrict(f, level, bool(value), {})
+
+    def _restrict(
+        self, f: int, level: int, value: bool, memo: Dict[int, int]
+    ) -> int:
+        node_level = self._level[f]
+        if node_level > level:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        if node_level == level:
+            result = self._high[f] if value else self._low[f]
+        else:
+            low = self._restrict(self._low[f], level, value, memo)
+            high = self._restrict(self._high[f], level, value, memo)
+            result = self._mk(node_level, low, high)
+        memo[f] = result
+        return result
+
+    def restrict_many(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``f`` under a partial assignment ``{level: value}``."""
+        if not assignment:
+            return f
+        return self._restrict_many(f, assignment, {})
+
+    def _restrict_many(
+        self, f: int, assignment: Dict[int, bool], memo: Dict[int, int]
+    ) -> int:
+        if f <= TRUE:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        value = assignment.get(level)
+        if value is None:
+            low = self._restrict_many(self._low[f], assignment, memo)
+            high = self._restrict_many(self._high[f], assignment, memo)
+            result = self._mk(level, low, high)
+        elif value:
+            result = self._restrict_many(self._high[f], assignment, memo)
+        else:
+            result = self._restrict_many(self._low[f], assignment, memo)
+        memo[f] = result
+        return result
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute the function ``g`` for the variable at ``level`` in ``f``."""
+        return self._compose(f, level, g, {})
+
+    def _compose(self, f: int, level: int, g: int, memo: Dict[int, int]) -> int:
+        node_level = self._level[f]
+        if node_level > level:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        if node_level == level:
+            result = self.ite(g, self._high[f], self._low[f])
+        else:
+            low = self._compose(self._low[f], level, g, memo)
+            high = self._compose(self._high[f], level, g, memo)
+            result = self.ite(self.var(node_level), high, low)
+        memo[f] = result
+        return result
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existentially quantify the variables at ``levels`` out of ``f``."""
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        return self._exists(f, level_set, {})
+
+    def _exists(self, f: int, levels: frozenset, memo: Dict[int, int]) -> int:
+        if f <= TRUE:
+            return f
+        cached = memo.get(f)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        low = self._exists(self._low[f], levels, memo)
+        high = self._exists(self._high[f], levels, memo)
+        if level in levels:
+            result = self.or_(low, high)
+        else:
+            result = self._mk(level, low, high)
+        memo[f] = result
+        return result
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universally quantify the variables at ``levels`` out of ``f``."""
+        return self.not_(self.exists(self.not_(f), levels))
+
+    # ------------------------------------------------------------------
+    # evaluation / satisfiability
+    # ------------------------------------------------------------------
+
+    def eval(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a total assignment ``{level: value}``.
+
+        Variables missing from ``assignment`` default to ``False`` — the
+        convention used when completing an error-trace witness (don't
+        care bits are reported as zero, like the paper's resimulation).
+        """
+        while f > TRUE:
+            if assignment.get(self._level[f], False):
+                f = self._high[f]
+            else:
+                f = self._low[f]
+        return f == TRUE
+
+    def sat_one(self, f: int) -> Optional[Dict[int, bool]]:
+        """Return one satisfying (partial) assignment, or ``None``.
+
+        Only the variables on the chosen path appear in the result;
+        absent variables are don't-cares.
+        """
+        if f == FALSE:
+            return None
+        cube: Dict[int, bool] = {}
+        while f > TRUE:
+            if self._high[f] != FALSE:
+                cube[self._level[f]] = True
+                f = self._high[f]
+            else:
+                cube[self._level[f]] = False
+                f = self._low[f]
+        return cube
+
+    def sat_count(self, f: int, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        ``nvars`` defaults to the total number of manager variables.
+        """
+        if nvars is None:
+            nvars = self.var_count
+        if f == FALSE:
+            return 0
+        if f == TRUE:
+            return 1 << nvars
+        memo: Dict[int, int] = {}
+
+        def eff_level(node: int) -> int:
+            return nvars if node <= TRUE else self._level[node]
+
+        def count(node: int) -> int:
+            # Satisfying assignments over the variables in
+            # [level(node), nvars); terminals sit at level nvars.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1
+            cached = memo.get(node)
+            if cached is None:
+                level = self._level[node]
+                low, high = self._low[node], self._high[node]
+                cached = count(low) * (1 << (eff_level(low) - level - 1)) + count(
+                    high
+                ) * (1 << (eff_level(high) - level - 1))
+                memo[node] = cached
+            return cached
+
+        # Variables ordered above the root are free choices.
+        return count(f) * (1 << self._level[f])
+
+    def all_sat(self, f: int, levels: Optional[Sequence[int]] = None) -> Iterator[Dict[int, bool]]:
+        """Yield every satisfying assignment of ``f``.
+
+        When ``levels`` is given, each yielded assignment is total over
+        exactly those levels (don't-cares expanded); otherwise partial
+        path assignments are yielded.
+        """
+        if f == FALSE:
+            return
+        if levels is None:
+            yield from self._all_paths(f, {})
+            return
+        level_list = list(levels)
+
+        def expand(index: int, cube: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if index == len(level_list):
+                yield dict(cube)
+                return
+            level = level_list[index]
+            if level in cube:
+                yield from expand(index + 1, cube)
+                return
+            for value in (False, True):
+                cube[level] = value
+                yield from expand(index + 1, cube)
+                del cube[level]
+
+        for path in self._all_paths(f, {}):
+            yield from expand(0, path)
+
+    def _all_paths(self, f: int, cube: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+        if f == FALSE:
+            return
+        if f == TRUE:
+            yield dict(cube)
+            return
+        level = self._level[f]
+        cube[level] = False
+        yield from self._all_paths(self._low[f], cube)
+        cube[level] = True
+        yield from self._all_paths(self._high[f], cube)
+        del cube[level]
+
+    def support(self, f: int) -> Set[int]:
+        """Set of variable levels ``f`` depends on."""
+        seen: Set[int] = set()
+        support: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            support.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return support
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def node_count(self, f: int) -> int:
+        """Number of internal nodes in ``f`` (terminals excluded)."""
+        seen: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total nodes ever created in the arena (a growth metric)."""
+        return len(self._level) - 2
+
+    def clear_caches(self) -> None:
+        """Drop the operator caches (the unique table is kept)."""
+        self._ite_cache.clear()
+        self._not_cache.clear()
+
+    def to_expr(self, f: int) -> str:
+        """Render ``f`` as a nested ``ite(...)`` string for debugging."""
+        if f == FALSE:
+            return "0"
+        if f == TRUE:
+            return "1"
+        name = self._var_names[self._level[f]]
+        low = self.to_expr(self._low[f])
+        high = self.to_expr(self._high[f])
+        if low == "0" and high == "1":
+            return name
+        if low == "1" and high == "0":
+            return f"!{name}"
+        return f"ite({name}, {high}, {low})"
+
+    def rebuild(
+        self, order: Sequence[int], roots: Iterable[int]
+    ) -> Tuple["BddManager", Dict[int, int]]:
+        """Re-express ``roots`` in a fresh manager with a new variable order.
+
+        ``order`` lists existing levels in their new order (a
+        permutation of ``range(var_count)``).  Returns the new manager
+        and a map from each requested old root to its translated node.
+
+        This is *static* reordering: the paper's experiments ran with
+        dynamic reordering disabled, but order still matters enormously
+        (see ``benchmarks/bench_ordering.py`` for the classic adder
+        example), and callers that know their structure — e.g.
+        interleaving operand bits — can use this between phases.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.var_count)):
+            raise BddError(
+                f"order must be a permutation of range({self.var_count})"
+            )
+        new = BddManager()
+        new_var_bdd: Dict[int, int] = {}
+        for old_level in order:
+            new_var_bdd[old_level] = new.new_var(self._var_names[old_level])
+        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+
+        def translate(node: int) -> int:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            low = translate(self._low[node])
+            high = translate(self._high[node])
+            result = new.ite(new_var_bdd[self._level[node]], high, low)
+            memo[node] = result
+            return result
+
+        return new, {root: translate(root) for root in set(roots)}
+
+    def check_node(self, f: int) -> None:
+        """Validate that ``f`` is a node of this manager (for API misuse)."""
+        if not isinstance(f, int) or f < 0 or f >= len(self._level):
+            raise BddError(f"not a node of this manager: {f!r}")

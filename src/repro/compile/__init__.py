@@ -1,0 +1,18 @@
+"""Behavioral compiler: elaborated ASTs → micro-instruction streams.
+
+This is the analogue of the paper's Verilog→C++ translator (Section 6).
+Each ``initial``/``always`` process becomes a
+:class:`~repro.compile.instructions.CompiledProcess` — a flat,
+label-addressed list of instructions implementing the translation
+schemes of Figs. 1, 2 and 9 (control splitting via zero-delay events,
+accumulation events at join points, priority bookkeeping).
+
+Expressions compile to closures (``repro.compile.expr``) that evaluate
+four-valued symbolic vectors against the kernel's state, applying the
+IEEE-1364 context-sizing rules at compile time.
+"""
+
+from repro.compile.compiler import compile_design, Program
+from repro.compile.instructions import CompiledProcess, Frame
+
+__all__ = ["compile_design", "Program", "CompiledProcess", "Frame"]

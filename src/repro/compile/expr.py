@@ -1,0 +1,784 @@
+"""Expression compilation: AST → symbolic evaluation closures.
+
+A compiled expression is a :class:`CExpr`: its self-determined width
+and signedness (computed once, per 1364's sizing rules), the set of
+nets it reads (used for ``@*``, ``wait`` and continuous-assign
+sensitivity), and an ``eval(kernel, env, control, width)`` closure that
+produces a :class:`FourVec` of exactly ``width`` bits.
+
+``env`` carries function-local values during user-function evaluation
+(functions contain no delays, so they evaluate inline as pure data
+flow); ``control`` is the paper's symbolic path condition, threaded
+through so ``$random`` call sites can log (variable, control) pairs for
+error-trace resimulation (Section 5).
+
+Left-hand sides compile to :class:`LhsPlan` objects exposing both an
+immediate (blocking) write and a deferred (non-blocking) update whose
+target indices are captured at schedule time, per 1364.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.bdd import FALSE, TRUE
+from repro.errors import CompileError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.elaborate import NetInfo, Scope
+from repro.fourval import FourVec, ops
+from repro.fourval.vector import BIT_X
+
+Env = Optional[Dict[str, FourVec]]
+EvalFn = Callable[["object", Env, int, int], FourVec]
+
+
+@dataclass
+class CExpr:
+    """A compiled expression."""
+
+    width: int
+    signed: bool
+    eval: EvalFn
+    support: FrozenSet[str] = frozenset()
+    flexible: bool = False  # $random: takes any context width without inflating it
+
+
+@dataclass
+class LhsPlan:
+    """A compiled assignment target."""
+
+    width: int
+    #: write(kernel, env, value, control) — immediate blocking write
+    write: Callable[["object", Env, FourVec, int], None]
+    #: capture(kernel, env, value, control) -> apply(kernel) closure
+    capture: Callable[["object", Env, FourVec, int], Callable[["object"], None]]
+    support: FrozenSet[str] = frozenset()
+
+
+class CompileContext:
+    """Name-resolution context while compiling one process/assign.
+
+    ``local_map`` renames identifiers to shadow nets (task inlining);
+    ``func_locals`` marks names that resolve to the runtime ``env``
+    (function evaluation).
+    """
+
+    def __init__(self, design, scope: Scope, process_name: str = "") -> None:
+        self.design = design
+        self.scope = scope
+        self.process_name = process_name
+        self.local_map: Dict[str, str] = {}
+        self.func_locals: Dict[str, Tuple[int, bool]] = {}  # name -> (width, signed)
+        self.callsite_factory = None  # set by the statement compiler / kernel glue
+        self._function_stack: List[str] = []
+
+    def child_with_locals(self, local_map: Dict[str, str]) -> "CompileContext":
+        child = CompileContext(self.design, self.scope, self.process_name)
+        child.local_map = {**self.local_map, **local_map}
+        child.func_locals = dict(self.func_locals)
+        child.callsite_factory = self.callsite_factory
+        child._function_stack = self._function_stack
+        return child
+
+
+class ExprCompiler:
+    """Compiles expression ASTs under a :class:`CompileContext`."""
+
+    def __init__(self, ctx: CompileContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def compile(self, expr: ast.Expr) -> CExpr:
+        method = getattr(self, f"_compile_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise CompileError(f"cannot compile expression {type(expr).__name__}")
+        return method(expr)
+
+    def compile_condition(self, expr: ast.Expr) -> CExpr:
+        """Compile an expression used as a truth condition."""
+        return self.compile(expr)
+
+    def compile_lhs(self, expr: ast.Expr) -> LhsPlan:
+        if isinstance(expr, ast.Identifier):
+            return self._lhs_identifier(expr)
+        if isinstance(expr, ast.Index):
+            return self._lhs_index(expr)
+        if isinstance(expr, ast.PartSelect):
+            return self._lhs_part_select(expr)
+        if isinstance(expr, ast.Concat):
+            return self._lhs_concat(expr)
+        raise CompileError(
+            f"invalid assignment target {type(expr).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # identifier resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, ident: ast.Identifier) -> Tuple[str, NetInfo]:
+        name = ident.parts[0]
+        if len(ident.parts) == 1:
+            if name in self.ctx.local_map:
+                full = self.ctx.local_map[name]
+                return full, self.ctx.design.net(full)
+        full = self.ctx.scope.lookup(ident.parts)
+        if full is None:
+            raise CompileError(
+                f"unknown identifier {ident.name!r} in {self.ctx.scope.path or 'top'} "
+                f"(line {ident.line})"
+            )
+        return full, self.ctx.design.net(full)
+
+    # ------------------------------------------------------------------
+    # leaves
+    # ------------------------------------------------------------------
+
+    def _compile_number(self, expr: ast.Number) -> CExpr:
+        bits = expr.bits
+        width = expr.width
+        signed = expr.signed
+
+        def ev(kern, env, ctrl, ctx_width):
+            vec = FourVec.from_verilog_bits(kern.mgr, bits, signed)
+            return vec.resize(ctx_width)
+
+        return CExpr(width=width, signed=signed, eval=ev)
+
+    def _compile_realnumber(self, expr: ast.RealNumber) -> CExpr:
+        value = int(round(expr.value))
+
+        def ev(kern, env, ctrl, ctx_width):
+            return FourVec.from_int(kern.mgr, value, ctx_width)
+
+        return CExpr(width=32, signed=True, eval=ev)
+
+    def _compile_stringliteral(self, expr: ast.StringLiteral) -> CExpr:
+        data = expr.value.encode("latin-1", "replace")
+        width = max(8 * len(data), 8)
+        value = int.from_bytes(data, "big") if data else 0
+
+        def ev(kern, env, ctrl, ctx_width):
+            return FourVec.from_int(kern.mgr, value, ctx_width)
+
+        return CExpr(width=width, signed=False, eval=ev)
+
+    def _compile_identifier(self, expr: ast.Identifier) -> CExpr:
+        name = expr.parts[0]
+        if len(expr.parts) == 1:
+            if name in self.ctx.func_locals:
+                width, signed = self.ctx.func_locals[name]
+
+                def ev_local(kern, env, ctrl, ctx_width):
+                    value = env[name]
+                    return value.as_signed(signed).resize(ctx_width)
+
+                return CExpr(width=width, signed=signed, eval=ev_local)
+            if name not in self.ctx.local_map and name in self.ctx.scope.params:
+                value = self.ctx.scope.params[name]
+
+                def ev_param(kern, env, ctrl, ctx_width):
+                    return FourVec.from_int(kern.mgr, value, ctx_width, signed=True)
+
+                return CExpr(width=32, signed=True, eval=ev_param)
+        full, info = self._resolve(expr)
+        if info.array is not None:
+            raise CompileError(
+                f"memory {full!r} used without a word index (line {expr.line})"
+            )
+        signed = info.signed or info.kind in ("integer",)
+        width = info.width
+
+        def ev(kern, env, ctrl, ctx_width):
+            return kern.state.value(full).as_signed(signed).resize(ctx_width)
+
+        return CExpr(width=width, signed=signed, eval=ev,
+                     support=frozenset([full]))
+
+    # ------------------------------------------------------------------
+    # selects
+    # ------------------------------------------------------------------
+
+    def _compile_index(self, expr: ast.Index) -> CExpr:
+        if not isinstance(expr.base, ast.Identifier):
+            raise CompileError("bit select base must be an identifier")
+        base_name = expr.base.parts[0]
+        if len(expr.base.parts) == 1 and base_name in self.ctx.func_locals:
+            base_width, _ = self.ctx.func_locals[base_name]
+            index = self.compile(expr.index)
+
+            def ev_local_bit(kern, env, ctrl, ctx_width):
+                base = env[base_name]
+                idx = index.eval(kern, env, ctrl, max(index.width, 32))
+                bit = _select_bit_flat(kern, base, idx, base_width)
+                return bit.resize(ctx_width)
+
+            return CExpr(width=1, signed=False, eval=ev_local_bit,
+                         support=index.support)
+        full, info = self._resolve(expr.base)
+        index = self.compile(expr.index)
+        if info.array is not None:
+            # memory word read
+            width = info.width
+            low, high = info.array
+            signed = info.signed
+
+            def ev_word(kern, env, ctrl, ctx_width):
+                idx = index.eval(kern, env, ctrl, max(index.width, 32))
+                value = kern.state.read_array(full, idx, low, high)
+                return value.as_signed(signed).resize(ctx_width)
+
+            return CExpr(width=width, signed=signed, eval=ev_word,
+                         support=index.support | frozenset([full]))
+
+        # bit select
+        def ev_bit(kern, env, ctrl, ctx_width):
+            base = kern.state.value(full)
+            idx = index.eval(kern, env, ctrl, max(index.width, 32))
+            bit = _select_bit(kern, base, idx, info)
+            return bit.resize(ctx_width)
+
+        return CExpr(width=1, signed=False, eval=ev_bit,
+                     support=index.support | frozenset([full]))
+
+    def _compile_partselect(self, expr: ast.PartSelect) -> CExpr:
+        if not isinstance(expr.base, ast.Identifier):
+            raise CompileError("part select base must be an identifier")
+        base_name = expr.base.parts[0]
+        if len(expr.base.parts) == 1 and base_name in self.ctx.func_locals:
+            from repro.frontend.elaborate import const_eval
+
+            msb = const_eval(expr.msb, self.ctx.scope)
+            lsb = const_eval(expr.lsb, self.ctx.scope)
+            offset, width = min(msb, lsb), abs(msb - lsb) + 1
+
+            def ev_local_part(kern, env, ctrl, ctx_width):
+                return env[base_name].slice(offset, width).resize(ctx_width)
+
+            return CExpr(width=width, signed=False, eval=ev_local_part)
+        full, info = self._resolve(expr.base)
+        if info.array is not None:
+            raise CompileError("part select on a memory word is not allowed")
+        from repro.frontend.elaborate import const_eval
+
+        msb = const_eval(expr.msb, self.ctx.scope)
+        lsb = const_eval(expr.lsb, self.ctx.scope)
+        offset = min(info.bit_offset(msb), info.bit_offset(lsb))
+        width = abs(msb - lsb) + 1
+
+        def ev(kern, env, ctrl, ctx_width):
+            base = kern.state.value(full)
+            return base.slice(offset, width).resize(ctx_width)
+
+        return CExpr(width=width, signed=False, eval=ev,
+                     support=frozenset([full]))
+
+    def _compile_concat(self, expr: ast.Concat) -> CExpr:
+        parts = [self.compile(p) for p in expr.parts]
+        width = sum(p.width for p in parts)
+        support = frozenset().union(*[p.support for p in parts])
+
+        def ev(kern, env, ctrl, ctx_width):
+            # parts are self-determined; MSB-first in source order
+            vec = None
+            for part in parts:
+                value = part.eval(kern, env, ctrl, part.width)
+                vec = value if vec is None else vec.concat(value)
+            return vec.resize(ctx_width)
+
+        return CExpr(width=width, signed=False, eval=ev, support=support)
+
+    def _compile_repl(self, expr: ast.Repl) -> CExpr:
+        from repro.frontend.elaborate import const_eval
+
+        count = const_eval(expr.count, self.ctx.scope)
+        value = self.compile(expr.value)
+        width = count * value.width
+
+        def ev(kern, env, ctrl, ctx_width):
+            inner = value.eval(kern, env, ctrl, value.width)
+            return inner.replicate(count).resize(ctx_width)
+
+        return CExpr(width=width, signed=False, eval=ev, support=value.support)
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+
+    _UNARY_REDUCTIONS = {
+        "&": ops.reduce_and, "|": ops.reduce_or, "^": ops.reduce_xor,
+        "~&": ops.reduce_nand, "~|": ops.reduce_nor,
+        "~^": ops.reduce_xnor, "^~": ops.reduce_xnor,
+    }
+
+    def _compile_unary(self, expr: ast.Unary) -> CExpr:
+        operand = self.compile(expr.operand)
+        op = expr.op
+        if op == "+":
+            return operand
+        if op == "-":
+            def ev_neg(kern, env, ctrl, ctx_width):
+                opw = max(operand.width, ctx_width)
+                value = operand.eval(kern, env, ctrl, opw)
+                return ops.negate(value).resize(ctx_width)
+
+            return CExpr(width=operand.width, signed=operand.signed,
+                         eval=ev_neg, support=operand.support)
+        if op == "~":
+            def ev_not(kern, env, ctrl, ctx_width):
+                opw = max(operand.width, ctx_width)
+                value = operand.eval(kern, env, ctrl, opw)
+                return ops.bitwise_not(value).resize(ctx_width)
+
+            return CExpr(width=operand.width, signed=operand.signed,
+                         eval=ev_not, support=operand.support)
+        if op == "!":
+            def ev_lnot(kern, env, ctrl, ctx_width):
+                value = operand.eval(kern, env, ctrl, operand.width)
+                return ops.logical_not(value).resize(ctx_width)
+
+            return CExpr(width=1, signed=False, eval=ev_lnot,
+                         support=operand.support)
+        reduction = self._UNARY_REDUCTIONS.get(op)
+        if reduction is not None:
+            def ev_red(kern, env, ctrl, ctx_width):
+                value = operand.eval(kern, env, ctrl, operand.width)
+                return reduction(value).resize(ctx_width)
+
+            return CExpr(width=1, signed=False, eval=ev_red,
+                         support=operand.support)
+        raise CompileError(f"unsupported unary operator {op!r}")
+
+    _ARITH_OPS = {
+        "+": ops.add, "-": ops.subtract, "*": ops.multiply,
+        "/": ops.divide, "%": ops.modulo, "**": ops.power,
+        "&": ops.bitwise_and, "|": ops.bitwise_or,
+        "^": ops.bitwise_xor, "~^": ops.bitwise_xnor, "^~": ops.bitwise_xnor,
+    }
+    _COMPARE_OPS = {
+        "==": ops.equal, "!=": ops.not_equal,
+        "===": ops.case_equal, "!==": ops.case_not_equal,
+        "<": ops.less_than, "<=": ops.less_equal,
+        ">": ops.greater_than, ">=": ops.greater_equal,
+    }
+    _LOGICAL_OPS = {"&&": ops.logical_and, "||": ops.logical_or}
+    _SHIFT_OPS = {
+        "<<": ops.shift_left, ">>": ops.shift_right, ">>>": ops.arith_shift_right,
+    }
+
+    def _compile_binary(self, expr: ast.Binary) -> CExpr:
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        op = expr.op
+        support = left.support | right.support
+        if op in self._ARITH_OPS:
+            func = self._ARITH_OPS[op]
+            width = max(left.width, right.width)
+            signed = left.signed and right.signed
+
+            def ev_arith(kern, env, ctrl, ctx_width):
+                opw = max(width, ctx_width)
+                lv = left.eval(kern, env, ctrl, opw).as_signed(left.signed)
+                rv = right.eval(kern, env, ctrl, opw).as_signed(right.signed)
+                return func(lv, rv).resize(ctx_width)
+
+            return CExpr(width=width, signed=signed, eval=ev_arith,
+                         support=support)
+        if op in self._COMPARE_OPS:
+            func = self._COMPARE_OPS[op]
+            opw = max(left.width, right.width, 1)
+
+            def ev_cmp(kern, env, ctrl, ctx_width):
+                lv = left.eval(kern, env, ctrl, opw).as_signed(left.signed)
+                rv = right.eval(kern, env, ctrl, opw).as_signed(right.signed)
+                return func(lv, rv).resize(ctx_width)
+
+            return CExpr(width=1, signed=False, eval=ev_cmp, support=support)
+        if op in self._LOGICAL_OPS:
+            func = self._LOGICAL_OPS[op]
+
+            def ev_logic(kern, env, ctrl, ctx_width):
+                lv = left.eval(kern, env, ctrl, left.width)
+                rv = right.eval(kern, env, ctrl, right.width)
+                return func(lv, rv).resize(ctx_width)
+
+            return CExpr(width=1, signed=False, eval=ev_logic, support=support)
+        if op in self._SHIFT_OPS:
+            func = self._SHIFT_OPS[op]
+
+            def ev_shift(kern, env, ctrl, ctx_width):
+                opw = max(left.width, ctx_width)
+                lv = left.eval(kern, env, ctrl, opw)
+                rv = right.eval(kern, env, ctrl, right.width)
+                return func(lv, rv).resize(ctx_width)
+
+            return CExpr(width=left.width, signed=left.signed, eval=ev_shift,
+                         support=support)
+        raise CompileError(f"unsupported binary operator {op!r}")
+
+    def _compile_ternary(self, expr: ast.Ternary) -> CExpr:
+        cond = self.compile(expr.cond)
+        then_value = self.compile(expr.then_value)
+        else_value = self.compile(expr.else_value)
+        width = max(then_value.width, else_value.width)
+        signed = then_value.signed and else_value.signed
+        support = cond.support | then_value.support | else_value.support
+
+        def ev(kern, env, ctrl, ctx_width):
+            opw = max(width, ctx_width)
+            cv = cond.eval(kern, env, ctrl, cond.width)
+            tv = then_value.eval(kern, env, ctrl, opw)
+            fv = else_value.eval(kern, env, ctrl, opw)
+            return ops.conditional(cv, tv, fv).resize(ctx_width)
+
+        return CExpr(width=width, signed=signed, eval=ev, support=support)
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _compile_systemcall(self, expr: ast.SystemCall) -> CExpr:
+        name = expr.name
+        if name in ("$random", "$randomxz"):
+            four_valued = name == "$randomxz"
+            if expr.args:
+                raise CompileError(f"{name} takes no arguments (seed unsupported)")
+            callsite = self.ctx.callsite_factory(name, expr.line)
+
+            def ev_random(kern, env, ctrl, ctx_width):
+                return kern.new_symbol(callsite, ctx_width, four_valued, ctrl)
+
+            return CExpr(width=1, signed=False, eval=ev_random, flexible=True)
+        if name == "$time" or name == "$stime" or name == "$realtime":
+            def ev_time(kern, env, ctrl, ctx_width):
+                return FourVec.from_int(kern.mgr, kern.now, ctx_width)
+
+            return CExpr(width=64, signed=False, eval=ev_time)
+        if name in ("$signed", "$unsigned"):
+            if len(expr.args) != 1:
+                raise CompileError(f"{name} takes one argument")
+            inner = self.compile(expr.args[0])
+            signed = name == "$signed"
+
+            def ev_cast(kern, env, ctrl, ctx_width):
+                value = inner.eval(kern, env, ctrl, inner.width)
+                return value.as_signed(signed).resize(ctx_width)
+
+            return CExpr(width=inner.width, signed=signed, eval=ev_cast,
+                         support=inner.support)
+        raise CompileError(f"unsupported system function {name!r}")
+
+    def _compile_functioncall(self, expr: ast.FunctionCall) -> CExpr:
+        func = self.ctx.scope.find_function(expr.name)
+        if func is None:
+            raise CompileError(f"unknown function {expr.name!r} (line {expr.line})")
+        if expr.name in self.ctx._function_stack:
+            raise CompileError(f"recursive function {expr.name!r}")
+        from repro.compile.funcs import FunctionEvaluator
+
+        self.ctx._function_stack.append(expr.name)
+        try:
+            evaluator = FunctionEvaluator(self.ctx, func)
+        finally:
+            self.ctx._function_stack.pop()
+        if len(expr.args) != len(evaluator.port_names):
+            raise CompileError(
+                f"function {expr.name!r} expects {len(evaluator.port_names)} "
+                f"arguments, got {len(expr.args)}"
+            )
+        args = [self.compile(a) for a in expr.args]
+        support = evaluator.support.union(*[a.support for a in args]) \
+            if args else evaluator.support
+
+        def ev(kern, env, ctrl, ctx_width):
+            values = [
+                arg.eval(kern, env, ctrl, pw)
+                for arg, pw in zip(args, evaluator.port_widths)
+            ]
+            result = evaluator.call(kern, env, ctrl, values)
+            return result.as_signed(evaluator.signed).resize(ctx_width)
+
+        return CExpr(width=evaluator.width, signed=evaluator.signed, eval=ev,
+                     support=support)
+
+    # ------------------------------------------------------------------
+    # LHS plans
+    # ------------------------------------------------------------------
+
+    def _lhs_identifier(self, expr: ast.Identifier) -> LhsPlan:
+        name = expr.parts[0]
+        if len(expr.parts) == 1 and name in self.ctx.func_locals:
+            width, signed = self.ctx.func_locals[name]
+
+            def write_local(kern, env, value, control):
+                old = env[name]
+                env[name] = value.resize(width).ite(control, old)
+
+            def capture_local(kern, env, value, control):
+                raise CompileError("non-blocking assignment inside a function")
+
+            return LhsPlan(width=width, write=write_local, capture=capture_local)
+        full, info = self._resolve(expr)
+        _require_variable(info)
+        if info.array is not None:
+            raise CompileError(f"assignment to whole memory {full!r}")
+        width = info.width
+
+        def write(kern, env, value, control):
+            kern.write_net(full, value.resize(width), control)
+
+        def capture(kern, env, value, control):
+            frozen = value.resize(width)
+
+            def apply(kern2):
+                kern2.write_net(full, frozen, control)
+
+            return apply
+
+        return LhsPlan(width=width, write=write, capture=capture,
+                       support=frozenset([full]))
+
+    def _lhs_index(self, expr: ast.Index) -> LhsPlan:
+        if not isinstance(expr.base, ast.Identifier):
+            raise CompileError("bit-select assignment base must be an identifier")
+        base_name = expr.base.parts[0]
+        if len(expr.base.parts) == 1 and base_name in self.ctx.func_locals:
+            base_width, _ = self.ctx.func_locals[base_name]
+            index = self.compile(expr.index)
+
+            def write_local_bit(kern, env, value, control):
+                idx = index.eval(kern, env, control, max(index.width, 32))
+                env[base_name] = _merged_bit_write(
+                    kern, env[base_name], idx, value, control, base_width
+                )
+
+            def capture_local_bit(kern, env, value, control):
+                raise CompileError("non-blocking assignment inside a function")
+
+            return LhsPlan(width=1, write=write_local_bit,
+                           capture=capture_local_bit)
+        full, info = self._resolve(expr.base)
+        _require_variable(info)
+        index = self.compile(expr.index)
+        if info.array is not None:
+            low, high = info.array
+            width = info.width
+
+            def write_word(kern, env, value, control):
+                idx = index.eval(kern, env, control, max(index.width, 32))
+                kern.write_array(full, idx, value.resize(width), control, low, high)
+
+            def capture_word(kern, env, value, control):
+                idx = index.eval(kern, env, control, max(index.width, 32))
+                frozen = value.resize(width)
+
+                def apply(kern2):
+                    kern2.write_array(full, idx, frozen, control, low, high)
+
+                return apply
+
+            return LhsPlan(width=width, write=write_word, capture=capture_word,
+                           support=frozenset([full]))
+
+        def write_bit(kern, env, value, control):
+            idx = index.eval(kern, env, control, max(index.width, 32))
+            _write_selected_bit(kern, full, info, idx, value, control)
+
+        def capture_bit(kern, env, value, control):
+            idx = index.eval(kern, env, control, max(index.width, 32))
+            frozen = value.resize(1)
+
+            def apply(kern2):
+                _write_selected_bit(kern2, full, info, idx, frozen, control)
+
+            return apply
+
+        return LhsPlan(width=1, write=write_bit, capture=capture_bit,
+                       support=frozenset([full]))
+
+    def _lhs_part_select(self, expr: ast.PartSelect) -> LhsPlan:
+        if not isinstance(expr.base, ast.Identifier):
+            raise CompileError("part-select assignment base must be an identifier")
+        full, info = self._resolve(expr.base)
+        _require_variable(info)
+        from repro.frontend.elaborate import const_eval
+
+        msb = const_eval(expr.msb, self.ctx.scope)
+        lsb = const_eval(expr.lsb, self.ctx.scope)
+        offset = min(info.bit_offset(msb), info.bit_offset(lsb))
+        width = abs(msb - lsb) + 1
+
+        def write(kern, env, value, control):
+            _write_part(kern, full, offset, width, value, control)
+
+        def capture(kern, env, value, control):
+            frozen = value.resize(width)
+
+            def apply(kern2):
+                _write_part(kern2, full, offset, width, frozen, control)
+
+            return apply
+
+        return LhsPlan(width=width, write=write, capture=capture,
+                       support=frozenset([full]))
+
+    def _lhs_concat(self, expr: ast.Concat) -> LhsPlan:
+        plans = [self.compile_lhs(p) for p in expr.parts]
+        width = sum(p.width for p in plans)
+        support = frozenset().union(*[p.support for p in plans])
+
+        def distribute(value: FourVec):
+            # MSB-first source order: first plan gets the top bits.
+            pieces = []
+            offset = width
+            for plan in plans:
+                offset -= plan.width
+                pieces.append(value.slice(offset, plan.width))
+            return pieces
+
+        def write(kern, env, value, control):
+            value = value.resize(width)
+            for plan, piece in zip(plans, distribute(value)):
+                plan.write(kern, env, piece, control)
+
+        def capture(kern, env, value, control):
+            value = value.resize(width)
+            applies = [
+                plan.capture(kern, env, piece, control)
+                for plan, piece in zip(plans, distribute(value))
+            ]
+
+            def apply(kern2):
+                for fn in applies:
+                    fn(kern2)
+
+            return apply
+
+        return LhsPlan(width=width, write=write, capture=capture, support=support)
+
+
+# ----------------------------------------------------------------------
+# helpers shared by RHS/LHS select logic
+# ----------------------------------------------------------------------
+
+
+def _require_variable(info: NetInfo) -> None:
+    """Procedural assignment targets must be variables, not nets (1364)."""
+    if info.is_net:
+        raise CompileError(
+            f"procedural assignment to net {info.full_name!r} "
+            f"({info.kind}); use a continuous assign or declare it reg"
+        )
+
+
+def _select_bit_flat(kern, base: FourVec, idx: FourVec, width: int) -> FourVec:
+    """Read ``base[idx]`` on a plain [width-1:0] vector (function local)."""
+    mgr = kern.mgr
+    concrete = idx.to_int_or_none()
+    if concrete is not None and idx.is_fully_known():
+        if 0 <= concrete < width:
+            return FourVec(mgr, [base.bits[concrete]])
+        return FourVec(mgr, [BIT_X])
+    result = FourVec(mgr, [BIT_X])
+    for offset in range(width):
+        cond = ops.equal(idx, FourVec.from_int(mgr, offset, idx.width)).truthy()
+        if cond == FALSE:
+            continue
+        result = FourVec(mgr, [base.bits[offset]]).ite(cond, result)
+    return result
+
+
+def _merged_bit_write(kern, base: FourVec, idx: FourVec, value: FourVec,
+                      control: int, width: int) -> FourVec:
+    """Return ``base`` with bit ``idx`` set to ``value`` under ``control``."""
+    mgr = kern.mgr
+    bit = value.resize(1)
+    bits = list(base.bits)
+    concrete = idx.to_int_or_none()
+    if concrete is not None and idx.is_fully_known():
+        if 0 <= concrete < width:
+            merged = bit.ite(control, FourVec(mgr, [bits[concrete]]))
+            bits[concrete] = merged.bits[0]
+        return FourVec(mgr, bits, base.signed)
+    for offset in range(width):
+        cond = ops.equal(idx, FourVec.from_int(mgr, offset, idx.width)).truthy()
+        cond = mgr.and_(cond, control)
+        if cond == FALSE:
+            continue
+        merged = bit.ite(cond, FourVec(mgr, [bits[offset]]))
+        bits[offset] = merged.bits[0]
+    return FourVec(mgr, bits, base.signed)
+
+
+def _select_bit(kern, base: FourVec, idx: FourVec, info: NetInfo) -> FourVec:
+    """Read ``base[idx]`` where ``idx`` may be symbolic.
+
+    Declared index values are mapped through the net's range; any
+    out-of-range (or X/Z) index reads X, per 1364.
+    """
+    mgr = kern.mgr
+    idx_value = idx.to_int_or_none()
+    if idx_value is not None and idx.is_fully_known():
+        offset = info.bit_offset(idx_value)
+        if 0 <= offset < info.width:
+            return FourVec(mgr, [base.bits[offset]])
+        return FourVec(mgr, [BIT_X])
+    result = FourVec(mgr, [BIT_X])
+    lo, hi = sorted((info.msb, info.lsb))
+    for declared in range(lo, hi + 1):
+        offset = info.bit_offset(declared)
+        cond = ops.equal(idx, FourVec.from_int(mgr, declared, idx.width)).truthy()
+        if cond == FALSE:
+            continue
+        result = FourVec(mgr, [base.bits[offset]]).ite(cond, result)
+    return result
+
+
+def _write_selected_bit(
+    kern, full: str, info: NetInfo, idx: FourVec, value: FourVec, control: int
+) -> None:
+    """Guarded write of one (possibly symbolically indexed) bit."""
+    mgr = kern.mgr
+    old = kern.state.value(full)
+    bit = value.resize(1)
+    idx_value = idx.to_int_or_none()
+    if idx_value is not None and idx.is_fully_known():
+        offset = info.bit_offset(idx_value)
+        if not 0 <= offset < info.width:
+            return  # out-of-range writes vanish
+        bits = list(old.bits)
+        new_bit = bit.ite(control, FourVec(mgr, [bits[offset]]))
+        bits[offset] = new_bit.bits[0]
+        kern.write_net(full, FourVec(mgr, bits, old.signed), TRUE)
+        return
+    bits = list(old.bits)
+    lo, hi = sorted((info.msb, info.lsb))
+    for declared in range(lo, hi + 1):
+        offset = info.bit_offset(declared)
+        cond = ops.equal(idx, FourVec.from_int(mgr, declared, idx.width)).truthy()
+        cond = mgr.and_(cond, control)
+        if cond == FALSE:
+            continue
+        new_bit = bit.ite(cond, FourVec(mgr, [bits[offset]]))
+        bits[offset] = new_bit.bits[0]
+    kern.write_net(full, FourVec(mgr, bits, old.signed), TRUE)
+
+
+def _write_part(
+    kern, full: str, offset: int, width: int, value: FourVec, control: int
+) -> None:
+    old = kern.state.value(full)
+    value = value.resize(width)
+    bits = list(old.bits)
+    for i in range(width):
+        target = offset + i
+        if not 0 <= target < len(bits):
+            continue
+        new_bit = FourVec(kern.mgr, [value.bits[i]]).ite(
+            control, FourVec(kern.mgr, [bits[target]])
+        )
+        bits[target] = new_bit.bits[0]
+    kern.write_net(full, FourVec(kern.mgr, bits, old.signed), TRUE)

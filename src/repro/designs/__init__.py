@@ -1,0 +1,105 @@
+"""Benchmark designs (Verilog sources) and their loaders.
+
+Four designs reproduce the paper's evaluation workloads:
+
+=========  ============================  ==============================
+name       paper artifact                role
+=========  ============================  ==============================
+``gcd``    GCD circuit with delays       Table 1 worst case: while loop
+                                         splitting paths on symbolic
+                                         operands
+``dram``   timing-accurate DRAM model    Table 1 accumulation-neutral
+                                         case: symbolic data flows only
+                                         through the datapath
+``risc8``  8-bit RISC processor          Table 1 intermediate case:
+                                         symbolic data-in every cycle
+``mcu8``   8051-style micro-controller   Section 7 bug hunt: planted
+           with a known bug              sequence-dependent bug, 12
+                                         symbolic variables per cycle
+=========  ============================  ==============================
+
+Each loader returns (source_text, top_module_name) with the required
+workload-size macros filled in.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _read(name: str) -> str:
+    path = os.path.join(_HERE, "verilog", name)
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def gcd_design(rounds: int = 1, width: int = 4) -> Tuple[str, str, Dict[str, str]]:
+    """GCD circuit + testbench.
+
+    ``rounds`` symbolic operand pairs are pushed through the unit; each
+    round adds 2×``width`` symbolic variables and a data-dependent
+    while loop of up to ``2^width - 1`` iterations.  Without event
+    accumulation the number of live execution paths approaches
+    ``2^(2·width·rounds)`` — keep ``width·rounds`` small for the NONE
+    mode.
+    """
+    return _read("gcd.v"), "gcd_tb", {
+        "GCD_ROUNDS": str(rounds),
+        "GCD_W": str(width),
+    }
+
+
+def dram_design(bursts: int = 2) -> Tuple[str, str, Dict[str, str]]:
+    """DRAM timing model + testbench with ``bursts`` extra write/read
+    pairs on symbolic addresses/data."""
+    return _read("dram.v"), "dram_tb", {"DRAM_BURSTS": str(bursts)}
+
+
+def risc8_design(runtime: int = 200) -> Tuple[str, str, Dict[str, str]]:
+    """RISC8 processor + golden-model testbench, run for ``runtime``
+    time units (one instruction cycle = 10 units)."""
+    return _read("risc8.v"), "risc8_tb", {"RISC_RUNTIME": str(runtime)}
+
+
+def mcu8_design(
+    runtime: int = 100, quiet: int = 0, period: int = 1
+) -> Tuple[str, str, Dict[str, str]]:
+    """MCU8 micro-controller with the planted ADDC/interrupt bug.
+
+    ``runtime`` simulation time units (10 per cycle); the shortest
+    instruction sequence exposing the bug completes within ~50 units (4
+    cycles after reset release at t=12) with the default full-rate
+    injection.  ``quiet`` cycles after reset receive concrete NOPs (the
+    init phase of Fig. 11); ``period`` injects symbols only every Nth
+    cycle, throttling BDD growth on long runs.
+    """
+    return _read("mcu8.v"), "mcu8_tb", {
+        "MCU_RUNTIME": str(runtime),
+        "MCU_QUIET": str(quiet),
+        "MCU_PERIOD": str(period),
+    }
+
+
+def arbiter_design(runtime: int = 100) -> Tuple[str, str, Dict[str, str]]:
+    """Round-robin arbiter + fairness checker (extra workload, not one
+    of the paper's Table-1 designs); 4 symbolic request lines per
+    cycle, one-hot/grant-implies-request/bounded-waiting properties."""
+    return _read("arbiter.v"), "arbiter_tb", {"ARB_RUNTIME": str(runtime)}
+
+
+def load(name: str, **kwargs) -> Tuple[str, str, Dict[str, str]]:
+    """Load a design by name
+    (``gcd``/``dram``/``risc8``/``mcu8``/``arbiter``)."""
+    loaders = {
+        "gcd": gcd_design,
+        "dram": dram_design,
+        "risc8": risc8_design,
+        "mcu8": mcu8_design,
+        "arbiter": arbiter_design,
+    }
+    if name not in loaders:
+        raise KeyError(f"unknown design {name!r}; pick from {sorted(loaders)}")
+    return loaders[name](**kwargs)

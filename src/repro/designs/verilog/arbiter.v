@@ -1,0 +1,112 @@
+// ---------------------------------------------------------------------
+// Round-robin bus arbiter with a non-synthesizable fairness checker.
+//
+// Not one of the paper's Table-1 designs — an additional workload that
+// exercises a different symbolic-simulation profile: *all* inputs
+// symbolic on every cycle (the four request lines), moderate
+// sequential depth, and properties that quantify over time
+// (grant-implies-request, one-hot grants, bounded waiting).
+//
+// The checker is plain testbench Verilog: it snapshots requests and
+// grants each cycle, tracks per-master starvation counters in zero
+// time, and raises `goal` if any master with a pending request waits
+// longer than the round-trip bound — exactly the style of checker the
+// paper argues symbolic RTL simulation exists to support.
+// ---------------------------------------------------------------------
+
+module arbiter(clk, rst, req, grant);
+  input clk, rst;
+  input  [3:0] req;
+  output [3:0] grant;
+
+  reg [3:0] grant;
+  reg [1:0] last;              // most recently granted master
+
+  // rotate priority: masters are scanned starting after `last`
+  function [3:0] pick;
+    input [3:0] requests;
+    input [1:0] from;
+    integer k;
+    reg [1:0] idx;
+    begin
+      pick = 4'b0000;
+      for (k = 1; k <= 4; k = k + 1) begin
+        idx = from + k[1:0];
+        if (requests[idx] && pick == 4'b0000)
+          pick = 4'b0001 << idx;
+      end
+    end
+  endfunction
+
+  always @(posedge clk) begin
+    if (rst) begin
+      grant <= 4'b0000;
+      last <= 2'd3;
+    end
+    else begin
+      grant <= pick(req, last);
+      if (pick(req, last) != 4'b0000) begin
+        // record which master won (one-hot to index)
+        case (pick(req, last))
+          4'b0001: last <= 2'd0;
+          4'b0010: last <= 2'd1;
+          4'b0100: last <= 2'd2;
+          default: last <= 2'd3;
+        endcase
+      end
+    end
+  end
+endmodule
+
+module arbiter_tb;
+  reg clk, rst;
+  reg [3:0] req;
+  wire [3:0] grant;
+  reg goal;
+  integer m;
+
+  // checker state
+  reg [3:0] waiting [0:3];     // starvation counter per master
+  reg [3:0] req_q;             // requests sampled before the edge
+
+  arbiter dut(.clk(clk), .rst(rst), .req(req), .grant(grant));
+
+  always #5 clk = ~clk;
+
+  // fresh symbolic request lines every cycle, changed away from the
+  // sampling edge so DUT and checker see a stable value
+  always @(negedge clk) begin
+    if (!rst) req = $random;
+  end
+
+  // ---- non-synthesizable fairness / safety checker -------------------
+  always @(posedge clk) begin
+    if (!rst) begin
+      req_q = req;             // value the DUT just sampled
+      #2;                      // after the DUT's NBA updates settle
+      // safety: one-hot grants only
+      if ((grant & (grant - 1)) != 4'b0000) goal = 1;
+      // safety: grant implies the request that was sampled
+      if ((grant & ~req_q) != 4'b0000) goal = 1;
+      // fairness: a continuously-requesting master is served within 4
+      for (m = 0; m < 4; m = m + 1) begin
+        if (req_q[m] && !grant[m]) begin
+          waiting[m] = waiting[m] + 1;
+          if (waiting[m] > 4) goal = 1;
+        end
+        else begin
+          waiting[m] = 0;
+        end
+      end
+    end
+  end
+
+  initial begin
+    clk = 0; rst = 1; req = 0; goal = 0;
+    waiting[0] = 0; waiting[1] = 0; waiting[2] = 0; waiting[3] = 0;
+    $assert(goal == 0);
+    #12 rst = 0;
+    #`ARB_RUNTIME;
+    $finish;
+  end
+endmodule

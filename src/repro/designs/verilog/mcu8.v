@@ -1,0 +1,181 @@
+// ---------------------------------------------------------------------
+// MCU8 — an 8051-style micro-controller with a planted bug
+// (paper Section 7, the headline experiment).
+//
+// Like the paper's 8051 setup, the core fetches its code stream from
+// external data-in lines (8 bits) and has interrupt request lines
+// (4 bits); the testbench drives *both* with fresh symbolic variables
+// on every rising clock edge — 12 new variables per cycle, the paper's
+// ratio exactly.
+//
+// The planted bug reproduces the paper's "one specific sequence of
+// instructions and operands" property: the ADDC (add-with-carry)
+// instruction drops the carry-in if an interrupt is accepted during
+// its operand cycle.  Observing it requires, in order:
+//
+//   1. an EI instruction (0xB1) so the interrupt mask opens,
+//   2. a SETB C instruction (0xA1) so the carry is 1 (otherwise the
+//      dropped carry is invisible),
+//   3. an ADDC immediate (0x3x) whose operand cycle coincides with an
+//      asserted, enabled interrupt line.
+//
+// Under uniform random stimulus that window is ~2^-20 per cycle —
+// conventional random simulation effectively never finds it, while
+// symbolic simulation covers all 2^(12n) stimulus patterns at once
+// and hits it after a handful of cycles.
+//
+// The checker is deliberately *non-synthesizable* testbench code: it
+// peeks into the core with hierarchical references, snapshots
+// architectural state in zero time, recomputes the ISA-correct ADDC
+// result, and raises `goal`.  The only assertion in the whole design
+// is $assert(goal == 0), matching the paper's methodology.
+// ---------------------------------------------------------------------
+
+module mcu8(clk, rst, code_in, irq, port_out, fetch_state);
+  input clk, rst;
+  input [7:0] code_in;      // external code stream (symbolic)
+  input [3:0] irq;          // interrupt request lines (symbolic)
+  output [7:0] port_out;
+  output fetch_state;       // 1 during opcode fetch cycles
+
+  reg [7:0] port_out;
+  reg [7:0] acc;            // accumulator
+  reg [7:0] breg;           // B register
+  reg cy;                   // carry flag
+  reg [7:0] r [0:7];        // register bank
+  reg [3:0] ie;             // interrupt enable mask
+  reg in_isr;               // servicing an interrupt
+  reg [7:0] opcode;         // latched opcode during operand cycles
+  reg state;                // 0 = fetch opcode, 1 = fetch operand
+  reg int_taken;            // interrupt accepted this cycle
+  reg [7:0] operand;
+
+  assign fetch_state = (state == 0);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      acc = 0; breg = 0; cy = 0; ie = 0; in_isr = 0;
+      opcode = 0; state = 0; port_out = 0; int_taken = 0;
+    end
+    else begin
+      #1;  // settle after the testbench drives the buses
+      // Interrupt sampling happens every cycle, also in the middle of
+      // multi-byte instructions — this is what opens the bug window.
+      int_taken = ((irq & ie) != 0) && !in_isr;
+      if (state == 0) begin
+        // opcode fetch cycle
+        opcode = code_in;
+        case (code_in[7:4])
+          4'h1, 4'h2, 4'h3, 4'h4, 4'h5, 4'h6, 4'h7, 4'hC:
+            state = 1;                      // two-byte instructions
+          4'h8: r[code_in[2:0]] = acc;      // MOV Rn, A
+          4'h9: acc = r[code_in[2:0]];      // MOV A, Rn
+          4'hA: cy = code_in[0];            // SETB C / CLR C
+          4'hB: begin                       // EI / DI
+            if (code_in[0]) ie = 4'b1111;
+            else ie = 4'b0000;
+          end
+          4'hD: begin                       // INC A
+            acc = acc + 1;
+          end
+          4'hE: begin                       // RLC A (rotate left thru CY)
+            {cy, acc} = {acc, cy};
+          end
+          4'hF: in_isr = 0;                 // RETI
+          default: ;                        // NOP
+        endcase
+        if (int_taken && state == 0) in_isr = 1;
+      end
+      else begin
+        // operand fetch / execute cycle
+        operand = code_in;
+        state = 0;
+        case (opcode[7:4])
+          4'h1: acc = operand;                          // MOV A,#imm
+          4'h2: {cy, acc} = acc + operand;              // ADD A,#imm
+          4'h3: begin                                   // ADDC A,#imm
+            // ---- PLANTED BUG ----------------------------------
+            // The carry-in is dropped when an interrupt is taken
+            // during this operand cycle.  Correct hardware would
+            // compute acc + operand + cy unconditionally.
+            if (int_taken)
+              {cy, acc} = acc + operand;                // BUG: cy lost
+            else
+              {cy, acc} = acc + operand + cy;
+            // ----------------------------------------------------
+          end
+          4'h4: {cy, acc} = {1'b0, acc} - {1'b0, operand}; // SUB (cy=borrow)
+          4'h5: acc = acc & operand;                    // ANL
+          4'h6: acc = acc | operand;                    // ORL
+          4'h7: acc = acc ^ operand;                    // XRL
+          4'hC: port_out = acc;                         // "SJMP": emit acc
+          default: ;
+        endcase
+        if (int_taken) in_isr = 1;
+      end
+    end
+  end
+endmodule
+
+module mcu8_tb;
+  reg clk, rst;
+  reg [7:0] code_in;
+  reg [3:0] irq;
+  wire [7:0] port_out;
+  wire fetch_state;
+
+  // checker state (non-synthesizable: zero-time snapshots + hierarchy)
+  reg [7:0] chk_acc_before;
+  reg chk_cy_before;
+  reg chk_is_addc;
+  reg [7:0] chk_expected;
+  reg goal;
+
+  mcu8 dut(.clk(clk), .rst(rst), .code_in(code_in), .irq(irq),
+           .port_out(port_out), .fetch_state(fetch_state));
+
+  always #5 clk = ~clk;
+
+  // 12 fresh symbolic variables per rising edge: 8 code + 4 interrupt.
+  // The first `MCU_QUIET cycles after reset drive concrete NOPs — the
+  // processor's "initialization phase" during which the paper's Fig. 11
+  // curves coincide; `MCU_PERIOD throttles injection for long runs.
+  integer cyc;
+  always @(posedge clk) begin
+    if (!rst) begin
+      cyc = cyc + 1;
+      if (cyc > `MCU_QUIET && (cyc % `MCU_PERIOD) == 0) begin
+        code_in = $random;
+        irq = $random;
+      end
+      else begin
+        code_in = 8'h00;
+        irq = 4'h0;
+      end
+    end
+  end
+
+  // -------- non-synthesizable ADDC checker ---------------------------
+  // Snapshot architectural state right before the core executes, then
+  // recompute the ISA-correct result after it has.
+  always @(posedge clk) begin
+    if (!rst) begin
+      chk_is_addc = (dut.state == 1) && (dut.opcode[7:4] == 4'h3);
+      chk_acc_before = dut.acc;
+      chk_cy_before = dut.cy;
+      #2;  // after the core's execute phase
+      if (chk_is_addc) begin
+        chk_expected = chk_acc_before + code_in + chk_cy_before;
+        if (dut.acc !== chk_expected) goal = 1;
+      end
+    end
+  end
+
+  initial begin
+    clk = 0; rst = 1; goal = 0; code_in = 0; irq = 0; cyc = 0;
+    $assert(goal == 0);
+    #12 rst = 0;
+    #`MCU_RUNTIME;
+    $finish;
+  end
+endmodule

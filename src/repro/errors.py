@@ -1,0 +1,81 @@
+"""Exception hierarchy for the symbolic RTL simulator.
+
+Every error raised by the package derives from :class:`ReproError`, so a
+caller can catch one type for anything that goes wrong inside the
+simulator while still being able to distinguish frontend problems
+(:class:`VerilogSyntaxError`, :class:`ElaborationError`) from runtime
+problems (:class:`SimulationError` and friends).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class BddError(ReproError):
+    """Misuse of the BDD manager (foreign nodes, unknown variables...)."""
+
+
+class FourValueError(ReproError):
+    """Invalid four-valued vector operation (width mismatch, bad digit)."""
+
+
+class VerilogSyntaxError(ReproError):
+    """Lexical or syntactic error in Verilog source.
+
+    Carries the source coordinates so tools can point at the offending
+    text.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class ElaborationError(ReproError):
+    """Semantic error while building the design hierarchy.
+
+    Examples: unknown module, port width mismatch, undeclared identifier,
+    recursive instantiation.
+    """
+
+
+class CompileError(ReproError):
+    """The behavioral compiler met a construct it cannot translate."""
+
+
+class SimulationError(ReproError):
+    """Generic runtime error inside the simulation kernel."""
+
+
+class SymbolicDelayError(SimulationError):
+    """A delay expression evaluated to a symbolic (non-constant) value.
+
+    The paper's simulator, like this one, requires concrete delays; the
+    usual fix is to make the delay operand concrete in the testbench.
+    """
+
+
+class SimulationHang(SimulationError):
+    """A zero-delay loop iterated more than the configured watchdog limit."""
+
+
+class AssertionViolation(SimulationError):
+    """Raised (optionally) when ``$assert``/``$error`` fires.
+
+    The attached :attr:`trace` is an
+    :class:`repro.sim.trace.ErrorTrace` suitable for resimulation.
+    """
+
+    def __init__(self, message: str, trace=None) -> None:
+        super().__init__(message)
+        self.trace = trace
+
+
+class ResimulationError(SimulationError):
+    """Concrete resimulation diverged from the recorded error trace."""

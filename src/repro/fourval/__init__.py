@@ -1,0 +1,27 @@
+"""Four-valued (0/1/X/Z) symbolic bit vectors over BDDs.
+
+The paper's simulator performs "complete four-valued (0,1,X,Z) symbolic
+simulation"; this package is that data layer.  Every Verilog scalar bit
+is a *dual-rail* pair of BDDs ``(a, b)`` using the VPI aval/bval
+encoding:
+
+====  ===  ===
+bit    a    b
+====  ===  ===
+``0``  0    0
+``1``  1    0
+``Z``  0    1
+``X``  1    1
+====  ===  ===
+
+so "known" is simply ``¬b``.  :class:`~repro.fourval.vector.FourVec`
+bundles a little-endian tuple of such pairs with a signedness flag and
+implements the full Verilog-1995 operator set with IEEE-1364 X/Z
+pessimism (any X/Z operand poisons arithmetic, comparisons yield X,
+``===`` compares literally, ...).
+"""
+
+from repro.fourval.vector import FourVec, BitPair
+from repro.fourval import ops
+
+__all__ = ["FourVec", "BitPair", "ops"]

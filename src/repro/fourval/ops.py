@@ -1,0 +1,736 @@
+"""IEEE-1364 operator semantics over :class:`FourVec`.
+
+Every function here is pure: it takes vectors, returns a new vector (or
+a raw BDD for predicates) and never mutates its inputs.  X/Z handling
+follows the standard's pessimism rules:
+
+* bitwise ops use the 4-valued truth tables (``0 & x = 0``,
+  ``1 & x = x``, Z reads as X),
+* arithmetic and relational ops produce all-X / X when any operand bit
+  can be X or Z (guarded per-condition, not globally: a vector that is
+  X/Z only under BDD condition ``c`` poisons the result only under
+  ``c``),
+* ``===``/``!==`` compare literally and always produce a known bit,
+* the conditional operator merges branches bitwise when the selector
+  is X.
+
+Binary operators require pre-sized equal-width operands; the expression
+compiler (``repro.compile.expr``) implements the 1364 context-sizing
+rules and calls :meth:`FourVec.resize` before dispatching here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.errors import FourValueError
+from repro.fourval.vector import BitPair, FourVec
+
+
+def _check_same_width(x: FourVec, y: FourVec, op: str) -> None:
+    if x.width != y.width:
+        raise FourValueError(
+            f"{op}: operand width mismatch {x.width} vs {y.width} "
+            "(the expression compiler should have resized)"
+        )
+
+
+def _known0(mgr: BddManager, bit: BitPair) -> int:
+    """BDD: this bit is a known 0."""
+    a, b = bit
+    return mgr.nor(a, b)
+
+
+def _known1(mgr: BddManager, bit: BitPair) -> int:
+    """BDD: this bit is a known 1."""
+    a, b = bit
+    return mgr.and_(a, mgr.not_(b))
+
+
+def _make_tristate(mgr: BddManager, is1: int, is0: int) -> BitPair:
+    """Encode a 3-valued bit from disjoint is-1 / is-0 conditions.
+
+    Anywhere neither holds, the bit is X.
+    """
+    b = mgr.nor(is1, is0)
+    a = mgr.or_(is1, b)
+    return a, b
+
+
+# ----------------------------------------------------------------------
+# bitwise operators
+# ----------------------------------------------------------------------
+
+
+def bitwise_not(x: FourVec) -> FourVec:
+    """``~x`` — 4-valued inversion (X/Z stay X)."""
+    mgr = x.mgr
+    bits = [(mgr.or_(b, mgr.not_(a)), b) for a, b in x.bits]
+    # Z must become X, not Z: force the a-rail high wherever b is set —
+    # done above — and normalize b unchanged (Z and X share b=1; with
+    # a=1 both map to X).
+    return FourVec(mgr, bits)
+
+
+def _bitwise_binary(
+    x: FourVec,
+    y: FourVec,
+    bit_op: Callable[[BddManager, BitPair, BitPair], BitPair],
+    name: str,
+) -> FourVec:
+    _check_same_width(x, y, name)
+    mgr = x.mgr
+    return FourVec(mgr, [bit_op(mgr, bx, by) for bx, by in zip(x.bits, y.bits)])
+
+
+def _and_bit(mgr: BddManager, bx: BitPair, by: BitPair) -> BitPair:
+    is0 = mgr.or_(_known0(mgr, bx), _known0(mgr, by))
+    is1 = mgr.and_(_known1(mgr, bx), _known1(mgr, by))
+    return _make_tristate(mgr, is1, is0)
+
+
+def _or_bit(mgr: BddManager, bx: BitPair, by: BitPair) -> BitPair:
+    is1 = mgr.or_(_known1(mgr, bx), _known1(mgr, by))
+    is0 = mgr.and_(_known0(mgr, bx), _known0(mgr, by))
+    return _make_tristate(mgr, is1, is0)
+
+
+def _xor_bit(mgr: BddManager, bx: BitPair, by: BitPair) -> BitPair:
+    known = mgr.nor(bx[1], by[1])
+    value = mgr.xor(bx[0], by[0])
+    is1 = mgr.and_(known, value)
+    is0 = mgr.and_(known, mgr.not_(value))
+    return _make_tristate(mgr, is1, is0)
+
+
+def bitwise_and(x: FourVec, y: FourVec) -> FourVec:
+    """``x & y``."""
+    return _bitwise_binary(x, y, _and_bit, "&")
+
+
+def bitwise_or(x: FourVec, y: FourVec) -> FourVec:
+    """``x | y``."""
+    return _bitwise_binary(x, y, _or_bit, "|")
+
+
+def bitwise_xor(x: FourVec, y: FourVec) -> FourVec:
+    """``x ^ y``."""
+    return _bitwise_binary(x, y, _xor_bit, "^")
+
+
+def bitwise_xnor(x: FourVec, y: FourVec) -> FourVec:
+    """``x ~^ y``."""
+    return bitwise_not(bitwise_xor(x, y))
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+
+def reduce_and(x: FourVec) -> FourVec:
+    """``&x`` — 1 iff all bits known 1, 0 if any bit known 0, else X."""
+    mgr = x.mgr
+    is1 = mgr.and_all(_known1(mgr, bit) for bit in x.bits)
+    is0 = mgr.or_all(_known0(mgr, bit) for bit in x.bits)
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+def reduce_or(x: FourVec) -> FourVec:
+    """``|x``."""
+    mgr = x.mgr
+    is1 = mgr.or_all(_known1(mgr, bit) for bit in x.bits)
+    is0 = mgr.and_all(_known0(mgr, bit) for bit in x.bits)
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+def reduce_xor(x: FourVec) -> FourVec:
+    """``^x`` — X if any bit is X/Z, else parity."""
+    mgr = x.mgr
+    any_xz = x.has_xz()
+    parity = FALSE
+    for a, _ in x.bits:
+        parity = mgr.xor(parity, a)
+    is1 = mgr.and_(mgr.not_(any_xz), parity)
+    is0 = mgr.and_(mgr.not_(any_xz), mgr.not_(parity))
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+def reduce_nand(x: FourVec) -> FourVec:
+    """``~&x``."""
+    return bitwise_not(reduce_and(x))
+
+
+def reduce_nor(x: FourVec) -> FourVec:
+    """``~|x``."""
+    return bitwise_not(reduce_or(x))
+
+
+def reduce_xnor(x: FourVec) -> FourVec:
+    """``~^x``."""
+    return bitwise_not(reduce_xor(x))
+
+
+# ----------------------------------------------------------------------
+# logical operators (3-valued truth)
+# ----------------------------------------------------------------------
+
+
+def _truth_conditions(x: FourVec) -> Tuple[int, int]:
+    """Return BDDs (is-true, is-false) for a value used as a condition.
+
+    True: some bit is a known 1.  False: every bit is a known 0.
+    Anything else is unknown.
+    """
+    mgr = x.mgr
+    is_true = x.truthy()
+    is_false = mgr.and_all(_known0(mgr, bit) for bit in x.bits)
+    return is_true, is_false
+
+
+def logical_not(x: FourVec) -> FourVec:
+    """``!x``."""
+    is_true, is_false = _truth_conditions(x)
+    return FourVec(x.mgr, [_make_tristate(x.mgr, is_false, is_true)])
+
+
+def logical_and(x: FourVec, y: FourVec) -> FourVec:
+    """``x && y`` (short-circuit pessimism per 1364)."""
+    mgr = x.mgr
+    tx, fx = _truth_conditions(x)
+    ty, fy = _truth_conditions(y)
+    is1 = mgr.and_(tx, ty)
+    is0 = mgr.or_(fx, fy)
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+def logical_or(x: FourVec, y: FourVec) -> FourVec:
+    """``x || y``."""
+    mgr = x.mgr
+    tx, fx = _truth_conditions(x)
+    ty, fy = _truth_conditions(y)
+    is1 = mgr.or_(tx, ty)
+    is0 = mgr.and_(fx, fy)
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+# ----------------------------------------------------------------------
+# equality / relational
+# ----------------------------------------------------------------------
+
+
+def equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x == y`` — X when the comparison cannot be decided."""
+    _check_same_width(x, y, "==")
+    mgr = x.mgr
+    definite_diff = FALSE
+    all_known_equal = TRUE
+    for bx, by in zip(x.bits, y.bits):
+        both_known = mgr.nor(bx[1], by[1])
+        diff = mgr.xor(bx[0], by[0])
+        definite_diff = mgr.or_(definite_diff, mgr.and_(both_known, diff))
+        all_known_equal = mgr.and_(
+            all_known_equal, mgr.and_(both_known, mgr.not_(diff))
+        )
+    return FourVec(mgr, [_make_tristate(mgr, all_known_equal, definite_diff)])
+
+
+def not_equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x != y``."""
+    return logical_not(equal(x, y))
+
+
+def case_equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x === y`` — literal 4-valued match, always a known result."""
+    _check_same_width(x, y, "===")
+    mgr = x.mgr
+    match = TRUE
+    for bx, by in zip(x.bits, y.bits):
+        match = mgr.and_(
+            match, mgr.and_(mgr.xnor(bx[0], by[0]), mgr.xnor(bx[1], by[1]))
+        )
+    return FourVec(mgr, [(match, FALSE)])
+
+
+def case_not_equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x !== y``."""
+    mgr = x.mgr
+    match = case_equal(x, y).bits[0][0]
+    return FourVec(mgr, [(mgr.not_(match), FALSE)])
+
+
+def casez_match(expr: FourVec, item: FourVec) -> int:
+    """BDD: ``casez`` item match (Z is a wildcard on either side)."""
+    return _wildcard_match(expr, item, z_wild=True, x_wild=False)
+
+
+def casex_match(expr: FourVec, item: FourVec) -> int:
+    """BDD: ``casex`` item match (X and Z are wildcards on either side)."""
+    return _wildcard_match(expr, item, z_wild=True, x_wild=True)
+
+
+def _wildcard_match(
+    expr: FourVec, item: FourVec, z_wild: bool, x_wild: bool
+) -> int:
+    _check_same_width(expr, item, "case-match")
+    mgr = expr.mgr
+    match = TRUE
+    for be, bi in zip(expr.bits, item.bits):
+        if x_wild:
+            wild = mgr.or_(be[1], bi[1])
+        elif z_wild:
+            is_z_e = mgr.and_(mgr.not_(be[0]), be[1])
+            is_z_i = mgr.and_(mgr.not_(bi[0]), bi[1])
+            wild = mgr.or_(is_z_e, is_z_i)
+        else:
+            wild = FALSE
+        bits_same = mgr.and_(mgr.xnor(be[0], bi[0]), mgr.xnor(be[1], bi[1]))
+        match = mgr.and_(match, mgr.or_(wild, bits_same))
+    return match
+
+
+def _unsigned_less_than(x: FourVec, y: FourVec) -> int:
+    """BDD: x < y on the a-rails (caller handles X/Z poisoning)."""
+    mgr = x.mgr
+    lt = FALSE
+    eq_above = TRUE
+    for bx, by in zip(reversed(x.bits), reversed(y.bits)):
+        here = mgr.and_(mgr.not_(bx[0]), by[0])
+        lt = mgr.or_(lt, mgr.and_(eq_above, here))
+        eq_above = mgr.and_(eq_above, mgr.xnor(bx[0], by[0]))
+    return lt
+
+
+def _signed_flip(x: FourVec) -> FourVec:
+    """Invert the sign bit so unsigned compare implements signed compare."""
+    mgr = x.mgr
+    a, b = x.bits[-1]
+    return FourVec(mgr, x.bits[:-1] + ((mgr.not_(a), b),), x.signed)
+
+
+def less_than(x: FourVec, y: FourVec) -> FourVec:
+    """``x < y`` — signed iff both operands are signed (1364 rule)."""
+    _check_same_width(x, y, "<")
+    mgr = x.mgr
+    signed = x.signed and y.signed
+    if signed:
+        x, y = _signed_flip(x), _signed_flip(y)
+    known = mgr.and_(x.known(), y.known())
+    lt = _unsigned_less_than(x, y)
+    is1 = mgr.and_(known, lt)
+    is0 = mgr.and_(known, mgr.not_(lt))
+    return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
+
+
+def greater_than(x: FourVec, y: FourVec) -> FourVec:
+    """``x > y``."""
+    return less_than(y, x)
+
+
+def less_equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x <= y``."""
+    return logical_not(less_than(y, x))
+
+
+def greater_equal(x: FourVec, y: FourVec) -> FourVec:
+    """``x >= y``."""
+    return logical_not(less_than(x, y))
+
+
+# ----------------------------------------------------------------------
+# arithmetic
+# ----------------------------------------------------------------------
+
+
+def _poisoned(mgr: BddManager, xz: int, a_rails: List[int], signed: bool) -> FourVec:
+    """Wrap 2-valued result rails, forcing all-X wherever ``xz`` holds."""
+    bits = [(mgr.or_(xz, a), xz) for a in a_rails]
+    return FourVec(mgr, bits, signed)
+
+
+def _add_rails(
+    mgr: BddManager, x: FourVec, y: FourVec, carry_in: int
+) -> List[int]:
+    rails: List[int] = []
+    carry = carry_in
+    for bx, by in zip(x.bits, y.bits):
+        a, b = bx[0], by[0]
+        rails.append(mgr.xor(mgr.xor(a, b), carry))
+        carry = mgr.or_(mgr.and_(a, b), mgr.and_(carry, mgr.xor(a, b)))
+    return rails
+
+
+def add(x: FourVec, y: FourVec) -> FourVec:
+    """``x + y`` (wrapping at the common width)."""
+    _check_same_width(x, y, "+")
+    mgr = x.mgr
+    xz = mgr.or_(x.has_xz(), y.has_xz())
+    rails = _add_rails(mgr, x, y, FALSE)
+    return _poisoned(mgr, xz, rails, x.signed and y.signed)
+
+
+def subtract(x: FourVec, y: FourVec) -> FourVec:
+    """``x - y``."""
+    _check_same_width(x, y, "-")
+    mgr = x.mgr
+    xz = mgr.or_(x.has_xz(), y.has_xz())
+    inverted = FourVec(mgr, [(mgr.not_(a), FALSE) for a, _ in y.bits])
+    rails = _add_rails(mgr, x, inverted, TRUE)
+    return _poisoned(mgr, xz, rails, x.signed and y.signed)
+
+
+def negate(x: FourVec) -> FourVec:
+    """Unary ``-x``."""
+    zero = FourVec.from_int(x.mgr, 0, x.width, x.signed)
+    return subtract(zero, x)
+
+
+def multiply(x: FourVec, y: FourVec) -> FourVec:
+    """``x * y`` truncated to the common width."""
+    _check_same_width(x, y, "*")
+    mgr = x.mgr
+    width = x.width
+    xz = mgr.or_(x.has_xz(), y.has_xz())
+    acc = [FALSE] * width
+    for shift, (yb, _) in enumerate(y.bits):
+        if yb == FALSE:
+            continue
+        carry = FALSE
+        for i in range(shift, width):
+            partial = mgr.and_(yb, x.bits[i - shift][0])
+            total = mgr.xor(mgr.xor(acc[i], partial), carry)
+            carry = mgr.or_(
+                mgr.and_(acc[i], partial),
+                mgr.and_(carry, mgr.xor(acc[i], partial)),
+            )
+            acc[i] = total
+    return _poisoned(mgr, xz, acc, x.signed and y.signed)
+
+
+def _divmod_rails(
+    mgr: BddManager, x: FourVec, y: FourVec
+) -> Tuple[List[int], List[int]]:
+    """Restoring division on the a-rails; returns (quotient, remainder)."""
+    width = x.width
+    rem = [FALSE] * width
+    quo = [FALSE] * width
+    for i in range(width - 1, -1, -1):
+        # remainder <<= 1; remainder[0] = x[i]
+        rem = [x.bits[i][0]] + rem[:-1]
+        # ge = rem >= y (unsigned)
+        ge = TRUE
+        lt = FALSE
+        for rb, (yb, _) in zip(reversed(rem), reversed(y.bits)):
+            lt = mgr.or_(lt, mgr.and_(ge, mgr.and_(mgr.not_(rb), yb)))
+            ge = mgr.and_(ge, mgr.xnor(rb, yb))
+        ge = mgr.not_(lt)
+        quo[i] = ge
+        # rem = ge ? rem - y : rem
+        borrow = FALSE
+        new_rem = []
+        for rb, (yb, _) in zip(rem, y.bits):
+            diff = mgr.xor(mgr.xor(rb, yb), borrow)
+            borrow = mgr.or_(
+                mgr.and_(mgr.not_(rb), yb),
+                mgr.and_(borrow, mgr.xnor(rb, yb)),
+            )
+            new_rem.append(diff)
+        rem = [mgr.ite(ge, nr, rb) for nr, rb in zip(new_rem, rem)]
+    return quo, rem
+
+
+def _div_xz(mgr: BddManager, x: FourVec, y: FourVec) -> int:
+    """Poison condition for division: any X/Z operand or zero divisor."""
+    zero_div = mgr.and_all(mgr.not_(a) for a, _ in y.bits)
+    return mgr.or_(mgr.or_(x.has_xz(), y.has_xz()), zero_div)
+
+
+def divide(x: FourVec, y: FourVec) -> FourVec:
+    """``x / y`` (unsigned; division by zero yields all X, per 1364).
+
+    Signed division on signed operands negates through the unsigned
+    core.
+    """
+    _check_same_width(x, y, "/")
+    mgr = x.mgr
+    xz = _div_xz(mgr, x, y)
+    signed = x.signed and y.signed
+    if signed:
+        return _signed_div_or_mod(x, y, xz, want_mod=False)
+    quo, _ = _divmod_rails(mgr, x, y)
+    return _poisoned(mgr, xz, quo, False)
+
+
+def modulo(x: FourVec, y: FourVec) -> FourVec:
+    """``x % y`` (result takes the sign of the first operand)."""
+    _check_same_width(x, y, "%")
+    mgr = x.mgr
+    xz = _div_xz(mgr, x, y)
+    signed = x.signed and y.signed
+    if signed:
+        return _signed_div_or_mod(x, y, xz, want_mod=True)
+    _, rem = _divmod_rails(mgr, x, y)
+    return _poisoned(mgr, xz, rem, False)
+
+
+def _signed_div_or_mod(
+    x: FourVec, y: FourVec, xz: int, want_mod: bool
+) -> FourVec:
+    mgr = x.mgr
+    sx, sy = x.bits[-1][0], y.bits[-1][0]
+
+    def abs_rails(v: FourVec, sign: int) -> FourVec:
+        neg = negate(FourVec(mgr, [(a, FALSE) for a, _ in v.bits]))
+        bits = [
+            (mgr.ite(sign, na, a), FALSE)
+            for (na, _), (a, _) in zip(neg.bits, v.bits)
+        ]
+        return FourVec(mgr, bits)
+
+    ax, ay = abs_rails(x, sx), abs_rails(y, sy)
+    quo, rem = _divmod_rails(mgr, ax, ay)
+    if want_mod:
+        rails, flip = rem, sx
+    else:
+        rails, flip = quo, mgr.xor(sx, sy)
+    pos = FourVec(mgr, [(a, FALSE) for a in rails])
+    neg = negate(pos)
+    rails = [
+        mgr.ite(flip, na, a) for (na, _), (a, _) in zip(neg.bits, pos.bits)
+    ]
+    return _poisoned(mgr, xz, rails, True)
+
+
+def power(x: FourVec, y: FourVec) -> FourVec:
+    """``x ** y`` by square-and-multiply over the exponent bits.
+
+    (A Verilog-2001 operator, supported as a convenience; exponent bits
+    beyond 16 are rejected to bound BDD blow-up.)
+    """
+    _check_same_width(x, y, "**")
+    if y.width > 16 and not y.is_constant():
+        raise FourValueError("symbolic exponent wider than 16 bits")
+    mgr = x.mgr
+    xz = mgr.or_(x.has_xz(), y.has_xz())
+    result = FourVec.from_int(mgr, 1, x.width)
+    base = FourVec(mgr, [(a, FALSE) for a, _ in x.bits])
+    for yb, _ in y.bits:
+        if yb == FALSE:
+            base = multiply(base, base)
+            continue
+        multiplied = multiply(result, base)
+        result = multiplied.ite(yb, result)
+        base = multiply(base, base)
+    return _poisoned(mgr, xz, [a for a, _ in result.bits], False)
+
+
+# ----------------------------------------------------------------------
+# shifts
+# ----------------------------------------------------------------------
+
+
+def _shift(x: FourVec, y: FourVec, direction: str) -> FourVec:
+    mgr = x.mgr
+    width = x.width
+    xz = mgr.or_(x.has_xz(), y.has_xz())
+    rails = [a for a, _ in x.bits]
+    fill = x.bits[-1][0] if direction == "ashr" else FALSE
+    for bit_index, (yb, _) in enumerate(y.bits):
+        amount = 1 << bit_index
+        if yb == FALSE:
+            continue
+        if amount >= width:
+            shifted = [fill] * width
+        elif direction == "shl":
+            shifted = [FALSE] * amount + rails[: width - amount]
+        else:  # shr / ashr
+            shifted = rails[amount:] + [fill] * amount
+        rails = [mgr.ite(yb, s, r) for s, r in zip(shifted, rails)]
+    return _poisoned(mgr, xz, rails, False)
+
+
+def shift_left(x: FourVec, y: FourVec) -> FourVec:
+    """``x << y`` (``y`` self-determined, possibly symbolic)."""
+    return _shift(x, y, "shl")
+
+
+def shift_right(x: FourVec, y: FourVec) -> FourVec:
+    """``x >> y`` — logical right shift."""
+    return _shift(x, y, "shr")
+
+
+def arith_shift_right(x: FourVec, y: FourVec) -> FourVec:
+    """``x >>> y`` — arithmetic right shift (sign fill)."""
+    return _shift(x, y, "ashr")
+
+
+# ----------------------------------------------------------------------
+# conditional operator
+# ----------------------------------------------------------------------
+
+
+def conditional(cond: FourVec, then_v: FourVec, else_v: FourVec) -> FourVec:
+    """``cond ? then_v : else_v`` with 1364 X-merge semantics.
+
+    When the selector is X/Z the result is the bitwise merge: bits on
+    which the branches agree (and are known) keep their value, all
+    others become X.
+    """
+    _check_same_width(then_v, else_v, "?:")
+    mgr = cond.mgr
+    is_true, is_false = _truth_conditions(cond)
+    unknown = mgr.nor(is_true, is_false)
+    bits: List[BitPair] = []
+    for bt, be in zip(then_v.bits, else_v.bits):
+        agree = mgr.and_(
+            mgr.nor(bt[1], be[1]), mgr.xnor(bt[0], be[0])
+        )
+        merged_a = mgr.ite(agree, bt[0], TRUE)
+        merged_b = mgr.not_(agree)
+        a = mgr.ite(is_true, bt[0], mgr.ite(is_false, be[0], merged_a))
+        b = mgr.ite(is_true, bt[1], mgr.ite(is_false, be[1], merged_b))
+        bits.append((a, b))
+    return FourVec(mgr, bits, then_v.signed and else_v.signed)
+
+
+# ----------------------------------------------------------------------
+# net resolution (multiple drivers)
+# ----------------------------------------------------------------------
+
+
+def resolve_wire(x: FourVec, y: FourVec) -> FourVec:
+    """Two-driver ``wire``/``tri`` resolution.
+
+    Z yields to the other driver; agreeing known values survive;
+    conflicting known values, or any X, produce X.
+    """
+    _check_same_width(x, y, "wire-resolve")
+    mgr = x.mgr
+    bits: List[BitPair] = []
+    for bx, by in zip(x.bits, y.bits):
+        x_is_z = mgr.and_(mgr.not_(bx[0]), bx[1])
+        y_is_z = mgr.and_(mgr.not_(by[0]), by[1])
+        both_known_same = mgr.and_(
+            mgr.nor(bx[1], by[1]), mgr.xnor(bx[0], by[0])
+        )
+        # Result selection: x if y is Z, y if x is Z, shared value if
+        # equal and known, else X.
+        a = mgr.ite(
+            y_is_z,
+            bx[0],
+            mgr.ite(x_is_z, by[0], mgr.ite(both_known_same, bx[0], TRUE)),
+        )
+        b = mgr.ite(
+            y_is_z,
+            bx[1],
+            mgr.ite(x_is_z, by[1], mgr.ite(both_known_same, FALSE, TRUE)),
+        )
+        bits.append((a, b))
+    return FourVec(mgr, bits)
+
+
+def _driver_states(mgr: BddManager, bit: BitPair):
+    """(is0, is1, isz, isx) decomposition of one driver bit."""
+    a, b = bit
+    is0 = mgr.nor(a, b)
+    is1 = mgr.and_(a, mgr.not_(b))
+    isz = mgr.and_(mgr.not_(a), b)
+    isx = mgr.and_(a, b)
+    return is0, is1, isz, isx
+
+
+def _encode_states(mgr: BddManager, out0: int, out1: int, outz: int) -> BitPair:
+    """Encode a bit from disjoint is-0/is-1/is-Z conditions (rest: X)."""
+    outx = mgr.not_(mgr.or_(out0, mgr.or_(out1, outz)))
+    a = mgr.or_(out1, outx)
+    b = mgr.or_(outz, outx)
+    return a, b
+
+
+def resolve_wand(x: FourVec, y: FourVec) -> FourVec:
+    """``wand`` net resolution — wired AND (1364 Table 9: 0 dominates)."""
+    _check_same_width(x, y, "wand-resolve")
+    mgr = x.mgr
+    bits: List[BitPair] = []
+    for bx, by in zip(x.bits, y.bits):
+        x0, x1, xz, _ = _driver_states(mgr, bx)
+        y0, y1, yz, _ = _driver_states(mgr, by)
+        out0 = mgr.or_(x0, y0)
+        out1 = mgr.or_all([mgr.and_(x1, y1), mgr.and_(x1, yz),
+                           mgr.and_(xz, y1)])
+        outz = mgr.and_(xz, yz)
+        bits.append(_encode_states(mgr, out0, out1, outz))
+    return FourVec(mgr, bits)
+
+
+def resolve_wor(x: FourVec, y: FourVec) -> FourVec:
+    """``wor`` net resolution — wired OR (1 dominates)."""
+    _check_same_width(x, y, "wor-resolve")
+    mgr = x.mgr
+    bits: List[BitPair] = []
+    for bx, by in zip(x.bits, y.bits):
+        x0, x1, xz, _ = _driver_states(mgr, bx)
+        y0, y1, yz, _ = _driver_states(mgr, by)
+        out1 = mgr.or_(x1, y1)
+        out0 = mgr.or_all([mgr.and_(x0, y0), mgr.and_(x0, yz),
+                           mgr.and_(xz, y0)])
+        outz = mgr.and_(xz, yz)
+        bits.append(_encode_states(mgr, out0, out1, outz))
+    return FourVec(mgr, bits)
+
+
+def pull_z(x: FourVec, pull_to_one: bool) -> FourVec:
+    """``tri0``/``tri1`` pull: undriven (Z) bits read 0 or 1."""
+    mgr = x.mgr
+    bits: List[BitPair] = []
+    for a, b in x.bits:
+        isz = mgr.and_(mgr.not_(a), b)
+        if pull_to_one:
+            bits.append((mgr.or_(a, isz), mgr.and_(b, mgr.not_(isz))))
+        else:
+            bits.append((a, mgr.and_(b, mgr.not_(isz))))
+    return FourVec(mgr, bits)
+
+
+# ----------------------------------------------------------------------
+# edge detection (1364 Table: posedge/negedge transition sets)
+# ----------------------------------------------------------------------
+
+
+def posedge_condition(old: FourVec, new: FourVec) -> int:
+    """BDD: a positive edge occurred on bit 0 between ``old`` and ``new``.
+
+    Per 1364, posedge is any transition 0→1, 0→X/Z, X/Z→1.
+    """
+    mgr = old.mgr
+    o, n = old.bits[0], new.bits[0]
+    o0 = _known0(mgr, o)
+    o1 = _known1(mgr, o)
+    oxz = o[1]
+    n1 = _known1(mgr, n)
+    nxz = n[1]
+    return mgr.or_all(
+        [
+            mgr.and_(o0, n1),
+            mgr.and_(o0, nxz),
+            mgr.and_(oxz, n1),
+        ]
+    )
+
+
+def negedge_condition(old: FourVec, new: FourVec) -> int:
+    """BDD: a negative edge occurred on bit 0 (1→0, 1→X/Z, X/Z→0)."""
+    mgr = old.mgr
+    o, n = old.bits[0], new.bits[0]
+    o1 = _known1(mgr, o)
+    oxz = o[1]
+    n0 = _known0(mgr, n)
+    nxz = n[1]
+    return mgr.or_all(
+        [
+            mgr.and_(o1, n0),
+            mgr.and_(o1, nxz),
+            mgr.and_(oxz, n0),
+        ]
+    )

@@ -1,0 +1,299 @@
+"""The :class:`FourVec` symbolic vector type.
+
+A ``FourVec`` is an immutable little-endian tuple of dual-rail bits
+(see package docstring for the encoding) plus a ``signed`` flag.  All
+Boolean structure lives in the owning :class:`repro.bdd.BddManager`;
+``FourVec`` itself is a thin, hashable value object so vectors can be
+stored, compared and merged freely by the simulation kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.errors import FourValueError
+
+#: One four-valued bit: ``(a, b)`` BDD pair in aval/bval encoding.
+BitPair = Tuple[int, int]
+
+_CHAR_TO_PAIR = {
+    "0": (FALSE, FALSE),
+    "1": (TRUE, FALSE),
+    "z": (FALSE, TRUE),
+    "x": (TRUE, TRUE),
+}
+_PAIR_TO_CHAR = {v: k for k, v in _CHAR_TO_PAIR.items()}
+
+BIT_0: BitPair = _CHAR_TO_PAIR["0"]
+BIT_1: BitPair = _CHAR_TO_PAIR["1"]
+BIT_X: BitPair = _CHAR_TO_PAIR["x"]
+BIT_Z: BitPair = _CHAR_TO_PAIR["z"]
+
+
+class FourVec:
+    """An immutable four-valued symbolic bit vector.
+
+    Attributes:
+        mgr: owning BDD manager.
+        bits: little-endian tuple of ``(a, b)`` BDD pairs.
+        signed: Verilog signedness (only ``integer`` values and
+            ``$signed`` casts are signed in 1364-1995).
+    """
+
+    __slots__ = ("mgr", "bits", "signed")
+
+    def __init__(
+        self, mgr: BddManager, bits: Sequence[BitPair], signed: bool = False
+    ) -> None:
+        if not bits:
+            raise FourValueError("zero-width vector")
+        self.mgr = mgr
+        self.bits = tuple(bits)
+        self.signed = signed
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_int(
+        cls, mgr: BddManager, value: int, width: int, signed: bool = False
+    ) -> "FourVec":
+        """Constant vector from a Python integer (two's complement wrap)."""
+        value &= (1 << width) - 1
+        bits = [BIT_1 if (value >> i) & 1 else BIT_0 for i in range(width)]
+        return cls(mgr, bits, signed)
+
+    @classmethod
+    def from_verilog_bits(
+        cls, mgr: BddManager, text: str, signed: bool = False
+    ) -> "FourVec":
+        """Constant from a bit string like ``"10xz"`` (MSB first)."""
+        bits: List[BitPair] = []
+        for char in reversed(text.lower()):
+            if char == "_":
+                continue
+            pair = _CHAR_TO_PAIR.get(char)
+            if pair is None:
+                raise FourValueError(f"invalid four-valued digit {char!r}")
+            bits.append(pair)
+        return cls(mgr, bits, signed)
+
+    @classmethod
+    def all_x(cls, mgr: BddManager, width: int) -> "FourVec":
+        """Vector of all-X bits — the initial value of every ``reg``."""
+        return cls(mgr, [BIT_X] * width)
+
+    @classmethod
+    def all_z(cls, mgr: BddManager, width: int) -> "FourVec":
+        """Vector of all-Z bits — the value of an undriven net."""
+        return cls(mgr, [BIT_Z] * width)
+
+    @classmethod
+    def fresh_symbol(
+        cls, mgr: BddManager, width: int, name: str, four_valued: bool = False
+    ) -> "FourVec":
+        """Vector of fresh symbolic variables (the ``$random`` payload).
+
+        With ``four_valued=True`` each bit gets *two* fresh variables so
+        it ranges over all of {0,1,X,Z} (the paper's ``$randomxz``);
+        otherwise one variable per bit ranging over {0,1}.
+        """
+        bits: List[BitPair] = []
+        for i in range(width):
+            a = mgr.new_var(f"{name}[{i}]")
+            b = mgr.new_var(f"{name}[{i}].xz") if four_valued else FALSE
+            bits.append((a, b))
+        return cls(mgr, bits)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of bits."""
+        return len(self.bits)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FourVec)
+            and self.mgr is other.mgr
+            and self.bits == other.bits
+            and self.signed == other.signed
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.mgr), self.bits, self.signed))
+
+    def __repr__(self) -> str:
+        if self.is_constant():
+            return f"FourVec('{self.to_verilog_bits()}')"
+        return f"FourVec(width={self.width}, symbolic)"
+
+    def is_constant(self) -> bool:
+        """True when every rail is a constant BDD (no symbolic bits)."""
+        return all(a <= TRUE and b <= TRUE for a, b in self.bits)
+
+    def is_fully_known(self) -> bool:
+        """True when no bit can ever be X or Z."""
+        return all(b == FALSE for _, b in self.bits)
+
+    def has_xz(self) -> int:
+        """BDD condition: *some* bit of this vector is X or Z."""
+        return self.mgr.or_all(b for _, b in self.bits)
+
+    def known(self) -> int:
+        """BDD condition: *every* bit is 0 or 1."""
+        return self.mgr.not_(self.has_xz())
+
+    def to_int(self) -> int:
+        """Convert a constant, fully-known vector to a Python int.
+
+        Raises :class:`FourValueError` if any bit is symbolic or X/Z.
+        Signed vectors convert via two's complement.
+        """
+        value = 0
+        for i, (a, b) in enumerate(self.bits):
+            if b != FALSE or a > TRUE:
+                raise FourValueError(
+                    "vector is not a known constant "
+                    f"(bit {i} is {'symbolic' if a > TRUE or b > TRUE else 'x/z'})"
+                )
+            if a == TRUE:
+                value |= 1 << i
+        if self.signed and value >> (self.width - 1):
+            value -= 1 << self.width
+        return value
+
+    def to_int_or_none(self) -> Optional[int]:
+        """Like :meth:`to_int` but returning ``None`` instead of raising."""
+        try:
+            return self.to_int()
+        except FourValueError:
+            return None
+
+    def to_verilog_bits(self) -> str:
+        """Render a constant vector as an MSB-first 0/1/x/z string."""
+        chars = []
+        for a, b in reversed(self.bits):
+            if a > TRUE or b > TRUE:
+                raise FourValueError("vector is symbolic")
+            chars.append(_PAIR_TO_CHAR[(a, b)])
+        return "".join(chars)
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+
+    def as_signed(self, signed: bool = True) -> "FourVec":
+        """Same bits with the given signedness."""
+        if signed == self.signed:
+            return self
+        return FourVec(self.mgr, self.bits, signed)
+
+    def resize(self, width: int) -> "FourVec":
+        """Truncate or extend to ``width``.
+
+        Extension is sign extension for signed vectors, zero extension
+        otherwise — the 1364 context-sizing rule.
+        """
+        if width == self.width:
+            return self
+        if width < self.width:
+            return FourVec(self.mgr, self.bits[:width], self.signed)
+        fill = self.bits[-1] if self.signed else BIT_0
+        return FourVec(
+            self.mgr, self.bits + (fill,) * (width - self.width), self.signed
+        )
+
+    def slice(self, low: int, width: int) -> "FourVec":
+        """Constant-index part select ``[low + width - 1 : low]``.
+
+        Out-of-range bits read as X, matching 1364 semantics.
+        """
+        bits: List[BitPair] = []
+        for i in range(low, low + width):
+            if 0 <= i < self.width:
+                bits.append(self.bits[i])
+            else:
+                bits.append(BIT_X)
+        return FourVec(self.mgr, bits)
+
+    def concat(self, other: "FourVec") -> "FourVec":
+        """Concatenation ``{self, other}`` (``other`` is the LSB part)."""
+        return FourVec(self.mgr, other.bits + self.bits)
+
+    def replicate(self, count: int) -> "FourVec":
+        """Replication ``{count{self}}``."""
+        if count < 1:
+            raise FourValueError(f"invalid replication count {count}")
+        return FourVec(self.mgr, self.bits * count)
+
+    # ------------------------------------------------------------------
+    # merge / change — the primitives the kernel is built from
+    # ------------------------------------------------------------------
+
+    def ite(self, control: int, other: "FourVec") -> "FourVec":
+        """Per-bit ``ite(control, self, other)``.
+
+        This is the paper's fundamental guarded-assignment operator:
+        ``new = ite(control, rhs, old)`` (Section 3.2).  Widths must
+        match.
+        """
+        if self.width != other.width:
+            raise FourValueError(
+                f"ite width mismatch: {self.width} vs {other.width}"
+            )
+        if control == TRUE:
+            return self
+        if control == FALSE:
+            return other
+        mgr = self.mgr
+        bits = [
+            (mgr.ite(control, a1, a2), mgr.ite(control, b1, b2))
+            for (a1, b1), (a2, b2) in zip(self.bits, other.bits)
+        ]
+        return FourVec(mgr, bits, self.signed)
+
+    def change_condition(self, other: "FourVec") -> int:
+        """BDD condition under which ``self`` differs from ``other``.
+
+        Used to decide, symbolically, whether an assignment generated a
+        value-change event on a net (DESIGN.md "Event controls").
+        """
+        if self.width != other.width:
+            raise FourValueError(
+                f"change width mismatch: {self.width} vs {other.width}"
+            )
+        mgr = self.mgr
+        diffs = []
+        for (a1, b1), (a2, b2) in zip(self.bits, other.bits):
+            diffs.append(mgr.or_(mgr.xor(a1, a2), mgr.xor(b1, b2)))
+        return mgr.or_all(diffs)
+
+    def substitute(self, assignment: Dict[int, bool]) -> "FourVec":
+        """Cofactor every rail under a partial variable assignment.
+
+        Used when concretizing an error-trace witness (Section 5).
+        """
+        mgr = self.mgr
+        bits = [
+            (mgr.restrict_many(a, assignment), mgr.restrict_many(b, assignment))
+            for a, b in self.bits
+        ]
+        return FourVec(mgr, bits, self.signed)
+
+    def truthy(self) -> int:
+        """BDD condition under which this value is *true* in Verilog.
+
+        Per 1364, a condition is true iff it compares unequal to zero
+        with a *known* result — i.e. at least one bit is a known 1.
+        An all-X value is not true (the else branch runs).
+        """
+        mgr = self.mgr
+        return mgr.or_all(mgr.and_(a, mgr.not_(b)) for a, b in self.bits)

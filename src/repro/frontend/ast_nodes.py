@@ -1,0 +1,429 @@
+"""AST node classes for the Verilog frontend.
+
+Plain dataclasses, one per construct.  Expression nodes carry no type
+information — widths and signedness are computed by the expression
+compiler (``repro.compile.expr``) using 1364's self-determined /
+context-determined sizing rules at compile time, when declarations are
+known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class Number(Expr):
+    """A numeric literal.
+
+    ``bits`` is the canonical MSB-first 0/1/x/z string at width
+    ``width``; ``sized`` records whether the literal had an explicit
+    size (affects context sizing of x/z fill).
+    """
+
+    bits: str = "0"
+    width: int = 32
+    signed: bool = False
+    sized: bool = False
+    base: str = "d"
+
+
+@dataclass
+class RealNumber(Expr):
+    """A real literal — only meaningful in delay contexts."""
+
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Expr):
+    """A string literal (vector of 8-bit ASCII codes, or a format)."""
+
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    """A simple or hierarchical identifier (``a`` or ``top.u1.a``)."""
+
+    parts: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class Index(Expr):
+    """Bit select or memory-word select ``base[index]``."""
+
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class PartSelect(Expr):
+    """Constant part select ``base[msb:lsb]``."""
+
+    base: Expr = None
+    msb: Expr = None
+    lsb: Expr = None
+
+
+@dataclass
+class Concat(Expr):
+    """Concatenation ``{a, b, c}``."""
+
+    parts: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Repl(Expr):
+    """Replication ``{n{expr}}``."""
+
+    count: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator application."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator application."""
+
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional operator ``cond ? a : b``."""
+
+    cond: Expr = None
+    then_value: Expr = None
+    else_value: Expr = None
+
+
+@dataclass
+class FunctionCall(Expr):
+    """User-defined function call."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SystemCall(Expr):
+    """System function/task reference in expression position.
+
+    e.g. ``$random``, ``$time``, ``$signed(x)``.
+    """
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class NullStmt(Stmt):
+    """The empty statement ``;``."""
+
+
+@dataclass
+class Block(Stmt):
+    """``begin [: name] ... end`` — sequential block with local decls."""
+
+    name: Optional[str] = None
+    decls: List["Decl"] = field(default_factory=list)
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForkJoin(Stmt):
+    """``fork [: name] ... join`` — parallel branches with a barrier."""
+
+    name: Optional[str] = None
+    decls: List["Decl"] = field(default_factory=list)
+    branches: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class BlockingAssign(Stmt):
+    """``lhs = [#d | @(...)] rhs``."""
+
+    lhs: Expr = None
+    rhs: Expr = None
+    intra_delay: Optional[Expr] = None
+    intra_event: Optional[List["EventItem"]] = None
+
+
+@dataclass
+class NonBlockingAssign(Stmt):
+    """``lhs <= [#d] rhs``."""
+
+    lhs: Expr = None
+    rhs: Expr = None
+    intra_delay: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) then_stmt [else else_stmt]``."""
+
+    cond: Expr = None
+    then_stmt: Stmt = None
+    else_stmt: Optional[Stmt] = None
+
+
+@dataclass
+class CaseItem:
+    """One arm of a case statement (``exprs`` empty for ``default``)."""
+
+    exprs: List[Expr] = field(default_factory=list)
+    stmt: Stmt = None
+
+
+@dataclass
+class Case(Stmt):
+    """``case``/``casez``/``casex`` statement."""
+
+    kind: str = "case"
+    expr: Expr = None
+    items: List[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``."""
+
+    init: Stmt = None
+    cond: Expr = None
+    step: Stmt = None
+    body: Stmt = None
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) body``."""
+
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class Repeat(Stmt):
+    """``repeat (count) body``."""
+
+    count: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class Forever(Stmt):
+    """``forever body``."""
+
+    body: Stmt = None
+
+
+@dataclass
+class DelayStmt(Stmt):
+    """``#delay stmt`` (stmt may be null)."""
+
+    delay: Expr = None
+    stmt: Stmt = None
+
+
+@dataclass
+class EventItem:
+    """One sensitivity term: optional edge + expression."""
+
+    edge: Optional[str]  # None | 'posedge' | 'negedge'
+    expr: Expr
+
+
+@dataclass
+class EventStmt(Stmt):
+    """``@(items) stmt`` — ``items`` empty means ``@*``."""
+
+    items: List[EventItem] = field(default_factory=list)
+    stmt: Stmt = None
+
+
+@dataclass
+class Wait(Stmt):
+    """``wait (cond) stmt``."""
+
+    cond: Expr = None
+    stmt: Stmt = None
+
+
+@dataclass
+class TaskCall(Stmt):
+    """User task enable or system task enable as a statement."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    is_system: bool = False
+
+
+@dataclass
+class Disable(Stmt):
+    """``disable block_name``."""
+
+    name: str = ""
+
+
+@dataclass
+class EventTrigger(Stmt):
+    """``-> event_name``."""
+
+    name: str = ""
+
+
+# ----------------------------------------------------------------------
+# module items
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Range:
+    """A ``[msb:lsb]`` range with unevaluated bound expressions."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class Decl:
+    """A data declaration.
+
+    ``kind`` is one of reg/wire/tri/tri0/tri1/wand/wor/integer/time/
+    event/parameter/localparam/input/output/inout/genvar.
+    """
+
+    kind: str = ""
+    name: str = ""
+    range: Optional[Range] = None
+    array: Optional[Range] = None
+    signed: bool = False
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ContAssign:
+    """``assign [#d] lhs = rhs``."""
+
+    lhs: Expr
+    rhs: Expr
+    delay: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Process:
+    """``initial``/``always`` construct."""
+
+    kind: str  # 'initial' | 'always'
+    body: Stmt = None
+    line: int = 0
+
+
+@dataclass
+class GateInst:
+    """Primitive gate instance (``and g1 (o, a, b);``)."""
+
+    gate: str = ""
+    name: str = ""
+    delay: Optional[Expr] = None
+    terminals: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class PortConnection:
+    """One port hookup; ``name`` is None for ordered connection."""
+
+    name: Optional[str]
+    expr: Optional[Expr]
+
+
+@dataclass
+class ModuleInst:
+    """Module instantiation with parameter overrides."""
+
+    module: str = ""
+    name: str = ""
+    param_overrides: List[PortConnection] = field(default_factory=list)
+    connections: List[PortConnection] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class TaskDecl:
+    """``task ... endtask`` — ports become local variables when inlined."""
+
+    name: str = ""
+    ports: List[Decl] = field(default_factory=list)
+    decls: List[Decl] = field(default_factory=list)
+    body: Stmt = None
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    """``function [range] name; ... endfunction``."""
+
+    name: str = ""
+    range: Optional[Range] = None
+    signed: bool = False
+    ports: List[Decl] = field(default_factory=list)
+    decls: List[Decl] = field(default_factory=list)
+    body: Stmt = None
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """One parsed module."""
+
+    name: str = ""
+    port_names: List[str] = field(default_factory=list)
+    decls: List[Decl] = field(default_factory=list)
+    assigns: List[ContAssign] = field(default_factory=list)
+    processes: List[Process] = field(default_factory=list)
+    instances: List[ModuleInst] = field(default_factory=list)
+    gates: List[GateInst] = field(default_factory=list)
+    tasks: List[TaskDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)
+    line: int = 0

@@ -1,0 +1,17 @@
+"""The symbolic simulation kernel.
+
+``repro.sim`` hosts the event-driven runtime: the priority scheduler
+with event accumulation (paper Section 4, Fig. 8), the symbolic value
+store, the kernel that executes compiled processes, error-trace
+extraction (Section 5) and concrete resimulation.
+"""
+
+from repro.sim.kernel import Kernel, SimOptions, SimResult
+from repro.sim.scheduler import Scheduler, Event
+from repro.sim.trace import ErrorTrace, Violation
+from repro.compile.instructions import AccumulationMode
+
+__all__ = [
+    "Kernel", "SimOptions", "SimResult", "Scheduler", "Event",
+    "ErrorTrace", "Violation", "AccumulationMode",
+]

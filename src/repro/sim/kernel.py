@@ -1,0 +1,817 @@
+"""The symbolic simulation kernel.
+
+Executes a compiled :class:`~repro.compile.compiler.Program` under the
+paper's event-driven discipline:
+
+* process frames carry ``(pc, control, prio)`` and run until a
+  ``returnToSimulator()`` (Delay / WaitEvent / Join / End);
+* the scheduler merges same-label events (event accumulation, Fig. 8);
+* assignments are guarded ``ite(control, rhs, old)`` writes that
+  produce *symbolic change conditions*, which wake event-control
+  waiters under exactly the paths on which a value change occurred;
+* ``$random`` injects fresh BDD variables and logs (vector, control)
+  invocation records per call site (Section 5);
+* ``$error`` suspends and extracts an error trace; ``$assert``
+  registers a checker evaluated at the end of every time step.
+
+The same kernel runs *concrete resimulation*: constructed with the
+``concrete_values`` of an :class:`~repro.sim.trace.ErrorTrace`, every
+``$random`` pops a recorded explicit value instead of creating a
+variable, turning the run into a conventional single-trace simulation.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.compile.compiler import CompiledContAssign, Program, Trigger
+from repro.compile.expr import CExpr
+from repro.compile.instructions import AccumulationMode, CompiledProcess, Frame
+from repro.errors import (
+    ResimulationError, SimulationError, SimulationHang, SymbolicDelayError,
+)
+from repro.fourval import FourVec, ops
+from repro.fourval.vector import BIT_Z
+from repro.sim import systasks
+from repro.sim.scheduler import (
+    Event, REGION_ACTIVE, REGION_INACTIVE, REGION_MONITOR, REGION_NBA,
+    Scheduler,
+)
+from repro.sim.state import SimState
+from repro.sim.stats import SimStats
+from repro.sim.trace import (
+    RandomInvocation, Violation, build_error_trace,
+)
+
+
+class _FinishSignal(Exception):
+    """Internal unwind for ``$finish``/``$stop``/violation stops."""
+
+
+class _PathFinish(Exception):
+    """One execution path hit ``$finish``; others keep running."""
+
+
+@dataclass
+class SimOptions:
+    """Kernel configuration.
+
+    ``accumulation`` selects the Table-1 event-accumulation level.
+    ``max_step_activity`` is the zero-delay watchdog: the maximum
+    number of events + loop iterations within one simulation time
+    before :class:`SimulationHang` is raised.
+    """
+
+    accumulation: AccumulationMode = AccumulationMode.FULL
+    max_step_activity: int = 1_000_000
+    trace_stats: bool = False
+    stop_on_violation: bool = True
+    echo_output: bool = False
+    check_unknown_assert: bool = False
+    #: When set, ``$random`` returns *concrete* pseudo-random values
+    #: seeded here — conventional random simulation with the identical
+    #: testbench, the paper's baseline in Section 7.
+    concrete_random: Optional[int] = None
+    #: Write a VCD waveform here from time 0 (also reachable from the
+    #: testbench via ``$dumpfile``/``$dumpvars``).  Symbolic bits dump
+    #: as ``x``; concrete resimulations produce exact waveforms.
+    vcd_path: Optional[str] = None
+    #: Ablation switch for the paper's Section-4c priority discipline:
+    #: with False, ACTIVE events run FIFO instead of depth-first, so
+    #: nested statements no longer merge before enclosing ones.
+    depth_first_priorities: bool = True
+
+
+@dataclass
+class SimResult:
+    """Outcome of a :meth:`Kernel.run` call."""
+
+    time: int
+    violations: List[Violation]
+    output: List[str]
+    stats: SimStats
+    finished: bool
+    stopped: bool
+    kernel: "Kernel"
+
+    def value(self, name: str) -> FourVec:
+        """Current value of a net by full hierarchical name."""
+        return self.kernel.state.value(name)
+
+
+@dataclass
+class _Assertion:
+    cond: CExpr
+    armed: int
+    where: str
+
+
+@dataclass
+class _TriggerState:
+    trigger: Trigger
+    last: FourVec
+
+
+@dataclass
+class _Waiter:
+    kind: str  # 'event' | 'level'
+    process: CompiledProcess
+    pc: int
+    control: int
+    prio: int
+    triggers: List[_TriggerState] = field(default_factory=list)
+    cond: Optional[CExpr] = None
+    dead: bool = False
+
+
+class Kernel:
+    """Event-driven symbolic simulator for one compiled program."""
+
+    REGION_ACTIVE = REGION_ACTIVE
+    REGION_INACTIVE = REGION_INACTIVE
+    REGION_NBA = REGION_NBA
+    REGION_MONITOR = REGION_MONITOR
+
+    def __init__(
+        self,
+        program: Program,
+        options: Optional[SimOptions] = None,
+        mgr: Optional[BddManager] = None,
+        concrete_values: Optional[Dict[int, Sequence[str]]] = None,
+    ) -> None:
+        self.program = program
+        self.design = program.design
+        self.options = options or SimOptions()
+        self.mgr = mgr or BddManager()
+        self.state = SimState(self.mgr, self.design)
+        self.sched = Scheduler(self.mgr, self.options.accumulation,
+                               depth_first=self.options.depth_first_priorities)
+        self.stats = SimStats()
+        self.now = 0
+        self.finished = False
+        self.stopped = False
+        self.violations: List[Violation] = []
+        self.output: List[str] = []
+        self.random_log: List[RandomInvocation] = []
+        self._callsite_seq: Dict[int, int] = {}
+        self._assertions: Dict[str, _Assertion] = {}
+        self._monitor: Optional[tuple] = None
+        self._monitor_last: Optional[str] = None
+        self._strobes: List[tuple] = []
+        self._waiters: Dict[str, List[_Waiter]] = {}
+        self._assign_subs: Dict[str, List[int]] = {}
+        self._drivers: Dict[str, Dict[tuple, FourVec]] = {}
+        self._step_activity = 0
+        self._started = False
+        self._cpu_accum = 0.0
+        self._finish_control = FALSE
+        self._line_open = False
+        self._vcd = None
+        self._vcd_stream = None
+        self._vcd_path = self.options.vcd_path
+        self._concrete = (
+            {k: deque(v) for k, v in concrete_values.items()}
+            if concrete_values is not None else None
+        )
+        self._rng = None
+        if self.options.concrete_random is not None:
+            import random as _random
+
+            self._rng = _random.Random(self.options.concrete_random)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def is_concrete(self) -> bool:
+        """True when running as a concrete resimulation or random sim."""
+        return self._concrete is not None or self._rng is not None
+
+    def run(self, until: Optional[int] = None) -> SimResult:
+        """Run until the queue drains, ``$finish``, a violation (with
+        ``stop_on_violation``), or simulation time exceeds ``until``.
+
+        ``run`` may be called repeatedly with increasing ``until`` to
+        continue a paused simulation.
+        """
+        if not self._started:
+            self._startup()
+        cpu_start = _time.perf_counter()
+        try:
+            self._event_loop(until)
+        except _FinishSignal:
+            self._end_of_step()
+        finally:
+            self._cpu_accum += _time.perf_counter() - cpu_start
+            self.stats.events_scheduled = self.sched.scheduled
+            self.stats.events_merged = self.sched.merged
+            if self.options.trace_stats:
+                self.stats.snapshot(self.now, self._cpu_accum)
+            if self._vcd is not None and self._vcd_stream is not None:
+                self._vcd_stream.flush()
+        return SimResult(
+            time=self.now, violations=list(self.violations),
+            output=list(self.output), stats=self.stats,
+            finished=self.finished, stopped=self.stopped, kernel=self,
+        )
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self._cpu_accum
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def _startup(self) -> None:
+        self._started = True
+        self.state.sync_with_design()
+        for name, info in self.design.nets.items():
+            if info.kind in ("supply0", "supply1"):
+                value = 0 if info.kind == "supply0" else (1 << info.width) - 1
+                self._drivers.setdefault(name, {})[("supply",)] = (
+                    FourVec.from_int(self.mgr, value, info.width)
+                )
+                self._resolve_net(name)
+        for assign in self.program.assigns:
+            for net in assign.support:
+                self._assign_subs.setdefault(net, []).append(assign.index)
+            self.schedule_assign(assign.index)
+        for proc in self.program.processes:
+            self.schedule(proc, 0, 0, TRUE, 0)
+        if self._vcd_path is not None:
+            self.enable_vcd()
+
+    def _event_loop(self, until: Optional[int]) -> None:
+        cpu_mark = _time.perf_counter()
+        while True:
+            next_time = self.sched.peek_time()
+            if next_time is None:
+                self._end_of_step()
+                return
+            if next_time > self.now:
+                self._end_of_step()
+                if self.finished or (
+                    self.options.stop_on_violation and self.violations
+                ):
+                    return
+                if until is not None and next_time > until:
+                    return
+                if self.options.trace_stats:
+                    now_cpu = _time.perf_counter()
+                    self._cpu_accum += now_cpu - cpu_mark
+                    cpu_mark = now_cpu
+                    self.stats.snapshot(self.now, self._cpu_accum)
+                self.now = next_time
+                self._step_activity = 0
+            event = self.sched.pop()
+            self._dispatch(event)
+            if self.finished:
+                return
+
+    def _dispatch(self, event: Event) -> None:
+        self.stats.events_processed += 1
+        self.note_activity()
+        if event.kind == "proc":
+            self.stats.process_events += 1
+            if event.control == FALSE:
+                return
+            frame = Frame(process=event.process, pc=event.pc,
+                          control=event.control, prio=event.prio)
+            self._run_frame(frame)
+        elif event.kind == "nba":
+            self.stats.nba_events += 1
+            event.apply(self)
+        elif event.kind == "assign":
+            self.stats.assign_events += 1
+            self._eval_assign(self.program.assigns[event.index])
+        elif event.kind == "drive":
+            self.stats.assign_events += 1
+            self._commit_drive(self.program.assigns[event.index], event.payload)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _run_frame(self, frame: Frame) -> None:
+        instructions = frame.process.instructions
+        stats = self.stats
+        try:
+            while True:
+                stats.instructions += 1
+                next_pc = instructions[frame.pc].execute(self, frame)
+                if next_pc is None:
+                    return
+                frame.pc = next_pc
+        except _PathFinish:
+            return
+
+    # ------------------------------------------------------------------
+    # end of time step: NBA already drained by region order; here we run
+    # $strobe, $monitor and the paper's end-of-step assertion checks.
+    # ------------------------------------------------------------------
+
+    def _end_of_step(self) -> None:
+        for args, control in self._strobes:
+            self._emit(self._format(args, control))
+        self._strobes.clear()
+        if self._monitor is not None:
+            args, control = self._monitor
+            text = self._format(args, control)
+            if text != self._monitor_last:
+                self._monitor_last = text
+                self._emit(text)
+        self._check_assertions()
+
+    def _check_assertions(self) -> None:
+        for assertion in self._assertions.values():
+            if assertion.armed == FALSE:
+                continue
+            value = assertion.cond.eval(self, None, TRUE, assertion.cond.width)
+            if self.options.check_unknown_assert:
+                bad = self.mgr.not_(value.truthy())
+            else:
+                bad = _falsy(self.mgr, value)
+            violating = self.mgr.and_(assertion.armed, bad)
+            if violating == FALSE:
+                continue
+            self._record_violation("$assert", violating, assertion.where, "")
+            assertion.armed = self.mgr.and_(assertion.armed,
+                                            self.mgr.not_(violating))
+            if self.options.stop_on_violation:
+                self.finished = True
+
+    # ------------------------------------------------------------------
+    # scheduling services (called from instructions)
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        process: CompiledProcess,
+        pc: int,
+        delay: int,
+        control: int,
+        prio: int,
+        region: int = REGION_ACTIVE,
+    ) -> None:
+        """Schedule a process resume; zero-control events are dropped."""
+        if control == FALSE:
+            return
+        self.sched.push(Event(time=self.now + delay, region=region, prio=prio,
+                              kind="proc", process=process, pc=pc,
+                              control=control))
+
+    def schedule_nba(self, apply: Callable, delay: int = 0) -> None:
+        self.sched.push(Event(time=self.now + delay, region=REGION_NBA,
+                              prio=0, kind="nba", apply=apply))
+
+    def schedule_assign(self, index: int, delay: int = 0) -> None:
+        self.sched.push(Event(time=self.now + delay, region=REGION_ACTIVE,
+                              prio=0, kind="assign", index=index))
+
+    def eval_delay(self, delay_cexpr, frame: Frame) -> int:
+        value = delay_cexpr.eval(self, None, frame.control, delay_cexpr.width)
+        concrete = value.as_signed(False).to_int_or_none()
+        if concrete is None:
+            raise SymbolicDelayError(
+                f"delay expression in {frame.process.name} is symbolic or "
+                "unknown; delays must evaluate to concrete values"
+            )
+        return concrete
+
+    def note_activity(self) -> None:
+        self._step_activity += 1
+        if self._step_activity > self.options.max_step_activity:
+            raise SimulationHang(
+                f"more than {self.options.max_step_activity} events/iterations "
+                f"in one time step (time {self.now}) — zero-delay loop?"
+            )
+
+    def note_loop_iteration(self, frame: Frame) -> None:
+        self.note_activity()
+
+    # ------------------------------------------------------------------
+    # state writes + change notification
+    # ------------------------------------------------------------------
+
+    def write_net(self, name: str, value: FourVec, control: int) -> None:
+        """Guarded write: ``name := ite(control, value, name)``."""
+        if control == FALSE:
+            return
+        old = self.state.value(name)
+        if value.width != old.width:
+            value = value.resize(old.width)
+        # Store with the declared signedness, whatever the RHS carried.
+        value = value.as_signed(old.signed)
+        new = value if control == TRUE else value.ite(control, old)
+        if new.bits == old.bits:
+            return
+        self.state.set_value(name, new)
+        if self._vcd is not None:
+            self._vcd.record(self.now, name, new)
+        self._notify(name, old, new)
+
+    def write_array(
+        self, name: str, index: FourVec, value: FourVec, control: int,
+        low: int, high: int,
+    ) -> None:
+        change = self.state.write_array(name, index, value, control, low, high)
+        if change != FALSE:
+            self._wake_waiters(name)
+            self._schedule_subscribers(name)
+
+    # ------------------------------------------------------------------
+    # static variable reordering (between run() calls)
+    # ------------------------------------------------------------------
+
+    def reorder(self, order: Sequence[int]) -> None:
+        """Rebuild every live BDD under a new static variable order.
+
+        ``order`` is a permutation of the existing levels (see
+        :meth:`BddManager.rebuild`).  The paper ran with dynamic
+        reordering disabled, but order still dominates BDD size; this
+        lets a caller re-pack the space between ``run()`` phases — e.g.
+        interleaving related variables once their relationship is
+        known.  Translates the value store, memories, net drivers,
+        waiters, pending events, assertions, invocation logs, recorded
+        violations and the finish control.  Simulation then continues
+        unchanged (asserted by tests/integration/test_reorder.py).
+        """
+        roots: set = set()
+
+        def note_vec(vec: FourVec) -> None:
+            for a, b in vec.bits:
+                roots.add(a)
+                roots.add(b)
+
+        for name in list(self.state.names()):
+            note_vec(self.state.value(name))
+        for array_name in list(self.design.nets):
+            if self.state.is_array(array_name):
+                for word in self.state.array_words(array_name).values():
+                    note_vec(word)
+        for drivers in self._drivers.values():
+            for vec in drivers.values():
+                note_vec(vec)
+        for waiters in self._waiters.values():
+            for waiter in waiters:
+                roots.add(waiter.control)
+                for ts in waiter.triggers:
+                    note_vec(ts.last)
+        for _, _, _, _, event in self.sched._heap:
+            if event.kind == "proc":
+                roots.add(event.control)
+            if event.kind == "drive" and event.payload is not None:
+                note_vec(event.payload)
+        for assertion in self._assertions.values():
+            roots.add(assertion.armed)
+        for invocation in self.random_log:
+            roots.add(invocation.control)
+            note_vec(invocation.vector)
+        for violation in self.violations:
+            roots.add(violation.condition)
+        if self._monitor is not None:
+            roots.add(self._monitor[1])
+        for _, control in self._strobes:
+            roots.add(control)
+        roots.add(self._finish_control)
+
+        new_mgr, mapping = self.mgr.rebuild(order, roots)
+        level_map = {old: position for position, old in enumerate(order)}
+
+        def tr_vec(vec: FourVec) -> FourVec:
+            return FourVec(
+                new_mgr,
+                [(mapping[a], mapping[b]) for a, b in vec.bits],
+                vec.signed,
+            )
+
+        for name in list(self.state.names()):
+            self.state.set_value(name, tr_vec(self.state.value(name)))
+        for array_name in list(self.design.nets):
+            if self.state.is_array(array_name):
+                words = self.state.array_words(array_name)
+                for index in list(words):
+                    words[index] = tr_vec(words[index])
+        for drivers in self._drivers.values():
+            for key in list(drivers):
+                drivers[key] = tr_vec(drivers[key])
+        for waiters in self._waiters.values():
+            for waiter in waiters:
+                waiter.control = mapping[waiter.control]
+                for ts in waiter.triggers:
+                    ts.last = tr_vec(ts.last)
+        for _, _, _, _, event in self.sched._heap:
+            if event.kind == "proc":
+                event.control = mapping[event.control]
+            if event.kind == "drive" and event.payload is not None:
+                event.payload = tr_vec(event.payload)
+        for assertion in self._assertions.values():
+            assertion.armed = mapping[assertion.armed]
+        for invocation in self.random_log:
+            invocation.control = mapping[invocation.control]
+            invocation.vector = tr_vec(invocation.vector)
+        for violation in self.violations:
+            violation.condition = mapping[violation.condition]
+            violation.trace.witness = {
+                level_map[level]: value
+                for level, value in violation.trace.witness.items()
+            }
+        if self._monitor is not None:
+            self._monitor = (self._monitor[0], mapping[self._monitor[1]])
+        self._strobes = [(args, mapping[control])
+                         for args, control in self._strobes]
+        self._finish_control = mapping[self._finish_control]
+        self.mgr = new_mgr
+        self.state.mgr = new_mgr
+        self.sched.mgr = new_mgr
+
+    # ------------------------------------------------------------------
+    # VCD dumping
+    # ------------------------------------------------------------------
+
+    def set_vcd_path(self, path: str) -> None:
+        """``$dumpfile`` — remember where ``$dumpvars`` should write."""
+        self._vcd_path = path
+
+    def enable_vcd(self) -> None:
+        """``$dumpvars`` — start dumping every named (non-shadow) net."""
+        if self._vcd is not None:
+            return
+        from repro.sim.vcd import VcdWriter
+
+        self._vcd_stream = open(self._vcd_path or "dump.vcd", "w",
+                                encoding="ascii")
+        self._vcd = VcdWriter(self._vcd_stream)
+        for name, info in self.design.nets.items():
+            if info.array is None and not name.startswith("$shadow"):
+                self._vcd.declare(name, info.width)
+        self._vcd.write_header(self.design.top)
+        self._vcd.dump_all(
+            self.now,
+            lambda name: self.state.value(name),
+        )
+
+    def _close_vcd(self) -> None:
+        if self._vcd is not None:
+            self._vcd.close()
+            self._vcd_stream.close()
+            self._vcd = None
+            self._vcd_stream = None
+
+    def set_mask(self, name: str, mask: int) -> None:
+        """Overwrite a fork-completion mask shadow (no notifications)."""
+        self.state.set_value(name, FourVec(self.mgr, [(mask, FALSE)]))
+
+    def accumulate_mask(self, name: str, control: int) -> None:
+        """OR a path control into a fork-completion mask shadow."""
+        current = self.state.value(name).bits[0][0]
+        self.set_mask(name, self.mgr.or_(current, control))
+
+    def _notify(self, name: str, old: FourVec, new: FourVec) -> None:
+        change = old.change_condition(new)
+        if change == FALSE:
+            return
+        self._wake_waiters(name)
+        self._schedule_subscribers(name)
+
+    def _schedule_subscribers(self, name: str) -> None:
+        for index in self._assign_subs.get(name, ()):
+            self.schedule_assign(index)
+
+    # ------------------------------------------------------------------
+    # event-control waiters
+    # ------------------------------------------------------------------
+
+    def register_waiter(self, frame: Frame, pc: int, triggers) -> None:
+        states = [
+            _TriggerState(
+                trigger=t,
+                last=t.cexpr.eval(self, None, TRUE, t.cexpr.width),
+            )
+            for t in triggers
+        ]
+        nets = frozenset().union(*[t.cexpr.support for t in triggers]) \
+            if triggers else frozenset()
+        waiter = _Waiter(kind="event", process=frame.process, pc=pc,
+                         control=frame.control, prio=frame.prio,
+                         triggers=states)
+        for net in nets:
+            self._waiters.setdefault(net, []).append(waiter)
+
+    def register_level_waiter(self, frame: Frame, pc: int, cond,
+                              control: int) -> None:
+        waiter = _Waiter(kind="level", process=frame.process, pc=pc,
+                         control=control, prio=frame.prio, cond=cond)
+        for net in cond.support:
+            self._waiters.setdefault(net, []).append(waiter)
+
+    def _wake_waiters(self, name: str) -> None:
+        waiters = self._waiters.get(name)
+        if not waiters:
+            return
+        any_dead = False
+        for waiter in list(waiters):
+            if waiter.dead:
+                any_dead = True
+                continue
+            self._check_waiter(waiter)
+            any_dead = any_dead or waiter.dead
+        if any_dead:
+            self._waiters[name] = [w for w in waiters if not w.dead]
+
+    def _check_waiter(self, waiter: _Waiter) -> None:
+        mgr = self.mgr
+        if waiter.kind == "level":
+            value = waiter.cond.eval(self, None, TRUE, waiter.cond.width)
+            fire = value.truthy()
+        else:
+            fire = FALSE
+            for ts in waiter.triggers:
+                new = ts.trigger.cexpr.eval(self, None, TRUE,
+                                            ts.trigger.cexpr.width)
+                if ts.trigger.edge == "posedge":
+                    cond = ops.posedge_condition(ts.last, new)
+                elif ts.trigger.edge == "negedge":
+                    cond = ops.negedge_condition(ts.last, new)
+                else:
+                    cond = ts.last.change_condition(new)
+                ts.last = new
+                fire = mgr.or_(fire, cond)
+        wake = mgr.and_(waiter.control, fire)
+        if wake == FALSE:
+            return
+        self.schedule(waiter.process, waiter.pc, 0, wake, waiter.prio)
+        waiter.control = mgr.and_(waiter.control, mgr.not_(fire))
+        if waiter.control == FALSE:
+            waiter.dead = True
+
+    # ------------------------------------------------------------------
+    # continuous assigns / net resolution
+    # ------------------------------------------------------------------
+
+    def _eval_assign(self, assign: CompiledContAssign) -> None:
+        value = assign.rhs.eval(self, None, TRUE, assign.total_width)
+        if assign.delay:
+            self.sched.push(Event(time=self.now + assign.delay,
+                                  region=REGION_ACTIVE, prio=0, kind="drive",
+                                  index=assign.index, payload=value))
+        else:
+            self._commit_drive(assign, value)
+
+    def _commit_drive(self, assign: CompiledContAssign, value: FourVec) -> None:
+        offset = assign.total_width
+        for target_index, target in enumerate(assign.targets):
+            offset -= target.width
+            piece = value.slice(offset, target.width)
+            info = self.design.net(target.net)
+            bits = [BIT_Z] * info.width
+            for i in range(target.width):
+                position = target.offset + i
+                if 0 <= position < info.width:
+                    bits[position] = piece.bits[i]
+            padded = FourVec(self.mgr, bits)
+            drivers = self._drivers.setdefault(target.net, {})
+            key = (assign.index, target_index)
+            if key in drivers and drivers[key].bits == padded.bits:
+                continue
+            drivers[key] = padded
+            self._resolve_net(target.net)
+
+    def _resolve_net(self, name: str) -> None:
+        info = self.design.net(name)
+        resolve = {
+            "wand": ops.resolve_wand,
+            "wor": ops.resolve_wor,
+        }.get(info.kind, ops.resolve_wire)
+        resolved: Optional[FourVec] = None
+        for driver in self._drivers.get(name, {}).values():
+            resolved = driver if resolved is None else resolve(
+                resolved, driver
+            )
+        if resolved is None:
+            resolved = FourVec.all_z(self.mgr, info.width)
+        if info.kind in ("tri0", "tri1"):
+            resolved = ops.pull_z(resolved, pull_to_one=info.kind == "tri1")
+        self.write_net(name, resolved, TRUE)
+
+    # ------------------------------------------------------------------
+    # $random — symbolic variable injection (Sections 3.1 and 5)
+    # ------------------------------------------------------------------
+
+    def new_symbol(self, callsite, width: int, four_valued: bool,
+                   control: int) -> FourVec:
+        seq = self._callsite_seq.get(callsite.index, 0)
+        self._callsite_seq[callsite.index] = seq + 1
+        if self._rng is not None:
+            return FourVec.from_int(self.mgr, self._rng.getrandbits(width),
+                                    width)
+        if self._concrete is not None:
+            values = self._concrete.get(callsite.index)
+            if not values:
+                raise ResimulationError(
+                    f"resimulation executed {callsite.where} more often than "
+                    "the error trace recorded"
+                )
+            bits = values.popleft()
+            return FourVec.from_verilog_bits(self.mgr, bits).resize(width)
+        name = f"{callsite.kind[1:]}{callsite.index}.{seq}@t{self.now}"
+        vector = FourVec.fresh_symbol(self.mgr, width, name, four_valued)
+        self.random_log.append(
+            RandomInvocation(callsite_index=callsite.index, seq=seq,
+                             time=self.now, vector=vector, control=control)
+        )
+        self.stats.symbols_injected += width * (2 if four_valued else 1)
+        return vector
+
+    # ------------------------------------------------------------------
+    # violations
+    # ------------------------------------------------------------------
+
+    def report_error(self, control: int, where: str, message: str) -> None:
+        if control == FALSE:
+            return
+        self._record_violation("$error", control, where, message)
+        if self.options.stop_on_violation:
+            self.finish(stopped=False)
+
+    def register_assertion(self, assertion_id: str, cond: CExpr, control: int,
+                           where: str) -> None:
+        existing = self._assertions.get(assertion_id)
+        if existing is None:
+            self._assertions[assertion_id] = _Assertion(cond=cond,
+                                                        armed=control,
+                                                        where=where)
+        else:
+            existing.armed = self.mgr.or_(existing.armed, control)
+
+    def _record_violation(self, kind: str, condition: int, where: str,
+                          message: str) -> None:
+        where_map = {c.index: c.where for c in self.program.callsites}
+        trace = build_error_trace(self.mgr, condition, self.random_log,
+                                  where_map)
+        self.violations.append(
+            Violation(kind=kind, where=where, message=message, time=self.now,
+                      condition=condition, trace=trace)
+        )
+
+    # ------------------------------------------------------------------
+    # output tasks
+    # ------------------------------------------------------------------
+
+    def display(self, args, control: int, strobe: bool = False,
+                newline: bool = True, env=None) -> None:
+        if control == FALSE:
+            return
+        if strobe:
+            self._strobes.append((args, control))
+            return
+        text = self._format(args, control, env)
+        self._emit(text if newline else text, newline)
+
+    def set_monitor(self, args, control: int) -> None:
+        self._monitor = (args, control)
+        self._monitor_last = None
+
+    def _format(self, args, control: int, env=None) -> str:
+        def evaluate(cexpr):
+            return cexpr.eval(self, env, control, cexpr.width)
+
+        return systasks.format_display(args, evaluate,
+                                       scope_name=self.design.top)
+
+    def _emit(self, text: str, newline: bool = True) -> None:
+        if self._line_open and self.output:
+            self.output[-1] += text
+        else:
+            self.output.append(text)
+        self._line_open = not newline
+        if self.options.echo_output:
+            print(text, end="\n" if newline else "", flush=True)
+
+    def finish(self, stopped: bool = False, control: int = TRUE) -> None:
+        """Handle ``$finish``/``$stop`` under a path condition.
+
+        Simulation as a whole ends only once *every* execution path has
+        finished (the finish controls OR up to TRUE); until then only
+        the current path dies, so slower symbolic paths keep running to
+        their own checks — without this, the first path to reach
+        ``$finish`` would silently discard the coverage of all others.
+        """
+        self._finish_control = self.mgr.or_(self._finish_control, control)
+        self.stopped = self.stopped or stopped
+        if self._finish_control == TRUE:
+            self.finished = True
+            raise _FinishSignal()
+        raise _PathFinish()
+
+
+def _falsy(mgr: BddManager, value: FourVec) -> int:
+    """BDD: the value is *known* false (every bit a known 0)."""
+    result = TRUE
+    for a, b in value.bits:
+        result = mgr.and_(result, mgr.nor(a, b))
+    return result

@@ -1,0 +1,61 @@
+"""Concrete resimulation of error traces (paper Section 5).
+
+``resimulate`` replays a design conventionally: a fresh kernel is
+built over the *same compiled program*, but every ``$random`` call
+site pops the explicit values the error trace recorded for it instead
+of creating symbolic variables.  Invocations whose control evaluated
+to 0 under the witness were removed from the lists when the trace was
+built, so the pop order matches the concrete execution order — the
+paper's key observation that executed/skipped entries interleave and
+must be filtered by control value first (Fig. 10).
+
+A successful resimulation re-triggers the violation; if it does not,
+:class:`ResimulationError` is raised — that would mean the symbolic
+and concrete semantics disagree, which is a simulator bug by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compile.compiler import Program
+from repro.errors import ResimulationError
+from repro.sim.kernel import Kernel, SimOptions, SimResult
+from repro.sim.trace import ErrorTrace, Violation
+
+
+def resimulate(
+    program: Program,
+    trace: ErrorTrace,
+    options: Optional[SimOptions] = None,
+    until: Optional[int] = None,
+    expect_violation: bool = True,
+) -> SimResult:
+    """Replay ``program`` concretely with the values of ``trace``.
+
+    Returns the concrete :class:`SimResult`.  With
+    ``expect_violation`` (the default) the run must reproduce at least
+    one ``$error``/``$assert`` hit, otherwise
+    :class:`ResimulationError` is raised.
+    """
+    opts = options or SimOptions()
+    kernel = Kernel(program, options=opts,
+                    concrete_values=trace.callsite_values())
+    result = kernel.run(until=until)
+    if expect_violation and not result.violations:
+        raise ResimulationError(
+            "concrete resimulation did not reproduce the violation "
+            f"(ran to time {result.time})"
+        )
+    return result
+
+
+def resimulate_violation(
+    program: Program,
+    violation: Violation,
+    options: Optional[SimOptions] = None,
+    until: Optional[int] = None,
+) -> SimResult:
+    """Convenience wrapper: resimulate a :class:`Violation`'s trace."""
+    return resimulate(program, violation.trace, options=options, until=until)

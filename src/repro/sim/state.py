@@ -1,0 +1,160 @@
+"""The symbolic value store.
+
+Every elaborated net/variable holds a :class:`FourVec`; memories hold a
+lazy word map where unwritten words read as all-X.  Initial values
+follow 1364: variables start all-X, nets float at all-Z (until a driver
+resolves), named events start at a known 0 so a trigger toggle is a
+guaranteed value change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.bdd import FALSE, BddManager
+from repro.errors import SimulationError
+from repro.frontend.elaborate import Design, NetInfo
+from repro.fourval import FourVec, ops
+
+
+class SimState:
+    """Holds the current symbolic value of every storage object."""
+
+    def __init__(self, mgr: BddManager, design: Design) -> None:
+        self.mgr = mgr
+        self.design = design
+        self._values: Dict[str, FourVec] = {}
+        self._arrays: Dict[str, Dict[int, FourVec]] = {}
+        for name, info in design.nets.items():
+            self.register(info)
+
+    def register(self, info: NetInfo) -> None:
+        """(Re)initialize storage for one net (also used for shadows)."""
+        if info.array is not None:
+            self._arrays[info.full_name] = {}
+            return
+        if info.kind == "event":
+            value = FourVec.from_int(self.mgr, 0, 1)
+        elif info.is_net:
+            value = FourVec.all_z(self.mgr, info.width)
+        else:
+            value = FourVec.all_x(self.mgr, info.width)
+        signed = info.signed or info.kind in ("integer", "time")
+        self._values[info.full_name] = value.as_signed(signed)
+
+    def sync_with_design(self) -> None:
+        """Register any nets added to the design after construction
+        (shadow registers created during compilation)."""
+        for name, info in self.design.nets.items():
+            if name not in self._values and name not in self._arrays:
+                self.register(info)
+
+    # ------------------------------------------------------------------
+    # scalar / vector objects
+    # ------------------------------------------------------------------
+
+    def value(self, name: str) -> FourVec:
+        try:
+            return self._values[name]
+        except KeyError:
+            if name in self._arrays:
+                raise SimulationError(
+                    f"memory {name!r} read without a word index"
+                ) from None
+            raise SimulationError(f"unknown object {name!r}") from None
+
+    def set_value(self, name: str, value: FourVec) -> None:
+        if name not in self._values:
+            raise SimulationError(f"unknown object {name!r}")
+        self._values[name] = value
+
+    def names(self) -> Iterator[str]:
+        return iter(self._values)
+
+    # ------------------------------------------------------------------
+    # memories
+    # ------------------------------------------------------------------
+
+    def is_array(self, name: str) -> bool:
+        return name in self._arrays
+
+    def array_words(self, name: str) -> Dict[int, FourVec]:
+        return self._arrays[name]
+
+    def read_array(
+        self, name: str, index: FourVec, low: int, high: int
+    ) -> FourVec:
+        """Read ``name[index]`` — symbolic indices mux over written words.
+
+        Out-of-range and X/Z indices read all-X, as do unwritten words.
+        """
+        info = self.design.net(name)
+        words = self._arrays[name]
+        concrete = index.to_int_or_none()
+        if concrete is not None and index.is_fully_known():
+            if low <= concrete <= high:
+                return words.get(concrete, FourVec.all_x(self.mgr, info.width))
+            return FourVec.all_x(self.mgr, info.width)
+        result = FourVec.all_x(self.mgr, info.width)
+        for word_index, word in words.items():
+            cond = ops.equal(
+                index, FourVec.from_int(self.mgr, word_index, index.width)
+            ).truthy()
+            if cond == FALSE:
+                continue
+            result = word.ite(cond, result)
+        return result
+
+    def write_array(
+        self,
+        name: str,
+        index: FourVec,
+        value: FourVec,
+        control: int,
+        low: int,
+        high: int,
+    ) -> int:
+        """Guarded write of ``name[index]``; returns the change condition.
+
+        A symbolic index updates every in-range word under the
+        appropriate equality condition.  X/Z index bits make the write
+        vanish on those paths (1364: writes to invalid addresses are
+        lost).
+        """
+        if control == FALSE:
+            return FALSE
+        info = self.design.net(name)
+        words = self._arrays[name]
+        value = value.resize(info.width)
+        concrete = index.to_int_or_none()
+        change = FALSE
+        if concrete is not None and index.is_fully_known():
+            if not low <= concrete <= high:
+                return FALSE
+            old = words.get(concrete, FourVec.all_x(self.mgr, info.width))
+            new = value.ite(control, old)
+            if new.bits != old.bits:
+                change = old.change_condition(new)
+                words[concrete] = new
+            return change
+        known = index.known()
+        for word_index in range(low, high + 1):
+            cond = ops.equal(
+                index, FourVec.from_int(self.mgr, word_index, index.width)
+            ).truthy()
+            cond = self.mgr.and_(self.mgr.and_(cond, control), known)
+            if cond == FALSE:
+                continue
+            old = words.get(word_index, FourVec.all_x(self.mgr, info.width))
+            new = value.ite(cond, old)
+            if new.bits != old.bits:
+                change = self.mgr.or_(change, old.change_condition(new))
+                words[word_index] = new
+        return change
+
+    # ------------------------------------------------------------------
+    # witness substitution (error-trace support)
+    # ------------------------------------------------------------------
+
+    def snapshot_names(self) -> Tuple[str, ...]:
+        return tuple(self._values)

@@ -1,0 +1,128 @@
+"""``$display``-family formatting.
+
+Implements the common 1364 format specifiers over four-valued symbolic
+vectors.  Constant values render like a conventional simulator
+(``%d``/``%b``/``%h``/``%o``/``%c``/``%s``/``%t``); values that are
+still symbolic render as ``<sym:N>`` where N is the bit width — the
+honest answer during symbolic simulation, and one that disappears in
+concrete resimulation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.fourval import FourVec
+
+_SPEC_RE = re.compile(r"%(-?\d*)([bBdDhHoOcCsStTmM%])|%0(\d*)([bBdDhHoO])")
+
+
+def render_value(value: FourVec, spec: str = "d") -> str:
+    """Render one vector under a format specifier character."""
+    spec = spec.lower()
+    if not value.is_constant():
+        return f"<sym:{value.width}>"
+    bits = value.to_verilog_bits()
+    if spec == "b":
+        return bits
+    has_xz = any(c in "xz" for c in bits)
+    if spec in ("h", "o"):
+        group = 4 if spec == "h" else 3
+        chars = []
+        padded = bits.rjust((len(bits) + group - 1) // group * group, "0")
+        for i in range(0, len(padded), group):
+            chunk = padded[i:i + group]
+            if all(c == "x" for c in chunk):
+                chars.append("x")
+            elif all(c == "z" for c in chunk):
+                chars.append("z")
+            elif any(c in "xz" for c in chunk):
+                chars.append("X")
+            else:
+                chars.append(format(int(chunk, 2), "x" if spec == "h" else "o"))
+        return "".join(chars)
+    if spec in ("d", "t"):
+        if has_xz:
+            return "x" if all(c in "xz" for c in bits) else "X"
+        return str(value.to_int())
+    if spec == "c":
+        if has_xz:
+            return "?"
+        return chr(value.to_int() & 0xFF)
+    if spec == "s":
+        if has_xz:
+            return "?"
+        raw = value.to_int()
+        chars = []
+        width = (value.width + 7) // 8
+        for i in range(width - 1, -1, -1):
+            byte = (raw >> (8 * i)) & 0xFF
+            if byte:
+                chars.append(chr(byte))
+        return "".join(chars)
+    return bits
+
+
+def format_display(
+    args: List[object],
+    evaluate,
+    scope_name: str = "",
+) -> str:
+    """Format a ``$display`` argument list.
+
+    ``args`` mixes plain Python strings (format strings / literals) and
+    compiled expressions; ``evaluate(cexpr, width_hint)`` produces the
+    :class:`FourVec` for an expression argument.  Mirrors 1364: the
+    first string consumes following arguments via its ``%`` specifiers;
+    expression arguments outside a format string print as decimal.
+    """
+    pieces: List[str] = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        index += 1
+        if not isinstance(arg, str):
+            pieces.append(render_value(evaluate(arg), "d"))
+            continue
+        out: List[str] = []
+        pos = 0
+        text = arg
+        while pos < len(text):
+            char = text[pos]
+            if char != "%":
+                out.append(char)
+                pos += 1
+                continue
+            # parse %[-][0][width]spec
+            match = re.match(r"%(-?0?\d*)([a-zA-Z%])", text[pos:])
+            if not match:
+                out.append("%")
+                pos += 1
+                continue
+            flags, spec = match.group(1), match.group(2)
+            pos += match.end()
+            if spec == "%":
+                out.append("%")
+                continue
+            if spec in ("m", "M"):
+                out.append(scope_name)
+                continue
+            if index >= len(args):
+                out.append(f"%{flags}{spec}")
+                continue
+            value_arg = args[index]
+            index += 1
+            if isinstance(value_arg, str):
+                out.append(value_arg)
+                continue
+            rendered = render_value(evaluate(value_arg), spec)
+            if flags and flags.lstrip("-").lstrip("0").isdigit():
+                width = int(flags.lstrip("-").lstrip("0") or 0)
+                rendered = (
+                    rendered.ljust(width) if flags.startswith("-")
+                    else rendered.rjust(width)
+                )
+            out.append(rendered)
+        pieces.append("".join(out))
+    return "".join(pieces)

@@ -1,0 +1,153 @@
+"""Error traces and their extraction (paper Section 5).
+
+Symbolic simulation reports a violation as a BDD over the variables
+injected by ``$random``.  To let the user *resimulate* with explicit
+values, each call site keeps an ordered invocation list of
+(vector, control, time) records.  Given a satisfying witness of the
+violation condition:
+
+* an invocation was actually *executed* on the chosen trace iff its
+  ``control`` evaluates to 1 under the witness (entries evaluating to 0
+  are dropped — the paper stresses that executed/skipped entries can
+  interleave arbitrarily, Fig. 10);
+* the explicit value each executed call must return is the invocation
+  vector evaluated under the witness (don't-care bits default to 0).
+
+The resulting :class:`ErrorTrace` feeds
+:func:`repro.sim.resim.resimulate`, which replays the design with a
+conventional (concrete) run and checks the assertion fires again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bdd import BddManager
+from repro.fourval import FourVec
+
+
+@dataclass
+class RandomInvocation:
+    """One dynamic execution of a ``$random``/``$randomxz`` statement."""
+
+    callsite_index: int
+    seq: int
+    time: int
+    vector: FourVec
+    control: int  # BDD
+
+
+@dataclass
+class TraceEntry:
+    """One invocation as seen by a specific error trace."""
+
+    callsite_index: int
+    where: str
+    seq: int
+    time: int
+    executed: bool
+    value: Optional[str]  # MSB-first 0/1/x/z string when executed
+
+
+@dataclass
+class ErrorTrace:
+    """A concrete witness for one violation, ready for resimulation."""
+
+    witness: Dict[int, bool]
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def values_for(self, callsite_index: int) -> List[str]:
+        """Ordered concrete return values for one call site."""
+        return [
+            entry.value
+            for entry in self.entries
+            if entry.callsite_index == callsite_index and entry.executed
+        ]
+
+    def callsite_values(self) -> Dict[int, List[str]]:
+        """All call sites' ordered return values (resimulation input)."""
+        values: Dict[int, List[str]] = {}
+        for entry in self.entries:
+            if entry.executed:
+                values.setdefault(entry.callsite_index, []).append(entry.value)
+        return values
+
+    def describe(self) -> str:
+        """Human-readable rendering of the trace."""
+        lines = []
+        for entry in self.entries:
+            status = (
+                f"= {entry.value}" if entry.executed else "(not executed)"
+            )
+            lines.append(
+                f"  t={entry.time:<6} {entry.where} "
+                f"call #{entry.seq} {status}"
+            )
+        return "\n".join(lines) if lines else "  (no $random invocations)"
+
+
+@dataclass
+class Violation:
+    """One ``$error`` hit or ``$assert`` failure."""
+
+    kind: str  # '$error' | '$assert'
+    where: str
+    message: str
+    time: int
+    condition: int  # BDD of assignments that trigger the violation
+    trace: ErrorTrace
+
+    def __str__(self) -> str:
+        label = self.message or self.kind
+        return (
+            f"{self.kind} at {self.where}, time {self.time}: {label}\n"
+            f"{self.trace.describe()}"
+        )
+
+
+def build_error_trace(
+    mgr: BddManager,
+    condition: int,
+    invocations: List[RandomInvocation],
+    callsite_where: Dict[int, str],
+) -> ErrorTrace:
+    """Concretize ``condition`` into an :class:`ErrorTrace`.
+
+    ``sat_one`` yields a partial cube; unmentioned variables are
+    don't-cares and default to 0 — exactly the completion the paper's
+    resimulation step performs.
+    """
+    witness = mgr.sat_one(condition)
+    if witness is None:
+        raise ValueError("violation condition is unsatisfiable")
+    trace = ErrorTrace(witness=dict(witness))
+    for invocation in invocations:
+        executed = mgr.eval(invocation.control, witness)
+        value = None
+        if executed:
+            value = _concretize(mgr, invocation.vector, witness)
+        trace.entries.append(
+            TraceEntry(
+                callsite_index=invocation.callsite_index,
+                where=callsite_where.get(invocation.callsite_index, "?"),
+                seq=invocation.seq,
+                time=invocation.time,
+                executed=executed,
+                value=value,
+            )
+        )
+    return trace
+
+
+def _concretize(mgr: BddManager, vector: FourVec, witness: Dict[int, bool]) -> str:
+    """Evaluate a symbolic vector to an MSB-first 0/1/x/z string."""
+    chars = []
+    for a, b in reversed(vector.bits):
+        b_val = mgr.eval(b, witness)
+        a_val = mgr.eval(a, witness)
+        if b_val:
+            chars.append("x" if a_val else "z")
+        else:
+            chars.append("1" if a_val else "0")
+    return "".join(chars)

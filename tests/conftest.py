@@ -1,0 +1,28 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import SimOptions, SymbolicSimulator
+from repro.bdd import BddManager
+
+
+@pytest.fixture
+def mgr() -> BddManager:
+    return BddManager()
+
+
+def run_source(source: str, top=None, until=None, **option_kwargs):
+    """Compile and run Verilog source; return (SimResult, simulator)."""
+    options = SimOptions(**option_kwargs) if option_kwargs else None
+    sim = SymbolicSimulator.from_source(source, top=top, options=options)
+    result = sim.run(until=until)
+    return result, sim
+
+
+def run_value(source: str, net: str, top=None, until=None, **option_kwargs):
+    """Run source and return a net's final value as a bit string."""
+    result, sim = run_source(source, top=top, until=until, **option_kwargs)
+    return sim.value(net).to_verilog_bits()

@@ -1,0 +1,168 @@
+"""Event-accumulation behavior across the three Table-1 levels."""
+
+import itertools
+
+import pytest
+
+from repro import AccumulationMode, SimOptions
+from tests.conftest import run_source
+
+SPLIT_CHAIN = """
+    module tb; reg v; reg [7:0] n; integer k;
+      initial begin
+        n = 0;
+        for (k = 0; k < %d; k = k + 1) begin
+          v = $random;
+          if (v) begin #2 n = n + 1; end
+          else begin #2 n = n + 2; end
+        end
+      end
+    endmodule
+"""
+
+
+class TestSemanticsIndependentOfMode:
+    def test_all_modes_agree_on_final_values(self):
+        # Unmerged paths re-execute $random and own *different* fresh
+        # variables, so compare the set of reachable final values, not
+        # per-variable cofactors.
+        from repro.bdd import FALSE
+        from repro.fourval import FourVec, ops
+
+        results = {}
+        for mode in AccumulationMode:
+            _, sim = run_source(SPLIT_CHAIN % 4, accumulation=mode)
+            n = sim.value("n")
+            reachable = set()
+            for candidate in range(16):
+                eq = ops.equal(
+                    n, FourVec.from_int(sim.mgr, candidate, n.width)
+                ).truthy()
+                if eq != FALSE:
+                    reachable.add(candidate)
+            results[mode] = reachable
+        # 4 iterations of +1/+2: totals 4..8 are exactly reachable
+        assert results[AccumulationMode.FULL] == {4, 5, 6, 7, 8}
+        assert results[AccumulationMode.FULL] == results[AccumulationMode.NONE]
+        assert results[AccumulationMode.FULL] == \
+            results[AccumulationMode.QUEUE_MERGE_ONLY]
+
+    def test_all_modes_agree_on_violations(self):
+        src = """
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a[0]) begin #1; end
+                else begin #1; end
+                if (a == 13) $error;
+              end
+            endmodule
+        """
+        for mode in AccumulationMode:
+            result, _ = run_source(src, accumulation=mode)
+            assert len(result.violations) == 1, mode
+
+
+class TestEventCounts:
+    def test_exponential_growth_without_accumulation(self):
+        depth = 6
+        counts = {}
+        for mode in AccumulationMode:
+            result, _ = run_source(SPLIT_CHAIN % depth, accumulation=mode)
+            counts[mode] = result.stats.events_processed
+        # NONE multiplies paths: far more events than FULL
+        assert counts[AccumulationMode.NONE] > \
+            4 * counts[AccumulationMode.FULL]
+        # queue merging alone already prevents the blow-up here
+        assert counts[AccumulationMode.QUEUE_MERGE_ONLY] < \
+            counts[AccumulationMode.NONE]
+
+    def test_merged_counter_only_with_merging(self):
+        for mode, expect_merges in [
+            (AccumulationMode.FULL, True),
+            (AccumulationMode.NONE, False),
+        ]:
+            result, _ = run_source(SPLIT_CHAIN % 3, accumulation=mode)
+            assert (result.stats.events_merged > 0) == expect_merges
+
+    def test_concrete_design_insensitive_to_mode(self):
+        """No symbolic control flow -> all modes process identically
+        (the paper's DRAM row: 37s / 37s / 37s)."""
+        src = """
+            module tb; reg [7:0] a, b; reg [8:0] s; integer k;
+              initial begin
+                a = $random; b = $random;   // data, never control
+                s = 0;
+                for (k = 0; k < 8; k = k + 1) begin
+                  #3 s = a + b;
+                end
+              end
+            endmodule
+        """
+        counts = set()
+        for mode in AccumulationMode:
+            result, _ = run_source(src, accumulation=mode)
+            counts.add(result.stats.events_processed)
+        assert len(counts) == 1
+
+    def test_accumulation_events_skipped_for_concrete_control(self):
+        """Concrete branches take the fast path: no join events at all."""
+        src = """
+            module tb; reg [3:0] y; integer k;
+              initial begin
+                for (k = 0; k < 10; k = k + 1) begin
+                  if (k[0]) y = 1;
+                  else y = 2;
+                end
+              end
+            endmodule
+        """
+        full, _ = run_source(src, accumulation=AccumulationMode.FULL)
+        none, _ = run_source(src, accumulation=AccumulationMode.NONE)
+        assert full.stats.events_processed == none.stats.events_processed
+
+
+class TestPriorityDiscipline:
+    def test_nested_splits_merge_inner_first(self):
+        """Depth-first processing: inner split paths must merge before
+        the outer statement's accumulation events run, so the code after
+        the outer endif executes with the fully recombined control."""
+        result, sim = run_source("""
+            module tb; reg a, b; reg [7:0] runs;
+              initial begin
+                runs = 0;
+                a = $random; b = $random;
+                if (a) begin
+                  if (b) begin #0; end
+                  else begin #0; end
+                end
+                else begin
+                  if (b) begin #0; end
+                  else begin #0; end
+                end
+                runs = runs + 1;   // once per surviving path
+              end
+            endmodule
+        """, accumulation=AccumulationMode.FULL)
+        runs = sim.value("runs")
+        for va, vb in itertools.product([False, True], repeat=2):
+            assert runs.substitute({0: va, 1: vb}).to_int() == 1
+
+    def test_priority_restored_after_join(self):
+        # a split inside a loop must not leak priority across iterations
+        result, sim = run_source("""
+            module tb; reg [3:0] v; integer k; reg [7:0] n;
+              initial begin
+                n = 0;
+                v = $random;
+                for (k = 0; k < 3; k = k + 1) begin
+                  if (v[0]) begin #1; end
+                  else begin #1; end
+                  n = n + 1;
+                end
+              end
+            endmodule
+        """, accumulation=AccumulationMode.FULL)
+        n = sim.value("n")
+        for bits in itertools.product([False, True], repeat=4):
+            assert n.substitute(dict(enumerate(bits))).to_int() == 3

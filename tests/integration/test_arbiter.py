@@ -1,0 +1,59 @@
+"""The arbiter design: exhaustive property checking over all request
+sequences."""
+
+import pytest
+
+import repro
+from repro import SimOptions
+from repro.designs import load
+
+
+def run_arbiter(runtime=80, options=None, transform=None):
+    source, top, defines = load("arbiter", runtime=runtime)
+    if transform is not None:
+        source = transform(source)
+    sim = repro.SymbolicSimulator.from_source(source, top=top,
+                                              defines=defines,
+                                              options=options)
+    return sim.run(until=runtime + 40), sim
+
+
+class TestArbiterProperties:
+    def test_all_properties_hold_exhaustively(self):
+        result, _ = run_arbiter()
+        assert result.finished
+        assert not result.violations
+        # 4 fresh request bits per cycle
+        assert result.stats.symbols_injected % 4 == 0
+        assert result.stats.symbols_injected >= 16
+
+    def test_checker_detects_tightened_bound(self):
+        # A master *can* legitimately wait 3 grants; tightening the
+        # fairness bound to > 2 must produce a counterexample — this
+        # proves the checker (and the symbolic search) have teeth.
+        result, sim = run_arbiter(
+            transform=lambda s: s.replace("waiting[m] > 4",
+                                          "waiting[m] > 2"))
+        assert result.violations
+        concrete = sim.resimulate(result.violations[0], until=300)
+        assert concrete.violations
+
+    def test_checker_detects_broken_rotation(self):
+        # Freeze the rotation pointer: fixed-priority arbitration
+        # starves low-priority masters; the fairness check must fire.
+        result, sim = run_arbiter(
+            runtime=120,
+            transform=lambda s: s.replace("last <= 2'd0;",
+                                          "last <= 2'd3;"))
+        assert result.violations
+        concrete = sim.resimulate(result.violations[0], until=300)
+        assert concrete.violations
+
+    def test_random_simulation_much_weaker(self):
+        # With the tightened bound, random vectors can also stumble on
+        # a counterexample — but the symbolic run *guarantees* finding
+        # it if one exists within the horizon. Verify at minimum that
+        # the random baseline runs clean on the correct design.
+        result, _ = run_arbiter(
+            options=SimOptions(concrete_random=11))
+        assert not result.violations

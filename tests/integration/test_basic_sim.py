@@ -1,0 +1,453 @@
+"""Concrete (non-symbolic) simulation semantics.
+
+These tests pin down conventional Verilog behavior: the symbolic
+simulator must agree with a standard event-driven simulator whenever
+all values are concrete.
+"""
+
+import pytest
+
+from tests.conftest import run_source, run_value
+
+
+class TestAssignments:
+    def test_blocking_order(self):
+        assert run_value("""
+            module tb; reg [3:0] a, b;
+              initial begin a = 1; b = a + 1; a = b + 1; end
+            endmodule
+        """, "a") == "0011"
+
+    def test_nonblocking_swap(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = 1; b = 2;
+                a <= b; b <= a;
+                #1;
+                if (a !== 2 || b !== 1) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nba_reads_old_value_same_step(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = 5;
+                a <= 7;
+                b = a;        // still old value
+                if (b !== 5) $error;
+                #1;
+                if (a !== 7) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_intra_assignment_delay(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = 3;
+                b = #5 a;       // RHS sampled now, applied at t=5
+                if ($time !== 5) $error;
+                if (b !== 3) $error;
+              end
+              initial #2 a = 9;  // does not affect the captured value
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nonblocking_intra_delay(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = 0;
+                a <= #10 4;
+                #9 if (a !== 0) $error;
+                #2 if (a !== 4) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_part_select_assign(self):
+        assert run_value("""
+            module tb; reg [7:0] v;
+              initial begin v = 8'hFF; v[5:2] = 4'b0000; end
+            endmodule
+        """, "v") == "11000011"
+
+    def test_bit_select_assign(self):
+        assert run_value("""
+            module tb; reg [3:0] v;
+              initial begin v = 4'b0000; v[2] = 1; end
+            endmodule
+        """, "v") == "0100"
+
+    def test_concat_lvalue(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] hi, lo;
+              initial {hi, lo} = 8'hA5;
+            endmodule
+        """)
+        assert sim.value("hi").to_int() == 0xA
+        assert sim.value("lo").to_int() == 0x5
+
+    def test_ascending_range_part_select(self):
+        assert run_value("""
+            module tb; reg [0:7] v;
+              initial begin v = 8'h0F; v[0:3] = 4'hA; end
+            endmodule
+        """, "v") == "10101111"  # v = 00001111, MSB nibble [0:3] -> 1010
+
+    def test_out_of_range_bit_write_vanishes(self):
+        assert run_value("""
+            module tb; reg [3:0] v;
+              initial begin v = 4'b1111; v[9] = 0; end
+            endmodule
+        """, "v") == "1111"
+
+
+class TestDelaysAndTime:
+    def test_delay_accumulates(self):
+        result, _ = run_source("""
+            module tb;
+              initial begin
+                #3; #4; #5;
+                if ($time !== 12) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_zero_delay_is_inactive_region(self):
+        # A #0 statement runs after other active events of the step.
+        result, _ = run_source("""
+            module tb; reg [3:0] a;
+              initial begin #0 if (a !== 5) $error; end
+              initial a = 5;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_delay_expression(self):
+        result, _ = run_source("""
+            module tb;
+              parameter D = 7;
+              initial begin #(D + 1); if ($time !== 8) $error; end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_two_initial_blocks_interleave(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] log_a, log_b;
+              initial begin #2 log_a = 1; #4 log_a = 2; end
+              initial begin #3 log_b = 1; #4 log_b = 2; end
+              initial begin
+                #10;
+                if (log_a !== 2 || log_b !== 2) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        assert run_value("""
+            module tb; reg [3:0] x, y;
+              initial begin
+                x = 7;
+                if (x < 3) y = 0;
+                else if (x < 6) y = 1;
+                else if (x < 9) y = 2;
+                else y = 3;
+              end
+            endmodule
+        """, "y") == "0010"
+
+    def test_case_default(self):
+        assert run_value("""
+            module tb; reg [1:0] s; reg [3:0] y;
+              initial begin
+                s = 2;
+                case (s)
+                  0: y = 10;
+                  1: y = 11;
+                  default: y = 15;
+                endcase
+              end
+            endmodule
+        """, "y") == "1111"
+
+    def test_case_multi_label(self):
+        assert run_value("""
+            module tb; reg [2:0] s; reg y;
+              initial begin
+                s = 5;
+                case (s) 1, 3, 5, 7: y = 1; default: y = 0; endcase
+              end
+            endmodule
+        """, "y") == "1"
+
+    def test_casez_wildcards(self):
+        assert run_value("""
+            module tb; reg [3:0] s; reg [1:0] y;
+              initial begin
+                s = 4'b1011;
+                casez (s)
+                  4'b0???: y = 0;
+                  4'b11??: y = 1;
+                  4'b1???: y = 2;
+                  default: y = 3;
+                endcase
+              end
+            endmodule
+        """, "y") == "10"  # 1011 misses 0???/11??, hits 1???
+
+    def test_for_loop_sum(self):
+        result, sim = run_source("""
+            module tb; integer i; reg [7:0] sum;
+              initial begin
+                sum = 0;
+                for (i = 1; i <= 10; i = i + 1) sum = sum + i;
+              end
+            endmodule
+        """)
+        assert sim.value("sum").to_int() == 55
+
+    def test_while_loop(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] n, steps;
+              initial begin
+                n = 27; steps = 0;
+                while (n != 1) begin
+                  if (n[0]) n = n + n + n + 1;
+                  else n = n >> 1;
+                  steps = steps + 1;
+                end
+              end
+            endmodule
+        """)
+        assert sim.value("n").to_int() == 1
+
+    def test_repeat_with_delay(self):
+        result, _ = run_source("""
+            module tb;
+              initial begin
+                repeat (4) #5;
+                if ($time !== 20) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_repeat_zero_times(self):
+        assert run_value("""
+            module tb; reg [3:0] x;
+              initial begin x = 1; repeat (0) x = 9; end
+            endmodule
+        """, "x") == "0001"
+
+    def test_forever_with_finish(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] n;
+              initial begin
+                n = 0;
+                forever begin
+                  #1 n = n + 1;
+                  if (n == 5) $finish;
+                end
+              end
+            endmodule
+        """)
+        assert result.finished
+        assert result.time == 5
+
+    def test_named_block_disable_as_break(self):
+        result, sim = run_source("""
+            module tb; integer i; reg [7:0] found;
+              initial begin : search
+                found = 0;
+                for (i = 0; i < 100; i = i + 1) begin
+                  if (i == 12) begin
+                    found = i;
+                    disable search;
+                  end
+                end
+                found = 99;  // skipped by disable
+              end
+            endmodule
+        """)
+        assert sim.value("found").to_int() == 12
+
+    def test_disable_inner_block_as_continue(self):
+        result, sim = run_source("""
+            module tb; integer i; reg [7:0] sum;
+              initial begin
+                sum = 0;
+                for (i = 0; i < 6; i = i + 1) begin : body
+                  if (i == 3) disable body;   // 'continue'
+                  sum = sum + i;
+                end
+              end
+            endmodule
+        """)
+        assert sim.value("sum").to_int() == 0 + 1 + 2 + 4 + 5
+
+
+class TestContinuousAssigns:
+    def test_simple_assign_tracks(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a; wire [3:0] y;
+              assign y = a + 1;
+              initial begin
+                a = 3; #1;
+                if (y !== 4) $error;
+                a = 9; #1;
+                if (y !== 10) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_assign_delay_transport(self):
+        result, _ = run_source("""
+            module tb; reg a; wire y;
+              assign #3 y = a;
+              initial begin
+                a = 0; #10;
+                a = 1;
+                #2 if (y !== 0) $error;
+                #2 if (y !== 1) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_multiple_drivers_resolution(self):
+        result, _ = run_source("""
+            module tb; reg a, en1, en2; wire y;
+              assign y = en1 ? a : 1'bz;
+              assign y = en2 ? ~a : 1'bz;
+              initial begin
+                a = 1; en1 = 1; en2 = 0; #1;
+                if (y !== 1) $error;
+                en1 = 0; en2 = 1; #1;
+                if (y !== 0) $error;
+                en1 = 1; #1;
+                if (y !== 1'bx) $error;   // conflict
+                en1 = 0; en2 = 0; #1;
+                if (y !== 1'bz) $error;   // undriven
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_assign_chain(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a; wire [3:0] b, c, d;
+              assign b = a + 1;
+              assign c = b + 1;
+              assign d = c + 1;
+              initial begin
+                a = 0; #1;
+                if (d !== 3) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_gate_primitives(self):
+        result, _ = run_source("""
+            module tb; reg a, b; wire o_and, o_nor, o_not, o_xor;
+              and g0(o_and, a, b);
+              nor g1(o_nor, a, b);
+              not g2(o_not, a);
+              xor g3(o_xor, a, b);
+              initial begin
+                a = 1; b = 0; #1;
+                if (o_and !== 0 || o_nor !== 0 || o_not !== 0 || o_xor !== 1)
+                  $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_part_select_assign_target(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a; wire [7:0] y;
+              assign y[7:4] = a;
+              assign y[3:0] = ~a;
+              initial begin
+                a = 4'b1010; #1;
+                if (y !== 8'b1010_0101) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestOutputTasks:
+    def test_display_formats(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] v;
+              initial begin
+                v = 8'hA5;
+                $display("d=%d b=%b h=%h o=%o", v, v, v, v);
+                $display("pct=%% mod=%m");
+                $write("no");
+                $write("newline");
+              end
+            endmodule
+        """)
+        assert result.output[0] == "d=165 b=10100101 h=a5 o=245"
+        assert result.output[1] == "pct=% mod=tb"
+        assert result.output[2] == "nonewline"
+
+    def test_display_width_pad(self):
+        result, _ = run_source("""
+            module tb; initial $display("[%5d]", 8'd42); endmodule
+        """)
+        assert result.output == ["[   42]"]
+
+    def test_monitor_on_change(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                $monitor("v=%d", v);
+                v = 1;
+                #1 v = 2;
+                #1 v = 2;  // no change, no print
+                #1 v = 3;
+              end
+            endmodule
+        """)
+        assert result.output == ["v=1", "v=2", "v=3"]
+
+    def test_strobe_end_of_step(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                v = 1;
+                $strobe("v=%d", v);
+                v = 2;   // strobe sees the final value of the step
+              end
+            endmodule
+        """)
+        assert result.output == ["v=2"]
+
+    def test_time_format(self):
+        result, _ = run_source("""
+            module tb; initial begin #42 $display("t=%0t", $time); end
+            endmodule
+        """)
+        assert result.output == ["t=42"]
+
+    def test_stop_flag(self):
+        result, _ = run_source("module tb; initial $stop; endmodule")
+        assert result.stopped

@@ -1,0 +1,80 @@
+"""Tests for the ``symsim`` command-line front end."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "tb.v"
+    path.write_text("""
+        module tb; reg [3:0] a;
+          initial begin
+            a = $random;
+            $display("hello");
+            if (a == `TARGET) $error("hit");
+          end
+        endmodule
+    """)
+    return str(path)
+
+
+class TestArgParsing:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["x.v"])
+        assert args.top is None
+        assert args.accumulation == "full"
+        assert not args.resimulate
+
+
+class TestMain:
+    def test_violation_exit_code(self, design_file, capsys):
+        code = main([design_file, "--define", "TARGET=9", "--quiet"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "$error" in out
+
+    def test_clean_run_exit_code(self, design_file, capsys):
+        code = main([design_file, "--define", "TARGET=99", "--quiet"])
+        assert code == 0
+
+    def test_resimulate_flag(self, design_file, capsys):
+        code = main([design_file, "--define", "TARGET=5", "--quiet",
+                     "--resimulate"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "resimulation reproduced 1" in out
+
+    def test_random_seed_mode(self, design_file, capsys):
+        code = main([design_file, "--define", "TARGET=20", "--quiet",
+                     "--random-seed", "3"])
+        assert code == 0
+        assert "[random]" in capsys.readouterr().out
+
+    def test_stats_flag(self, design_file, capsys):
+        main([design_file, "--define", "TARGET=99", "--quiet", "--stats"])
+        out = capsys.readouterr().out
+        assert "events processed" in out
+
+    def test_accumulation_choice(self, design_file):
+        code = main([design_file, "--define", "TARGET=99", "--quiet",
+                     "--accumulation", "none"])
+        assert code == 0
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.v"
+        bad.write_text("module tb; garbage !!!")
+        assert main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_until_bound(self, tmp_path, capsys):
+        path = tmp_path / "t.v"
+        path.write_text("""
+            module tb;
+              initial begin #100 $display("late"); end
+            endmodule
+        """)
+        code = main([str(path), "--until", "50", "--quiet"])
+        assert code == 0
+        assert "late" not in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Sanity tests on the four benchmark designs."""
+
+import pytest
+
+import repro
+from repro import AccumulationMode, SimOptions
+from repro.designs import load
+
+
+def run_design(name, until=None, options=None, **kwargs):
+    src, top, defines = load(name, **kwargs)
+    sim = repro.SymbolicSimulator.from_source(src, top=top, options=options,
+                                              defines=defines)
+    return sim.run(until=until), sim
+
+
+class TestLoader:
+    def test_all_designs_load(self):
+        for name in ("gcd", "dram", "risc8", "mcu8"):
+            src, top, defines = load(name)
+            assert "module" in src
+            assert top.endswith("_tb")
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            load("nothere")
+
+
+class TestDram:
+    def test_symbolic_readback_correct(self):
+        result, _ = run_design("dram", bursts=1, until=2000)
+        assert result.finished
+        assert not result.violations
+
+    def test_modes_equal_events(self):
+        """The paper's DRAM row: accumulation level does not matter."""
+        counts = {}
+        for mode in AccumulationMode:
+            result, _ = run_design(
+                "dram", bursts=1, until=2000,
+                options=SimOptions(accumulation=mode))
+            counts[mode] = result.stats.events_processed
+        assert len(set(counts.values())) == 1
+
+
+class TestGcd:
+    def test_matches_reference_model(self):
+        result, _ = run_design("gcd", rounds=1, until=2000)
+        assert result.finished
+        assert not result.violations
+
+    def test_two_rounds(self):
+        result, _ = run_design("gcd", rounds=2, until=5000)
+        assert result.finished
+        assert not result.violations
+
+    def test_accumulation_required_for_speed(self):
+        full, _ = run_design("gcd", rounds=1, until=2000,
+                             options=SimOptions(
+                                 accumulation=AccumulationMode.FULL))
+        none, _ = run_design("gcd", rounds=1, until=2000,
+                             options=SimOptions(
+                                 accumulation=AccumulationMode.NONE))
+        assert none.stats.events_processed > full.stats.events_processed
+
+
+class TestRisc8:
+    def test_golden_model_matches(self):
+        result, _ = run_design("risc8", runtime=150, until=300)
+        assert result.finished
+        assert not result.violations
+
+    def test_symbols_per_cycle(self):
+        result, _ = run_design("risc8", runtime=100, until=300)
+        # one 8-bit injection per cycle
+        assert result.stats.symbols_injected % 8 == 0
+        assert result.stats.symbols_injected >= 8 * 8
+
+
+class TestMcu8:
+    def test_bug_found_symbolically(self):
+        result, sim = run_design("mcu8", runtime=100, until=200)
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.kind == "$assert"
+        # the shortest trigger: EI at cycle 1, SETB C at 2, ADDC at 3,
+        # interrupt during its operand at cycle 4 -> caught at t=47
+        assert violation.time <= 60
+
+    def test_trace_contains_trigger_sequence(self):
+        result, sim = run_design("mcu8", runtime=100, until=200)
+        trace = result.violations[0].trace
+        code_values = [e.value for e in trace.entries
+                       if e.executed and len(e.value) == 8]
+        # EI (0xB1-pattern: 1011???1), SETB C (1010???1), ADDC (0011????)
+        assert any(v[:4] == "1011" and v[7] == "1" for v in code_values)
+        assert any(v[:4] == "1010" and v[7] == "1" for v in code_values)
+        assert any(v[:4] == "0011" for v in code_values)
+
+    def test_bug_resimulates_concretely(self):
+        result, sim = run_design("mcu8", runtime=100, until=200)
+        concrete = sim.resimulate(result.violations[0], until=200)
+        assert concrete.violations
+        assert concrete.violations[0].time == result.violations[0].time
+
+    def test_quiet_phase_delays_bug(self):
+        result, _ = run_design("mcu8", runtime=150, quiet=3, period=1,
+                               until=300)
+        assert result.violations
+        assert result.violations[0].time > 47
+
+    def test_random_baseline_misses_bug(self):
+        src, top, defines = load("mcu8", runtime=400)
+        for seed in (7, 42):
+            sim = repro.SymbolicSimulator.from_source(
+                src, top=top, defines=defines,
+                options=SimOptions(concrete_random=seed))
+            result = sim.run(until=500)
+            assert not result.violations

@@ -1,0 +1,247 @@
+"""Error-trace extraction and resimulation (Section 5 machinery)."""
+
+import pytest
+
+import repro
+from repro.errors import ResimulationError
+from repro.sim.trace import build_error_trace
+from tests.conftest import run_source
+
+
+class TestErrorDetection:
+    def test_error_statement_immediate(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 9) $error("nine");
+              end
+            endmodule
+        """)
+        assert len(result.violations) == 1
+        violation = result.violations[0]
+        assert violation.kind == "$error"
+        assert violation.message == "nine"
+
+    def test_error_on_dead_path_not_reported(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a > 15) $error;   // unreachable at 4 bits
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_assert_checked_every_step(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] n;
+              initial begin
+                n = 0;
+                $assert(n < 5);
+                repeat (8) #1 n = n + 1;
+              end
+            endmodule
+        """)
+        assert len(result.violations) == 1
+        assert result.violations[0].time == 5
+
+    def test_violation_stops_by_default(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] n;
+              initial begin
+                n = 0;
+                $assert(n != 2);
+                repeat (8) #1 n = n + 1;
+              end
+            endmodule
+        """)
+        assert result.time == 2  # stopped at first hit
+
+    def test_continue_mode_collects_all(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 1) $error("one");
+                if (a == 2) $error("two");
+              end
+            endmodule
+        """, stop_on_violation=False)
+        assert [v.message for v in result.violations] == ["one", "two"]
+
+    def test_assert_does_not_refire_same_paths(self):
+        result, _ = run_source("""
+            module tb; reg a;
+              initial begin
+                a = $random;
+                $assert(a == 0);
+                #1; #1; #1;
+              end
+            endmodule
+        """, stop_on_violation=False)
+        # the a=1 paths violate once, not once per time step
+        assert len(result.violations) == 1
+
+
+class TestTraceContents:
+    SRC = """
+        module tb; reg [3:0] a, b;
+          initial begin
+            a = $random;
+            #5 b = $random;
+            if (a + b == 17) $error;
+          end
+        endmodule
+    """
+
+    def test_witness_satisfies_condition(self):
+        result, sim = run_source(self.SRC)
+        violation = result.violations[0]
+        trace = violation.trace
+        assert sim.mgr.eval(violation.condition, trace.witness)
+
+    def test_invocation_times_recorded(self):
+        result, _ = run_source(self.SRC)
+        entries = result.violations[0].trace.entries
+        assert entries[0].time == 0
+        assert entries[1].time == 5
+
+    def test_values_sum_to_trigger(self):
+        result, _ = run_source(self.SRC)
+        entries = result.violations[0].trace.entries
+        total = sum(int(e.value, 2) for e in entries if e.executed)
+        assert total == 17
+
+    def test_describe_readable(self):
+        result, _ = run_source(self.SRC)
+        text = str(result.violations[0])
+        assert "$error" in text
+        assert "t=0" in text and "t=5" in text
+
+    def test_callsite_values_grouping(self):
+        result, _ = run_source(self.SRC)
+        values = result.violations[0].trace.callsite_values()
+        assert set(values) == {0, 1}
+        assert len(values[0]) == 1 and len(values[1]) == 1
+
+
+class TestResimulation:
+    def test_resim_reproduces_assert(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a; reg [4:0] s;
+              initial begin
+                a = $random;
+                s = a + 3;
+                $assert(s != 12);
+              end
+            endmodule
+        """)
+        concrete = sim.resimulate(result.violations[0])
+        assert concrete.violations
+        assert concrete.value("a").to_int() == 9
+
+    def test_resim_is_concrete(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 5) $error;
+              end
+            endmodule
+        """)
+        concrete = sim.resimulate(result.violations[0])
+        assert concrete.kernel.is_concrete
+        assert concrete.kernel.mgr.var_count == 0
+
+    def test_resim_through_clocked_design(self):
+        result, sim = run_source("""
+            module tb; reg clk; reg [3:0] d, q;
+              initial begin
+                clk = 0;
+                $assert(q != 11);
+                repeat (6) begin
+                  d = $random;
+                  #5 clk = 1;
+                  #5 clk = 0;
+                end
+                $finish;
+              end
+              always @(posedge clk) q <= d;
+            endmodule
+        """)
+        assert result.violations
+        concrete = sim.resimulate(result.violations[0], until=200)
+        assert concrete.violations
+
+    def test_resim_non_violating_trace(self):
+        # expect_violation=False allows replaying arbitrary traces
+        from repro.sim.trace import ErrorTrace, TraceEntry
+
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 2) $error;
+              end
+            endmodule
+        """)
+        trace = ErrorTrace(witness={}, entries=[
+            TraceEntry(callsite_index=0, where="tb:4", seq=0, time=0,
+                       executed=True, value="0001"),
+        ])
+        concrete = sim.resimulate(trace, expect_violation=False)
+        assert not concrete.violations
+        assert concrete.value("a").to_int() == 1
+
+    def test_resim_value_exhaustion_raises(self):
+        from repro.sim.trace import ErrorTrace
+
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [3:0] a;
+              initial a = $random;
+            endmodule
+        """)
+        empty = ErrorTrace(witness={}, entries=[])
+        with pytest.raises(ResimulationError):
+            sim.resimulate(empty, expect_violation=False)
+
+    def test_resim_missing_violation_raises(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 3) $error;
+              end
+            endmodule
+        """)
+        trace = result.violations[0].trace
+        # corrupt the trace so the replay cannot trigger
+        for entry in trace.entries:
+            entry.value = "0000"
+        with pytest.raises(ResimulationError):
+            sim.resimulate(trace)
+
+    def test_unsatisfiable_condition_rejected(self):
+        from repro.bdd import FALSE, BddManager
+
+        with pytest.raises(ValueError):
+            build_error_trace(BddManager(), FALSE, [], {})
+
+
+class TestFourValuedTraces:
+    def test_randomxz_trace_carries_xz(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] a;
+              initial begin
+                a = $randomxz;
+                if (a === 2'b1z) $error;
+              end
+            endmodule
+        """)
+        assert result.violations
+        entry = result.violations[0].trace.entries[0]
+        assert entry.value == "1z"
+        concrete = sim.resimulate(result.violations[0])
+        assert concrete.violations

@@ -1,0 +1,224 @@
+"""Event control, sensitivity lists, waits and named events."""
+
+import pytest
+
+from repro.errors import SimulationHang, SymbolicDelayError
+from tests.conftest import run_source
+
+
+class TestEdgeControl:
+    def test_posedge_negedge(self):
+        result, _ = run_source("""
+            module tb; reg clk; reg [3:0] ups, downs;
+              initial begin
+                clk = 0; ups = 0; downs = 0;
+                repeat (6) #5 clk = ~clk;
+                #1;  // let the last edge's waiters run
+                if (ups !== 3 || downs !== 3) $error;
+              end
+              always @(posedge clk) ups = ups + 1;
+              always @(negedge clk) downs = downs + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_x_transitions_are_edges(self):
+        # 0 -> x is a posedge per 1364
+        result, _ = run_source("""
+            module tb; reg s; reg [3:0] edges;
+              initial begin
+                edges = 0;
+                s = 0;
+                #1 s = 1'bx;
+                #1 s = 1;
+                #1;
+                if (edges !== 2) $error;  // 0->x and x->1
+              end
+              always @(posedge s) edges = edges + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_or_list_sensitivity(self):
+        result, _ = run_source("""
+            module tb; reg a, b; reg [3:0] hits;
+              initial begin
+                hits = 0;
+                a = 0; b = 0;
+                #1 a = 1;
+                #1 b = 1;
+                #1;
+                if (hits !== 2) $error;
+              end
+              always @(a or b) hits = hits + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_mixed_edge_and_level(self):
+        result, _ = run_source("""
+            module tb; reg clk, d; reg [3:0] hits;
+              initial begin
+                hits = 0; clk = 0; d = 0;
+                #1 d = 1;        // level change fires
+                #1 clk = 1;      // posedge fires
+                #1 clk = 0;      // negedge of clk: no posedge, no d change
+                #1;
+                if (hits !== 2) $error;
+              end
+              always @(posedge clk or d) hits = hits + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_at_star_combinational(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b; reg [3:0] y;
+              initial begin
+                // note: assignments happen *after* the @* block has
+                // registered its sensitivity (t=0 would race, exactly
+                // like the classic always-@*-at-time-zero gotcha)
+                #1 a = 1; b = 2;
+                #1 if (y !== 3) $error;
+                a = 7;
+                #1 if (y !== 9) $error;
+              end
+              always @* y = a + b;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_vector_change_any_bit(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] v; reg [3:0] hits;
+              initial begin
+                hits = 0;
+                v = 0;
+                #1 v = 8'h01;
+                #1 v = 8'h01;  // no change
+                #1 v = 8'h81;
+                #1;
+                if (hits !== 2) $error;
+              end
+              always @(v) hits = hits + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_edge_on_lsb_of_vector(self):
+        # Edge controls apply to bit 0 of a vector expression.
+        result, _ = run_source("""
+            module tb; reg [3:0] v; reg [3:0] hits;
+              initial begin
+                hits = 0; v = 4'b0000;
+                #1 v = 4'b0010;   // bit0 unchanged -> no posedge
+                #1 v = 4'b0011;   // bit0 0->1 posedge
+                #1;
+                if (hits !== 1) $error;
+              end
+              always @(posedge v) hits = hits + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestNamedEvents:
+    def test_trigger_wakes_waiter(self):
+        result, _ = run_source("""
+            module tb; event go; reg [3:0] woke;
+              initial begin
+                woke = 0;
+                #3 -> go;
+                #1 if (woke !== 1) $error;
+                #3 -> go;
+                #1 if (woke !== 2) $error;
+              end
+              always @(go) woke = woke + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestWait:
+    def test_wait_already_true_proceeds(self):
+        result, _ = run_source("""
+            module tb; reg flag;
+              initial begin
+                flag = 1;
+                wait (flag) ;
+                if ($time !== 0) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_wait_blocks_until_true(self):
+        result, _ = run_source("""
+            module tb; reg flag;
+              initial begin
+                flag = 0;
+                #7 flag = 1;
+              end
+              initial begin
+                wait (flag);
+                if ($time !== 7) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_wait_on_expression(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] n;
+              initial begin
+                n = 0;
+                repeat (9) #1 n = n + 1;
+              end
+              initial begin
+                wait (n > 4);
+                if ($time !== 5) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestPathologies:
+    def test_zero_delay_loop_hangs_detected(self):
+        with pytest.raises(SimulationHang):
+            run_source("""
+                module tb; reg x;
+                  initial begin
+                    x = 0;
+                    while (1) x = ~x;
+                  end
+                endmodule
+            """, max_step_activity=1000)
+
+    def test_symbolic_delay_rejected(self):
+        with pytest.raises(SymbolicDelayError):
+            run_source("""
+                module tb; reg [3:0] d;
+                  initial begin
+                    d = $random;
+                    #d $display("nope");
+                  end
+                endmodule
+            """)
+
+    def test_continue_run_after_until(self):
+        import repro
+
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [7:0] n;
+              initial begin
+                n = 0;
+                repeat (10) #10 n = n + 1;
+              end
+            endmodule
+        """)
+        first = sim.run(until=35)
+        assert sim.value("n").to_int() == 3
+        second = sim.run(until=100)
+        assert sim.value("n").to_int() == 10
+        assert second.time > first.time

@@ -1,0 +1,168 @@
+"""IEEE-1364 expression sizing rules, observed through simulation."""
+
+import pytest
+
+from tests.conftest import run_source, run_value
+
+
+class TestContextWidth:
+    def test_carry_captured_by_wider_lhs(self):
+        # classic: sum of two 4-bit values into a 5-bit target keeps
+        # the carry because operands widen to the LHS context
+        result, sim = run_source("""
+            module tb; reg [3:0] a, b; reg [4:0] s;
+              initial begin a = 15; b = 1; s = a + b; end
+            endmodule
+        """)
+        assert sim.value("s").to_int() == 16
+
+    def test_carry_lost_at_same_width(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a, b, s;
+              initial begin a = 15; b = 1; s = a + b; end
+            endmodule
+        """)
+        assert sim.value("s").to_int() == 0
+
+    def test_concat_is_self_determined(self):
+        # inside a concat, the addition stays at max(operand) width
+        result, sim = run_source("""
+            module tb; reg [3:0] a, b; reg [4:0] s;
+              initial begin a = 15; b = 1; s = {a + b}; end
+            endmodule
+        """)
+        assert sim.value("s").to_int() == 0  # carry lost inside {}
+
+    def test_concat_lhs_width_captures_carry(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a, b, low; reg c;
+              initial begin a = 9; b = 8; {c, low} = a + b; end
+            endmodule
+        """)
+        assert sim.value("c").to_int() == 1
+        assert sim.value("low").to_int() == 1
+
+    def test_comparison_operands_sized_together(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a; reg [7:0] b;
+              initial begin
+                a = 15; b = 8'h0F;
+                if (a != b) $error;   // zero-extended compare
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_shift_amount_self_determined(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] v; reg [1:0] k;
+              initial begin k = 3; v = 8'h01 << k; end
+            endmodule
+        """)
+        assert sim.value("v").to_int() == 8
+
+    def test_ternary_branches_widen(self):
+        result, sim = run_source("""
+            module tb; reg c; reg [3:0] a; reg [7:0] y;
+              initial begin c = 1; a = 15; y = c ? a + a : 8'd0; end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 30
+
+
+class TestSignedness:
+    def test_integer_arithmetic_signed(self):
+        result, sim = run_source("""
+            module tb; integer i; reg ok;
+              initial begin
+                i = -5;
+                ok = (i < 0);
+              end
+            endmodule
+        """)
+        assert sim.value("ok").to_int() == 1
+
+    def test_reg_comparison_unsigned(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] r; reg ok;
+              initial begin
+                r = -1;           // stores 15
+                ok = (r > 10);    // unsigned: true
+              end
+            endmodule
+        """)
+        assert sim.value("ok").to_int() == 1
+
+    def test_signed_cast(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] r; reg ok;
+              initial begin
+                r = 4'b1111;
+                ok = ($signed(r) < 0);
+              end
+            endmodule
+        """)
+        assert sim.value("ok").to_int() == 1
+
+    def test_unsigned_cast(self):
+        result, sim = run_source("""
+            module tb; integer i; reg ok;
+              initial begin
+                i = -1;
+                ok = ($unsigned(i) > 100);
+              end
+            endmodule
+        """)
+        assert sim.value("ok").to_int() == 1
+
+    def test_mixed_signedness_is_unsigned(self):
+        result, sim = run_source("""
+            module tb; integer i; reg [3:0] r; reg ok;
+              initial begin
+                i = -1; r = 2;
+                ok = (i > r);    // mixed -> unsigned -> huge i wins
+              end
+            endmodule
+        """)
+        assert sim.value("ok").to_int() == 1
+
+    def test_sign_extension_on_assign(self):
+        result, sim = run_source("""
+            module tb; integer i; reg [7:0] r;
+              initial begin
+                i = -2;
+                r = i;           // truncation of two's complement
+              end
+            endmodule
+        """)
+        assert sim.value("r").to_int() == 0xFE
+
+    def test_signed_division(self):
+        result, sim = run_source("""
+            module tb; integer a, b, q;
+              initial begin a = -7; b = 2; q = a / b; end
+            endmodule
+        """)
+        assert sim.value("q").to_int() == -3
+
+
+class TestLiterals:
+    def test_unsized_literal_32_bits(self):
+        result, sim = run_source("""
+            module tb; reg [39:0] v;
+              initial v = ~0;      // ~(32-bit) zero-extended to 40
+            endmodule
+        """)
+        # context width is 40: the literal 0 widens BEFORE inversion
+        assert sim.value("v").to_int() == (1 << 40) - 1
+
+    def test_sized_xz_fill(self):
+        assert run_value("""
+            module tb; reg [7:0] v; initial v = 8'bx; endmodule
+        """, "v") == "xxxxxxxx"
+
+    def test_negative_literal_wraps(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] v; initial v = -1; endmodule
+        """)
+        assert sim.value("v").to_int() == 15

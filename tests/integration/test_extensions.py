@@ -1,0 +1,181 @@
+"""Tests for extension features: VCD dumping, wired nets, intra-event
+assignments."""
+
+import os
+
+import pytest
+
+import repro
+from tests.conftest import run_source
+
+
+class TestVcd:
+    def test_dumpfile_dumpvars(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        result, _ = run_source(f"""
+            module tb; reg clk; reg [3:0] q;
+              initial begin
+                $dumpfile("{path}");
+                $dumpvars;
+                clk = 0; q = 0;
+                repeat (4) begin
+                  #5 clk = ~clk;
+                  q = q + 1;
+                end
+                $finish;
+              end
+            endmodule
+        """)
+        text = path.read_text()
+        assert "$enddefinitions" in text
+        assert "$var wire 1" in text
+        assert "$var wire 4" in text
+        assert "#5" in text and "#20" in text
+        assert "b0100 " in text  # q reaches 4
+
+    def test_options_vcd_path(self, tmp_path):
+        path = str(tmp_path / "auto.vcd")
+        result, _ = run_source("""
+            module tb; reg [1:0] v;
+              initial begin
+                v = 0;
+                #3 v = 2;
+              end
+            endmodule
+        """, vcd_path=path)
+        text = open(path).read()
+        assert "$dumpvars" in text
+        assert "b10 " in text
+
+    def test_symbolic_bits_dump_as_x(self, tmp_path):
+        path = str(tmp_path / "sym.vcd")
+        result, _ = run_source("""
+            module tb; reg [1:0] v;
+              initial begin
+                #1 v = $random;
+              end
+            endmodule
+        """, vcd_path=path)
+        text = open(path).read()
+        assert "bxx " in text
+
+    def test_hierarchical_scopes(self, tmp_path):
+        path = str(tmp_path / "hier.vcd")
+        result, _ = run_source("""
+            module leaf(input [1:0] a); endmodule
+            module tb; reg [1:0] x; leaf u(.a(x));
+              initial #1 x = 1;
+            endmodule
+        """, vcd_path=path)
+        text = open(path).read()
+        assert "$scope module u $end" in text
+        assert "$upscope" in text
+
+    def test_concrete_resim_exact_waveform(self, tmp_path):
+        path = str(tmp_path / "resim.vcd")
+        result, sim = run_source("""
+            module tb; reg [3:0] a;
+              initial begin
+                a = $random;
+                if (a == 6) $error;
+              end
+            endmodule
+        """)
+        concrete = repro.resimulate(
+            sim.program, result.violations[0].trace,
+            options=repro.SimOptions(vcd_path=path))
+        text = open(path).read()
+        assert "b0110 " in text  # the witness value, not x
+
+
+class TestWiredNets:
+    def test_wand(self):
+        result, _ = run_source("""
+            module tb; reg a, b; wand w;
+              assign w = a;
+              assign w = b;
+              initial begin
+                a = 1; b = 1; #1 if (w !== 1) $error;
+                b = 0; #1 if (w !== 0) $error;   // 0 dominates
+                a = 1'bz; b = 1; #1 if (w !== 1) $error;  // z yields
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_wor(self):
+        result, _ = run_source("""
+            module tb; reg a, b; wor w;
+              assign w = a;
+              assign w = b;
+              initial begin
+                a = 0; b = 0; #1 if (w !== 0) $error;
+                b = 1; #1 if (w !== 1) $error;   // 1 dominates
+                a = 1'bz; b = 0; #1 if (w !== 0) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_tri0_tri1_pull(self):
+        result, _ = run_source("""
+            module tb; reg d, en; tri0 t0; tri1 t1;
+              assign t0 = en ? d : 1'bz;
+              assign t1 = en ? d : 1'bz;
+              initial begin
+                en = 0; d = 1;
+                #1 if (t0 !== 1'b0) $error;   // pulled down
+                if (t1 !== 1'b1) $error;      // pulled up
+                en = 1;
+                #1 if (t0 !== 1'b1 || t1 !== 1'b1) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_wand_conflict_with_x(self):
+        result, _ = run_source("""
+            module tb; reg a, b; wand w;
+              assign w = a;
+              assign w = b;
+              initial begin
+                a = 1'bx; b = 1; #1 if (w !== 1'bx) $error;
+                a = 1'bx; b = 0; #1 if (w !== 1'b0) $error;  // 0 beats x
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestIntraAssignEvent:
+    def test_blocking_event_capture(self):
+        result, _ = run_source("""
+            module tb; reg clk; reg [3:0] d, q;
+              initial begin
+                clk = 0; d = 5;
+                #10 clk = 1;
+              end
+              initial begin
+                q = @(posedge clk) d;
+                if ($time !== 10) $error;
+                if (q !== 5) $error;
+              end
+              initial #3 d = 9;   // RHS was captured at t=0: q gets 5
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_named_event_intra(self):
+        result, _ = run_source("""
+            module tb; event go; reg [3:0] v, out;
+              initial begin
+                v = 7;
+                #4 -> go;
+              end
+              initial begin
+                out = @(go) v + 1;
+                if ($time !== 4 || out !== 8) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations

@@ -1,0 +1,195 @@
+"""Four-valued (X/Z) behavior at the simulation level."""
+
+import pytest
+
+from tests.conftest import run_source
+
+
+class TestInitialValues:
+    def test_regs_start_x(self):
+        result, sim = run_source("module tb; reg [3:0] r; endmodule")
+        assert sim.value("r").to_verilog_bits() == "xxxx"
+
+    def test_undriven_wire_is_z(self):
+        result, sim = run_source("module tb; wire [1:0] w; endmodule")
+        assert sim.value("w").to_verilog_bits() == "zz"
+
+    def test_integer_starts_x(self):
+        result, sim = run_source("module tb; integer i; endmodule")
+        assert sim.value("i").to_verilog_bits() == "x" * 32
+
+
+class TestXPropagation:
+    def test_x_poisons_arithmetic(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b, y;
+              initial begin
+                a = 4'b00x0; b = 1;
+                y = a + b;
+                if (y !== 4'bxxxx) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_x_condition_takes_else(self):
+        result, sim = run_source("""
+            module tb; reg c; reg [3:0] y;
+              initial begin
+                // c is x here
+                if (c) y = 1;
+                else y = 2;
+              end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 2
+
+    def test_case_x_selector_falls_to_default(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] s; reg [3:0] y;
+              initial begin
+                case (s)    // s is xx
+                  0: y = 1;
+                  1: y = 2;
+                  default: y = 9;
+                endcase
+              end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 9
+
+    def test_case_item_with_x_matches_literally(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] s; reg [3:0] y;
+              initial begin
+                case (s)        // s is xx
+                  2'bxx: y = 7; // case compares ===-style
+                  default: y = 0;
+                endcase
+              end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 7
+
+    def test_xz_literals(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] v;
+              initial begin
+                v = 8'b1010_xzxz;
+                if (v[0] !== 1'bz) $error;
+                if (v[1] !== 1'bx) $error;
+                if (v[7] !== 1'b1) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_anded_with_zero_kills_x(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v, y;
+              initial begin
+                y = v & 4'b0000;   // v is x
+                if (y !== 4'b0000) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_equality_with_x_is_not_true(self):
+        result, sim = run_source("""
+            module tb; reg a; reg [1:0] path;
+              initial begin
+                // a === x: (a == 0) evaluates to x -> else branch
+                if (a == 0) path = 1;
+                else path = 2;
+              end
+            endmodule
+        """)
+        assert sim.value("path").to_int() == 2
+
+    def test_case_equality_with_x_decides(self):
+        result, _ = run_source("""
+            module tb; reg a;
+              initial begin
+                if (a === 1'bx) ;
+                else $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestZBehavior:
+    def test_tristate_bus(self):
+        result, _ = run_source("""
+            module tb; reg d0, d1, en0, en1; wire bus;
+              assign bus = en0 ? d0 : 1'bz;
+              assign bus = en1 ? d1 : 1'bz;
+              initial begin
+                d0 = 1; d1 = 0; en0 = 0; en1 = 0;
+                #1 if (bus !== 1'bz) $error;
+                en0 = 1;
+                #1 if (bus !== 1'b1) $error;
+                en0 = 0; en1 = 1;
+                #1 if (bus !== 1'b0) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_z_through_logic_becomes_x(self):
+        result, _ = run_source("""
+            module tb; wire w; reg [1:0] y;
+              initial begin
+                #1 y = {1'b0, ~w};      // ~z = x
+                if (y[0] !== 1'bx) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_supply_nets(self):
+        result, _ = run_source("""
+            module tb; supply1 vdd; supply0 gnd;
+              initial begin
+                #1;
+                if (vdd !== 1'b1 || gnd !== 1'b0) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestAssertXSemantics:
+    def test_assert_not_violated_by_x(self):
+        # goal is x initially: $assert(goal == 0) must not fire (the
+        # paper's 8051 experiment would otherwise trip at time 0).
+        result, _ = run_source("""
+            module tb; reg goal;
+              initial begin
+                $assert(goal == 0);
+                #5 goal = 0;
+                #5;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_assert_fires_on_known_false(self):
+        result, _ = run_source("""
+            module tb; reg goal;
+              initial begin
+                $assert(goal == 0);
+                #5 goal = 1;
+              end
+            endmodule
+        """)
+        assert len(result.violations) == 1
+
+    def test_strict_unknown_mode(self):
+        result, _ = run_source("""
+            module tb; reg goal;
+              initial $assert(goal == 0);   // goal stays x
+            endmodule
+        """, check_unknown_assert=True)
+        assert len(result.violations) == 1

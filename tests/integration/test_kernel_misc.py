@@ -1,0 +1,208 @@
+"""Kernel behaviors not covered elsewhere: continuation, results API,
+output control, watchdogs, misc system tasks."""
+
+import pytest
+
+import repro
+from repro import SimOptions
+from repro.errors import CompileError, SimulationError
+from tests.conftest import run_source
+
+
+class TestRunControl:
+    def test_result_value_helper(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v; initial v = 9; endmodule
+        """)
+        assert result.value("v").to_int() == 9
+
+    def test_queue_drained_not_finished(self):
+        result, _ = run_source("""
+            module tb; reg v; initial v = 1; endmodule
+        """)
+        assert not result.finished  # no $finish, queue just drained
+
+    def test_multiple_run_calls_idempotent_when_done(self):
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [3:0] v; initial begin #5 v = 1; end endmodule
+        """)
+        first = sim.run()
+        second = sim.run()
+        assert first.time == second.time == 5
+
+    def test_until_exactly_at_event_time(self):
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [3:0] v;
+              initial begin v = 0; #10 v = 1; #10 v = 2; end
+            endmodule
+        """)
+        sim.run(until=10)
+        assert sim.value("v").to_int() == 1
+
+    def test_trace_stats_timeline(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v;
+              initial begin v = 0; #5 v = 1; #5 v = 2; end
+            endmodule
+        """, trace_stats=True)
+        times = [p.sim_time for p in result.stats.timeline]
+        assert times == sorted(times)
+        assert result.stats.timeline[-1].events == \
+            result.stats.events_processed
+
+    def test_echo_output(self, capsys):
+        run_source("""
+            module tb; initial $display("echoed"); endmodule
+        """, echo_output=True)
+        assert "echoed" in capsys.readouterr().out
+
+
+class TestAlwaysSemantics:
+    def test_always_without_control_hangs(self):
+        from repro.errors import SimulationHang
+
+        with pytest.raises(SimulationHang):
+            run_source("""
+                module tb; reg v; always v = ~v; endmodule
+            """, max_step_activity=500)
+
+    def test_always_with_delay_loops_forever(self):
+        sim = repro.SymbolicSimulator.from_source("""
+            module tb; reg [7:0] n;
+              initial n = 0;
+              always #5 n = n + 1;
+            endmodule
+        """)
+        result = sim.run(until=52)
+        assert sim.value("n").to_int() == 10
+
+    def test_two_always_blocks_communicate(self):
+        result, _ = run_source("""
+            module tb; reg ping, pong; reg [7:0] volleys;
+              initial begin
+                ping = 0; pong = 0; volleys = 0;
+                #1 ping = 1;
+                #20 if (volleys < 4) $error;
+                $finish;
+              end
+              always @(posedge ping) begin
+                volleys = volleys + 1;
+                #2 pong = ~pong;
+                ping = 0;
+              end
+              always @(pong) begin
+                #2 ping = 1;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestHierarchicalAccess:
+    def test_testbench_peeks_into_dut(self):
+        result, _ = run_source("""
+            module counter(input clk);
+              reg [3:0] hidden;
+              initial hidden = 0;
+              always @(posedge clk) hidden = hidden + 1;
+            endmodule
+            module tb; reg clk;
+              counter dut(.clk(clk));
+              initial begin
+                clk = 0;
+                repeat (6) #5 clk = ~clk;
+                #1;
+                if (dut.hidden !== 3) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_deep_hierarchy_reference(self):
+        result, _ = run_source("""
+            module leaf; reg [3:0] v; initial v = 7; endmodule
+            module mid; leaf u(); endmodule
+            module tb;
+              mid m();
+              initial begin
+                #1;
+                if (m.u.v !== 7) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_unknown_hierarchical_path(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; initial $display("%d", no.such.path); endmodule
+            """)
+
+
+class TestErrorHandling:
+    def test_unsupported_system_task(self):
+        with pytest.raises(CompileError):
+            run_source("module tb; initial $fluxcapacitor; endmodule")
+
+    def test_readmem_rejected(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; reg [7:0] m [0:3];
+                  initial $readmemh("x.hex", m);
+                endmodule
+            """)
+
+    def test_assign_to_wire_in_procedural_rejected(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; wire w; initial w = 1; endmodule
+            """)
+
+    def test_continuous_assign_to_reg_rejected(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; reg r; assign r = 1; endmodule
+            """)
+
+    def test_random_in_continuous_assign_rejected(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; wire [3:0] w; assign w = $random; endmodule
+            """)
+
+    def test_memory_without_index_rejected(self):
+        with pytest.raises(CompileError):
+            run_source("""
+                module tb; reg [7:0] m [0:3]; reg [7:0] v;
+                  initial v = m;
+                endmodule
+            """)
+
+
+class TestMonitorsAndStrobes:
+    def test_monitor_replaced_by_later_call(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = 1; b = 1;
+                $monitor("a=%d", a);
+                #1 a = 2;
+                #1 $monitor("b=%d", b);
+                #1 b = 7;
+              end
+            endmodule
+        """)
+        assert result.output == ["a=1", "a=2", "b=1", "b=7"]
+
+    def test_strobe_multiple_in_step(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                v = 1;
+                $strobe("first %d", v);
+                $strobe("second %d", v);
+                v = 3;
+              end
+            endmodule
+        """)
+        assert result.output == ["first 3", "second 3"]

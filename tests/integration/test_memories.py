@@ -1,0 +1,157 @@
+"""Memory (array) semantics: concrete and symbolic indexing."""
+
+import itertools
+
+import pytest
+
+from tests.conftest import run_source
+
+
+class TestConcreteMemories:
+    def test_write_read_roundtrip(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] mem [0:7]; integer i;
+              initial begin
+                for (i = 0; i < 8; i = i + 1) mem[i] = i * i;
+                for (i = 0; i < 8; i = i + 1)
+                  if (mem[i] !== i * i) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_unwritten_word_is_x(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] mem [0:7];
+              initial begin
+                mem[0] = 1;
+                if (mem[5] !== 8'hxx) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_out_of_range_read_is_x(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] mem [0:3];
+              initial begin
+                mem[0] = 0; mem[1] = 1; mem[2] = 2; mem[3] = 3;
+                if (mem[9] !== 4'hx) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_out_of_range_write_lost(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] mem [0:3];
+              initial begin
+                mem[2] = 7;
+                mem[9] = 5;      // vanishes
+                if (mem[2] !== 7) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nonzero_base_range(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] mem [4:7];
+              initial begin
+                mem[4] = 1; mem[7] = 2;
+                if (mem[4] !== 1 || mem[7] !== 2) $error;
+                if (mem[0] !== 4'hx) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_memory_word_in_expression(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [7:0] y;
+              initial begin
+                mem[1] = 10; mem[2] = 20;
+                y = mem[1] + mem[2];
+              end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 30
+
+
+class TestSymbolicMemories:
+    def test_symbolic_address_read(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [1:0] a; reg [7:0] y;
+              initial begin
+                mem[0] = 5; mem[1] = 6; mem[2] = 7; mem[3] = 8;
+                a = $random;
+                y = mem[a];
+              end
+            endmodule
+        """)
+        y = sim.value("y")
+        for v0, v1 in itertools.product([False, True], repeat=2):
+            addr = (2 if v1 else 0) + (1 if v0 else 0)
+            assert y.substitute({0: v0, 1: v1}).to_int() == 5 + addr
+
+    def test_symbolic_address_write(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [1:0] a; reg [7:0] y0, y3;
+              initial begin
+                mem[0] = 0; mem[1] = 0; mem[2] = 0; mem[3] = 0;
+                a = $random;
+                mem[a] = 8'hEE;
+                y0 = mem[0];
+                y3 = mem[3];
+              end
+            endmodule
+        """)
+        y0 = sim.value("y0")
+        assert y0.substitute({0: False, 1: False}).to_int() == 0xEE
+        assert y0.substitute({0: True, 1: False}).to_int() == 0
+        y3 = sim.value("y3")
+        assert y3.substitute({0: True, 1: True}).to_int() == 0xEE
+        assert y3.substitute({0: False, 1: True}).to_int() == 0
+
+    def test_symbolic_write_then_symbolic_read(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [1:0] a; reg [7:0] d;
+              initial begin
+                a = $random;
+                d = $random;
+                mem[a] = d;
+                if (mem[a] !== d) $error;   // must hold on every path
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_memory_change_wakes_waiter(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [3:0] hits; wire [7:0] w0;
+              assign w0 = mem[0];
+              initial begin
+                hits = 0;
+                #1 mem[0] = 1;
+                #1 mem[0] = 1;    // no change
+                #1 mem[0] = 2;
+                #1;
+                if (hits !== 2) $error;
+              end
+              always @(w0) hits = hits + 1;
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_x_address_write_vanishes(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] mem [0:3]; reg [1:0] a;
+              initial begin
+                mem[1] = 7;
+                // a is never assigned: all-x address
+                mem[a] = 8'hFF;
+                if (mem[1] !== 7) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations

@@ -1,0 +1,176 @@
+"""Non-blocking assignment edge cases (1364 stratified-queue rules)."""
+
+import itertools
+
+import pytest
+
+from tests.conftest import run_source
+
+
+class TestNbaOrdering:
+    def test_last_nba_wins_same_target(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                v <= 1;
+                v <= 2;
+                v <= 3;
+                #1;
+              end
+            endmodule
+        """)
+        assert sim.value("v").to_int() == 3
+
+    def test_nba_applies_after_all_active(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, seen_by_b;
+              initial begin
+                a = 0;
+                a <= 9;
+              end
+              initial begin
+                #0 seen_by_b = a;   // inactive region: still before NBA
+                #1;
+                if (seen_by_b !== 0) $error;
+                if (a !== 9) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nba_to_bit_select(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                v = 4'b0000;
+                v[2] <= 1'b1;
+                #1;
+              end
+            endmodule
+        """)
+        assert sim.value("v").to_verilog_bits() == "0100"
+
+    def test_nba_to_part_select(self):
+        result, sim = run_source("""
+            module tb; reg [7:0] v;
+              initial begin
+                v = 8'h00;
+                v[7:4] <= 4'hA;
+                #1;
+              end
+            endmodule
+        """)
+        assert sim.value("v").to_int() == 0xA0
+
+    def test_nba_to_memory_word(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] m [0:3];
+              initial begin
+                m[1] <= 8'h55;
+                #1;
+                if (m[1] !== 8'h55) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nba_index_evaluated_at_schedule_time(self):
+        result, _ = run_source("""
+            module tb; reg [7:0] m [0:3]; reg [1:0] i;
+              initial begin
+                i = 1;
+                m[i] <= 8'hEE;   // index captured now
+                i = 3;
+                #1;
+                if (m[1] !== 8'hEE) $error;
+                if (m[3] === 8'hEE) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_nba_rhs_evaluated_at_schedule_time(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = 5;
+                b <= a;     // captures 5
+                a = 9;
+                #1;
+                if (b !== 5) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_shift_register_no_race(self):
+        # the canonical NBA use: all stages see pre-edge values
+        result, _ = run_source("""
+            module tb; reg clk; reg [3:0] s0, s1, s2;
+              initial begin
+                clk = 0;
+                s0 = 1; s1 = 0; s2 = 0;
+                repeat (4) #5 clk = ~clk;
+                #1;
+                if (s1 !== 1 || s2 !== 1) $error;
+              end
+              always @(posedge clk) begin
+                s1 <= s0;
+                s2 <= s1;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+    def test_symbolic_nba_guarded(self):
+        result, sim = run_source("""
+            module tb; reg c; reg [3:0] v;
+              initial begin
+                v = 0;
+                c = $random;
+                if (c) v <= 7;
+                #1;
+              end
+            endmodule
+        """)
+        v = sim.value("v")
+        assert v.substitute({0: True}).to_int() == 7
+        assert v.substitute({0: False}).to_int() == 0
+
+    def test_delayed_nba_interleaving(self):
+        result, _ = run_source("""
+            module tb; reg [3:0] v;
+              initial begin
+                v = 0;
+                v <= #4 1;
+                v <= #2 2;
+                #3 if (v !== 2) $error;
+                #2 if (v !== 1) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestInoutPorts:
+    def test_inout_alias_bidirectional(self):
+        result, _ = run_source("""
+            module xcvr(inout pad, input drive, input d);
+              assign pad = drive ? d : 1'bz;
+            endmodule
+            module tb;
+              wire bus;
+              reg drv_a, da, drv_b, db;
+              xcvr a(.pad(bus), .drive(drv_a), .d(da));
+              xcvr b(.pad(bus), .drive(drv_b), .d(db));
+              initial begin
+                drv_a = 1; da = 1; drv_b = 0; db = 0;
+                #1 if (bus !== 1'b1) $error;
+                drv_a = 0; drv_b = 1;
+                #1 if (bus !== 1'b0) $error;
+                drv_b = 0;
+                #1 if (bus !== 1'bz) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations

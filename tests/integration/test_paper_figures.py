@@ -1,0 +1,351 @@
+"""The paper's worked examples, reproduced as executable tests.
+
+Each test corresponds to a specific figure or section of
+Kölbl/Kukula/Damiano, DAC 2001.
+"""
+
+import itertools
+
+import pytest
+
+from repro import AccumulationMode, SimOptions
+from repro.bdd import FALSE, TRUE
+from tests.conftest import run_source
+
+
+class TestFigure1:
+    """Section 3.2's symbolic execution walk-through.
+
+    After the if-statement, the paper derives ``b = s_a + s_b`` (OR)
+    for 1-bit registers.
+    """
+
+    SRC = """
+        module tb;
+          reg a, b;
+          initial begin
+            a = $random;
+            b = 0;
+            if (a == 0) begin
+              b = $random;
+            end else begin
+              b = 1;
+            end
+            #5;
+          end
+        endmodule
+    """
+
+    def test_final_b_is_or_of_symbols(self):
+        result, sim = run_source(self.SRC)
+        mgr = sim.mgr
+        b = sim.value("b")
+        s_a, s_b = mgr.var(0), mgr.var(1)
+        assert b.bits[0][0] == mgr.or_(s_a, s_b)
+        assert b.bits[0][1] == FALSE  # never X/Z
+
+    def test_intermediate_then_branch_value(self):
+        # The then-branch assignment gives b = !s_a & s_b before the
+        # else branch ORs in s_a — verify via cofactors of the result.
+        result, sim = run_source(self.SRC)
+        mgr = sim.mgr
+        b = sim.value("b").bits[0][0]
+        assert mgr.restrict(b, 0, False) == mgr.var(1)  # a=0: b = s_b
+        assert mgr.restrict(b, 0, True) == TRUE         # a!=0: b = 1
+
+
+class TestFigure2And9:
+    """Delays inside both branches of a symbolic if (Fig. 2 scheme)."""
+
+    def test_both_branches_with_delays_execute(self):
+        result, sim = run_source("""
+            module tb; reg a; reg [3:0] t_then, t_else;
+              initial begin
+                a = $random;
+                t_then = 0; t_else = 0;
+                if (a) begin
+                  #3 t_then = $time;
+                end
+                else begin
+                  #7 t_else = $time;
+                end
+              end
+            endmodule
+        """)
+        t_then = sim.value("t_then")
+        t_else = sim.value("t_else")
+        assert t_then.substitute({0: True}).to_int() == 3
+        assert t_then.substitute({0: False}).to_int() == 0
+        assert t_else.substitute({0: False}).to_int() == 7
+        assert t_else.substitute({0: True}).to_int() == 0
+
+
+class TestFigure4MergeInFuture:
+    """Balanced delays in both branches merge 5 time units later."""
+
+    SRC = """
+        module tb; reg a; reg [7:0] joins;
+          initial begin
+            joins = 0;
+            a = $random;
+            if (a == 0) begin
+              #5 joins = joins + 1;
+            end
+            else begin
+              #5 joins = joins + 1;
+            end
+            joins = joins + 10;   // after the join
+          end
+        endmodule
+    """
+
+    def test_joined_code_runs_once_per_path(self):
+        for mode in AccumulationMode:
+            result, sim = run_source(self.SRC, accumulation=mode)
+            joins = sim.value("joins")
+            for value in (True, False):
+                assert joins.substitute({0: value}).to_int() == 11
+
+    def test_accumulation_merges_the_paths(self):
+        result, sim = run_source(self.SRC,
+                                 accumulation=AccumulationMode.FULL)
+        assert result.stats.events_merged > 0
+
+
+class TestFigure5PartialMerge:
+    """Three paths; only the two with equal total delay can merge."""
+
+    SRC = """
+        module tb; reg [1:0] a, b; reg [7:0] arrived2, arrived5;
+          initial begin
+            arrived2 = 0; arrived5 = 0;
+            a = $random; b = $random;
+            if (a == 0) begin
+              if (b != 0) begin
+                #2 arrived2 = $time;
+              end
+              else begin
+                #5 arrived5 = $time;
+              end
+            end
+            else begin
+              #5 arrived5 = $time;
+            end
+          end
+        endmodule
+    """
+
+    def test_path_timing(self):
+        result, sim = run_source(self.SRC)
+        arrived2 = sim.value("arrived2")
+        arrived5 = sim.value("arrived5")
+        # a == 0, b != 0 -> the 2-unit path
+        cube = {0: False, 1: False, 2: True, 3: False}
+        assert arrived2.substitute(cube).to_int() == 2
+        assert arrived5.substitute(cube).to_int() == 0
+        # a == 0, b == 0 -> 5-unit path
+        cube = {0: False, 1: False, 2: False, 3: False}
+        assert arrived5.substitute(cube).to_int() == 5
+        # a != 0 -> 5-unit path
+        cube = {0: True, 1: False, 2: False, 3: False}
+        assert arrived5.substitute(cube).to_int() == 5
+
+    def test_balanced_paths_merge(self):
+        result, sim = run_source(self.SRC,
+                                 accumulation=AccumulationMode.FULL)
+        assert result.stats.events_merged > 0
+
+
+class TestFigure6MergeInDifferentStatement:
+    """Paths split by one if merge inside a *different* statement."""
+
+    def test_delayed_paths_rebalance(self):
+        result, sim = run_source("""
+            module tb; reg a; reg [7:0] after1, after2;
+              initial begin
+                after1 = 0; after2 = 0;
+                a = $random;
+                if (a == 0) begin
+                  #2 after1 = $time;
+                end
+                if (a != 0) begin
+                  #2 after2 = $time;
+                end
+                // both paths have total delay 2 here
+                if ($time !== 2) $error;
+              end
+            endmodule
+        """)
+        assert not result.violations
+        assert sim.value("after1").substitute({0: False}).to_int() == 2
+        assert sim.value("after2").substitute({0: True}).to_int() == 2
+
+
+class TestFigure7MergeInLoop:
+    """An always-loop with unbalanced branch delays re-merges across
+    iterations (delays 2 vs 4: paths align every other round)."""
+
+    SRC = """
+        module tb; reg a; reg [7:0] beats;
+          initial begin
+            beats = 0;
+            a = $random;
+            #21 $finish;
+          end
+          always begin
+            if (a == 0) begin
+              #2;
+            end
+            else begin
+              #4;
+            end
+            beats = beats + 1;
+          end
+        endmodule
+    """
+
+    def test_iteration_counts_per_path(self):
+        result, sim = run_source(self.SRC)
+        beats = sim.value("beats")
+        assert beats.substitute({0: False}).to_int() == 10  # every 2
+        assert beats.substitute({0: True}).to_int() == 5    # every 4
+
+    def test_accumulation_prevents_double_execution(self):
+        # With only two paths the accumulation *events* outnumber the
+        # savings, but the statements executed (the real cost driver,
+        # every execution is a BDD operation) must not multiply.
+        full, _ = run_source(self.SRC, accumulation=AccumulationMode.FULL)
+        none, _ = run_source(self.SRC, accumulation=AccumulationMode.NONE)
+        assert full.stats.instructions < none.stats.instructions
+
+    def test_event_multiplication_without_accumulation(self):
+        # A fresh split every iteration: paths double without merging
+        # ("event multiplication", Section 4), stay bounded with it.
+        src = """
+            module tb; reg v; integer k;
+              initial begin
+                for (k = 0; k < 5; k = k + 1) begin
+                  v = $random;
+                  if (v) begin #2; end
+                  else begin #2; end
+                end
+              end
+            endmodule
+        """
+        full, _ = run_source(src, accumulation=AccumulationMode.FULL)
+        none, _ = run_source(src, accumulation=AccumulationMode.NONE)
+        assert none.stats.events_processed > 4 * full.stats.events_processed
+
+
+class TestFigure10ErrorTraces:
+    """Section 5's data-dependent loop with conditional $random."""
+
+    SRC = """
+        module tb;
+          reg [1:0] a;
+          reg [2:0] b;
+          reg [4:0] c;
+          integer i;
+          initial begin
+            a = $random;
+            c = 0;
+            for (i = 0; i <= a; i = i + 1) begin
+              if (a != i + 1) begin
+                b = $random;
+                c = c + b;
+              end
+            end
+            $assert(c < 20);
+          end
+        endmodule
+    """
+
+    def test_violation_found(self):
+        result, _ = run_source(self.SRC)
+        assert len(result.violations) == 1
+        assert result.violations[0].kind == "$assert"
+
+    def test_trace_interleaves_executed_and_skipped(self):
+        """The paper stresses that executed / not-executed entries can
+        intermix, so resimulation must filter by control first."""
+        result, _ = run_source(self.SRC)
+        trace = result.violations[0].trace
+        b_entries = [e for e in trace.entries if e.seq >= 0 and
+                     e.callsite_index == 1]
+        # loop ran a+1 times; the symbolic run logs one invocation per
+        # dynamic execution with a satisfiable control
+        assert len(b_entries) >= 2
+
+    def test_resimulation_reproduces(self):
+        result, sim = run_source(self.SRC)
+        concrete = sim.resimulate(result.violations[0])
+        assert concrete.violations
+        assert concrete.value("c").to_int() >= 20
+
+    def test_all_traces_resimulate(self):
+        """Every satisfying assignment of the violation must replay."""
+        result, sim = run_source(self.SRC)
+        violation = result.violations[0]
+        mgr = sim.mgr
+        from repro.sim.trace import build_error_trace
+
+        where = {c.index: c.where for c in sim.program.callsites}
+        count = 0
+        for cube in itertools.islice(
+            mgr.all_sat(violation.condition), 0, 5
+        ):
+            trace = build_error_trace(mgr, violation.condition,
+                                      sim.kernel.random_log, where)
+            # build_error_trace picks sat_one; emulate per-cube traces
+            # by substituting this cube instead
+            from repro.sim.trace import ErrorTrace, TraceEntry, _concretize
+
+            entries = []
+            for inv in sim.kernel.random_log:
+                executed = mgr.eval(inv.control, cube)
+                value = _concretize(mgr, inv.vector, cube) if executed else None
+                entries.append(TraceEntry(
+                    callsite_index=inv.callsite_index,
+                    where=where.get(inv.callsite_index, "?"),
+                    seq=inv.seq, time=inv.time, executed=executed,
+                    value=value))
+            per_cube = ErrorTrace(witness=dict(cube), entries=entries)
+            concrete = sim.resimulate(per_cube)
+            assert concrete.violations
+            count += 1
+        assert count > 0
+
+
+class TestSection7Shape:
+    """The headline result's *shape*: symbolic finds the planted MCU bug
+    while random simulation with the same budget does not."""
+
+    def test_symbolic_finds_bug_random_does_not(self):
+        import repro
+        from repro.designs import load
+
+        src, top, defines = load("mcu8", runtime=100)
+        sim = repro.SymbolicSimulator.from_source(src, top=top,
+                                                  defines=defines)
+        result = sim.run(until=200)
+        assert result.violations, "symbolic simulation must hit the bug"
+
+        # random baseline: same testbench, concrete $random, many seeds
+        for seed in range(5):
+            rsim = repro.SymbolicSimulator.from_source(
+                src, top=top, defines=defines,
+                options=SimOptions(concrete_random=seed))
+            rresult = rsim.run(until=200)
+            assert not rresult.violations, \
+                f"random sim should not stumble on the bug (seed {seed})"
+
+    def test_bug_trace_resimulates(self):
+        import repro
+        from repro.designs import load
+
+        src, top, defines = load("mcu8", runtime=100)
+        sim = repro.SymbolicSimulator.from_source(src, top=top,
+                                                  defines=defines)
+        result = sim.run(until=200)
+        concrete = sim.resimulate(result.violations[0], until=200)
+        assert concrete.violations

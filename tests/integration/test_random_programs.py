@@ -1,0 +1,108 @@
+"""Randomized differential testing: generated programs, symbolic vs
+concrete.
+
+Hypothesis generates small behavioral programs (guaranteed to
+terminate: loops have concrete bounds, delays are constant) over two
+symbolic 2-bit inputs, then every generated program is cross-validated:
+each concrete substitution of the symbolic result must equal a
+conventional concrete run fed the same values.  This is fuzzing for
+the entire compile+simulate stack.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.integration.test_cross_validation import cross_validate
+
+VARS = ["x", "y", "z"]
+INPUTS = ["a", "b"]
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return draw(st.sampled_from(VARS + INPUTS))
+        if choice == 1:
+            return str(draw(st.integers(min_value=0, max_value=15)))
+        return f"4'd{draw(st.integers(min_value=0, max_value=15))}"
+    op = draw(st.sampled_from(["+", "-", "&", "|", "^", "<", "==", ">>"]))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def statements(draw, depth=2):
+    kind = draw(st.sampled_from(
+        ["assign", "assign", "nba", "if", "repeat", "for", "delay"]
+        if depth > 0 else ["assign", "nba", "delay"]
+    ))
+    if kind == "assign":
+        target = draw(st.sampled_from(VARS))
+        return f"{target} = {draw(expressions())};"
+    if kind == "nba":
+        target = draw(st.sampled_from(VARS))
+        return f"{target} <= {draw(expressions())};"
+    if kind == "delay":
+        return f"#{draw(st.integers(min_value=1, max_value=3))};"
+    if kind == "if":
+        cond = draw(expressions())
+        then_stmt = draw(statements(depth=depth - 1))
+        if draw(st.booleans()):
+            else_stmt = draw(statements(depth=depth - 1))
+            return f"if ({cond}) begin {then_stmt} end " \
+                   f"else begin {else_stmt} end"
+        return f"if ({cond}) begin {then_stmt} end"
+    if kind == "repeat":
+        count = draw(st.integers(min_value=0, max_value=3))
+        body = draw(statements(depth=depth - 1))
+        return f"repeat ({count}) begin {body} end"
+    # for loop over the dedicated index variable
+    bound = draw(st.integers(min_value=1, max_value=3))
+    body = draw(statements(depth=depth - 1))
+    return (f"for (idx = 0; idx < {bound}; idx = idx + 1) "
+            f"begin {body} end")
+
+
+@st.composite
+def programs(draw):
+    body = "\n            ".join(
+        draw(st.lists(statements(), min_size=2, max_size=5))
+    )
+    return f"""
+        module tb;
+          reg [1:0] a, b;
+          reg [3:0] x, y, z;
+          integer idx;
+          initial begin
+            x = 0; y = 0; z = 0;
+            a = $random;
+            b = $random;
+            {body}
+          end
+        endmodule
+    """
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_generated_program_cross_validates(source):
+    cross_validate(source, nets=["x", "y", "z"], until=200, max_cases=4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_generated_program_all_cases(source):
+    # fewer examples, but exhaustive over all 16 input combinations
+    cross_validate(source, nets=["x", "y", "z"], until=200, max_cases=16)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_generated_program_pretty_print_roundtrip(source):
+    """parse(print(parse(p))) is structurally identical for generated
+    programs too."""
+    from tests.unit.test_printer import roundtrip
+
+    roundtrip(source)

@@ -1,0 +1,313 @@
+"""Symbolic execution semantics: splits, guarded writes, exploration."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import FALSE, TRUE
+from tests.conftest import run_source
+
+
+def assignments(n):
+    return itertools.product([False, True], repeat=n)
+
+
+class TestSymbolicBranching:
+    def test_both_branches_simulated(self):
+        """One run covers both sides of a symbolic if."""
+        result, sim = run_source("""
+            module tb; reg a; reg [3:0] y;
+              initial begin
+                a = $random;
+                if (a) y = 7;
+                else y = 3;
+              end
+            endmodule
+        """)
+        y = sim.value("y")
+        assert y.substitute({0: True}).to_int() == 7
+        assert y.substitute({0: False}).to_int() == 3
+
+    def test_nested_splits_cover_all_paths(self):
+        result, sim = run_source("""
+            module tb; reg a, b; reg [3:0] y;
+              initial begin
+                a = $random; b = $random;
+                if (a) begin
+                  if (b) y = 3; else y = 2;
+                end
+                else begin
+                  if (b) y = 1; else y = 0;
+                end
+              end
+            endmodule
+        """)
+        y = sim.value("y")
+        for va, vb in assignments(2):
+            expected = (2 if va else 0) + (1 if vb else 0)
+            assert y.substitute({0: va, 1: vb}).to_int() == expected
+
+    def test_symbolic_case_covers_all_arms(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] s; reg [3:0] y;
+              initial begin
+                s = $random;
+                case (s)
+                  0: y = 10;
+                  1: y = 11;
+                  2: y = 12;
+                  default: y = 13;
+                endcase
+              end
+            endmodule
+        """)
+        y = sim.value("y")
+        for v0, v1 in assignments(2):
+            sel = (2 if v1 else 0) + (1 if v0 else 0)
+            assert y.substitute({0: v0, 1: v1}).to_int() == 10 + sel
+
+    def test_case_selector_captured_before_arms(self):
+        # Arm bodies that modify the selector must not change matching.
+        result, sim = run_source("""
+            module tb; reg [1:0] s; reg [3:0] y;
+              initial begin
+                s = 0;
+                case (s)
+                  0: begin s = 1; y = 5; end
+                  1: y = 6;
+                  default: y = 7;
+                endcase
+              end
+            endmodule
+        """)
+        assert sim.value("y").to_int() == 5
+
+    def test_if_condition_captured_at_split(self):
+        # The then-branch mutating the condition's operand must not
+        # corrupt the else control (DESIGN.md, Fig. 9 deviation).
+        result, sim = run_source("""
+            module tb; reg a; reg [1:0] taken;
+              initial begin
+                a = $random;
+                taken = 0;
+                if (a == 1) begin
+                  a = 0;       // perturb the condition operand
+                  taken = 1;
+                end
+                else begin
+                  taken = 2;
+                end
+              end
+            endmodule
+        """)
+        taken = sim.value("taken")
+        assert taken.substitute({0: True}).to_int() == 1
+        assert taken.substitute({0: False}).to_int() == 2
+
+    def test_symbolic_while_terminates_via_dead_control(self):
+        result, sim = run_source("""
+            module tb; reg [2:0] n; reg [3:0] count;
+              initial begin
+                n = $random;
+                count = 0;
+                while (n != 0) begin
+                  n = n - 1;
+                  count = count + 1;
+                end
+              end
+            endmodule
+        """)
+        count = sim.value("count")
+        for bits in assignments(3):
+            n = sum(1 << i for i, b in enumerate(bits) if b)
+            cube = dict(enumerate(bits))
+            assert count.substitute(cube).to_int() == n
+
+    def test_symbolic_repeat_count(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] n; reg [3:0] total;
+              initial begin
+                n = $random;
+                total = 0;
+                repeat (n) total = total + 3;
+              end
+            endmodule
+        """)
+        total = sim.value("total")
+        for v0, v1 in assignments(2):
+            n = (2 if v1 else 0) + (1 if v0 else 0)
+            assert total.substitute({0: v0, 1: v1}).to_int() == 3 * n
+
+    def test_dead_branch_never_executes(self):
+        result, _ = run_source("""
+            module tb; reg a;
+              initial begin
+                a = $random;
+                if (a & ~a) $error;   // unsatisfiable
+              end
+            endmodule
+        """)
+        assert not result.violations
+
+
+class TestSymbolicDataFlow:
+    def test_arithmetic_relation(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] a; reg [4:0] dbl;
+              initial begin
+                a = $random;
+                dbl = a + a;
+              end
+            endmodule
+        """)
+        dbl = sim.value("dbl")
+        for bits in assignments(4):
+            a = sum(1 << i for i, b in enumerate(bits) if b)
+            assert dbl.substitute(dict(enumerate(bits))).to_int() == 2 * a
+
+    def test_symbolic_through_hierarchy(self):
+        result, sim = run_source("""
+            module inc(input [3:0] x, output [3:0] y);
+              assign y = x + 1;
+            endmodule
+            module tb; reg [3:0] a; wire [3:0] y;
+              inc u(.x(a), .y(y));
+              initial begin a = $random; #1; end
+            endmodule
+        """)
+        y = sim.value("y")
+        for bits in assignments(4):
+            a = sum(1 << i for i, b in enumerate(bits) if b)
+            assert y.substitute(dict(enumerate(bits))).to_int() == (a + 1) % 16
+
+    def test_random_width_matches_context(self):
+        """`a = $random` introduces exactly width(a) variables."""
+        result, sim = run_source("""
+            module tb; reg [2:0] a;
+              initial a = $random;
+            endmodule
+        """)
+        assert sim.mgr.var_count == 3
+
+    def test_randomxz_covers_four_values(self):
+        result, sim = run_source("""
+            module tb; reg a;
+              initial a = $randomxz;
+            endmodule
+        """)
+        assert sim.mgr.var_count == 2  # two rails per bit
+        a = sim.value("a")
+        seen = set()
+        for va, vb in assignments(2):
+            seen.add(a.substitute({0: va, 1: vb}).to_verilog_bits())
+        assert seen == {"0", "1", "x", "z"}
+
+    def test_symbolic_bit_select_read(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] v; reg [1:0] i; reg b;
+              initial begin
+                v = 4'b0110;
+                i = $random;
+                b = v[i];
+              end
+            endmodule
+        """)
+        b = sim.value("b")
+        for v0, v1 in assignments(2):
+            i = (2 if v1 else 0) + (1 if v0 else 0)
+            expected = (0b0110 >> i) & 1
+            assert b.substitute({0: v0, 1: v1}).to_int() == expected
+
+    def test_symbolic_bit_select_write(self):
+        result, sim = run_source("""
+            module tb; reg [3:0] v; reg [1:0] i;
+              initial begin
+                v = 4'b0000;
+                i = $random;
+                v[i] = 1;
+              end
+            endmodule
+        """)
+        v = sim.value("v")
+        for v0, v1 in assignments(2):
+            i = (2 if v1 else 0) + (1 if v0 else 0)
+            assert v.substitute({0: v0, 1: v1}).to_int() == (1 << i)
+
+    def test_symbolic_shift(self):
+        result, sim = run_source("""
+            module tb; reg [1:0] k; reg [7:0] v;
+              initial begin
+                k = $random;
+                v = 8'h01 << k;
+              end
+            endmodule
+        """)
+        v = sim.value("v")
+        for v0, v1 in assignments(2):
+            k = (2 if v1 else 0) + (1 if v0 else 0)
+            assert v.substitute({0: v0, 1: v1}).to_int() == 1 << k
+
+
+class TestSymbolicClocking:
+    def test_symbolic_nba_under_clock(self):
+        result, sim = run_source("""
+            module tb; reg clk; reg [3:0] d, q;
+              initial begin
+                clk = 0; d = $random;
+                #1 clk = 1;
+                #1 $finish;
+              end
+              always @(posedge clk) q <= d;
+            endmodule
+        """)
+        q = sim.value("q")
+        for bits in assignments(4):
+            d = sum(1 << i for i, b in enumerate(bits) if b)
+            assert q.substitute(dict(enumerate(bits))).to_int() == d
+
+    def test_conditional_event_wake(self):
+        """A waiter wakes only on the paths where the edge happened."""
+        result, sim = run_source("""
+            module tb; reg a, trig; reg [3:0] woke;
+              initial begin
+                woke = 0;
+                a = $random;
+                trig = 0;
+                #1;
+                if (a) trig = 1;   // edge occurs only where a=1
+                #1 $finish;
+              end
+              always @(posedge trig) woke = 5;
+            endmodule
+        """)
+        woke = sim.value("woke")
+        assert woke.substitute({0: True}).to_int() == 5
+        assert woke.substitute({0: False}).to_int() == 0
+
+    def test_symbolic_handshake_roundtrip(self):
+        result, _ = run_source("""
+            module echo(input req, input [3:0] din, output reg ack,
+                        output reg [3:0] dout);
+              initial ack = 0;
+              always begin
+                @(posedge req);
+                #2 dout = din;
+                ack = 1;
+                @(negedge req);
+                ack = 0;
+              end
+            endmodule
+            module tb; reg req; reg [3:0] din; wire ack; wire [3:0] dout;
+              echo u(.req(req), .din(din), .ack(ack), .dout(dout));
+              initial begin
+                req = 0;
+                din = $random;
+                #1 req = 1;
+                @(posedge ack);
+                if (dout !== din) $error;
+                req = 0;
+                #1 $finish;
+              end
+            endmodule
+        """)
+        assert not result.violations

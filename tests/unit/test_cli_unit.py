@@ -1,0 +1,90 @@
+"""Additional CLI coverage: flag combinations and error surfaces."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+@pytest.fixture
+def counter_file(tmp_path):
+    path = tmp_path / "counter.v"
+    path.write_text("""
+        module tb; reg clk; reg [3:0] q;
+          initial begin
+            clk = 0; q = 0;
+            repeat (6) begin
+              #5 clk = ~clk;
+              if (clk) q = q + 1;
+            end
+            $display("q=%0d", q);
+            $finish;
+          end
+        endmodule
+    """)
+    return str(path)
+
+
+class TestFlags:
+    def test_echo_by_default(self, counter_file, capsys):
+        assert main([counter_file]) == 0
+        out = capsys.readouterr().out
+        assert "q=3" in out
+        assert "$finish" in out
+
+    def test_quiet_suppresses_display(self, counter_file, capsys):
+        main([counter_file, "--quiet"])
+        assert "q=3" not in capsys.readouterr().out
+
+    def test_top_selection(self, tmp_path, capsys):
+        path = tmp_path / "two.v"
+        path.write_text("""
+            module a; initial $display("in a"); endmodule
+            module b; initial $display("in b"); endmodule
+        """)
+        main([str(path), "--top", "b"])
+        out = capsys.readouterr().out
+        assert "in b" in out and "in a" not in out
+
+    def test_missing_top_is_error(self, tmp_path, capsys):
+        path = tmp_path / "two.v"
+        path.write_text("""
+            module a; endmodule
+            module b; endmodule
+        """)
+        assert main([str(path)]) == 2
+
+    def test_multiple_defines(self, tmp_path, capsys):
+        path = tmp_path / "d.v"
+        path.write_text("""
+            module tb;
+              initial $display("%0d %0d", `A, `B);
+            endmodule
+        """)
+        assert main([str(path), "--define", "A=3", "--define", "B=4"]) == 0
+        assert "3 4" in capsys.readouterr().out
+
+    def test_continue_on_violation(self, tmp_path, capsys):
+        path = tmp_path / "v.v"
+        path.write_text("""
+            module tb; reg [1:0] a;
+              initial begin
+                a = $random;
+                if (a == 1) $error("first");
+                if (a == 2) $error("second");
+              end
+            endmodule
+        """)
+        assert main([str(path), "--quiet",
+                     "--continue-on-violation"]) == 1
+        out = capsys.readouterr().out
+        assert "first" in out and "second" in out
+
+    def test_nonexistent_file(self, capsys):
+        with pytest.raises(OSError):
+            main(["/nonexistent/file.v"])
+
+    def test_parser_help_lists_modes(self):
+        parser = build_arg_parser()
+        text = parser.format_help()
+        for mode in ("full", "queue_merge_only", "none"):
+            assert mode in text

