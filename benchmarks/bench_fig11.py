@@ -25,29 +25,45 @@ import time
 import pytest
 
 import repro
-from repro import AccumulationMode, SimOptions
+from repro import (
+    AccumulationMode, MetricsRegistry, Observability, SimOptions,
+)
 from repro.designs import load
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
 
 RUNTIME = 130
 QUIET_CYCLES = 4
 PERIOD = 3
 INIT_END = 12 + 10 * QUIET_CYCLES  # reset + quiet cycles
 
-_SERIES: dict = {}
+#: mode -> metrics snapshot; both panels of Fig. 11 read the kernel's
+#: ``sim.timeline.*`` series from here (the repro.obs data path).
+#: Only the plain-data snapshot is retained — a live registry's
+#: callback gauges would pin the cell's BddManager in memory.
+_SNAPSHOTS: dict = {}
 
 
 def _run_mode(mode: AccumulationMode):
     source, top, defines = load("mcu8", runtime=RUNTIME, quiet=QUIET_CYCLES,
                                 period=PERIOD)
+    registry = MetricsRegistry()
     sim = repro.SymbolicSimulator.from_source(
         source, top=top, defines=defines,
         options=SimOptions(accumulation=mode, trace_stats=True,
-                           stop_on_violation=False))
+                           stop_on_violation=False,
+                           obs=Observability(metrics=registry)))
     result = sim.run(until=RUNTIME + 20)
-    _SERIES[mode] = result.stats.timeline
+    _SNAPSHOTS[mode] = registry.snapshot()
     return result
+
+
+def _series(mode: AccumulationMode, name: str):
+    """(x, y) samples of one kernel series for one accumulation mode."""
+    for metric in _SNAPSHOTS[mode]["metrics"]:
+        if metric["name"] == name:
+            return [tuple(pair) for pair in metric["value"]]
+    raise KeyError(name)
 
 
 @pytest.mark.parametrize("mode",
@@ -59,47 +75,54 @@ def test_fig11_run(benchmark, mode):
 
 def test_fig11_report(benchmark):
     def build_report():
-        full = _SERIES[AccumulationMode.FULL]
-        none = _SERIES[AccumulationMode.NONE]
+        full_ev = _series(AccumulationMode.FULL, "sim.timeline.events")
+        none_ev = _series(AccumulationMode.NONE, "sim.timeline.events")
+        full_cpu = _series(AccumulationMode.FULL, "sim.timeline.cpu_seconds")
+        none_cpu = _series(AccumulationMode.NONE, "sim.timeline.cpu_seconds")
 
         def at_or_before(series, sim_time):
-            best = series[0]
-            for point in series:
-                if point.sim_time <= sim_time:
-                    best = point
+            best = series[0][1]
+            for x, y in series:
+                if x <= sim_time:
+                    best = y
             return best
 
-        times = sorted({p.sim_time for p in full} | {p.sim_time for p in none})
+        times = sorted({x for x, _ in full_ev} | {x for x, _ in none_ev})
         lines = [
             "Fig. 11 — cumulative events / CPU seconds vs simulation time",
             f"{'t':>5s} {'events(acc)':>12s} {'events(none)':>13s} "
             f"{'cpu(acc)':>10s} {'cpu(none)':>10s}",
         ]
         for sim_time in times:
-            pf = at_or_before(full, sim_time)
-            pn = at_or_before(none, sim_time)
             lines.append(
-                f"{sim_time:5d} {pf.events:12d} {pn.events:13d} "
-                f"{pf.cpu_seconds:10.3f} {pn.cpu_seconds:10.3f}"
+                f"{sim_time:5.0f} "
+                f"{at_or_before(full_ev, sim_time):12.0f} "
+                f"{at_or_before(none_ev, sim_time):13.0f} "
+                f"{at_or_before(full_cpu, sim_time):10.3f} "
+                f"{at_or_before(none_cpu, sim_time):10.3f}"
             )
-        final_full, final_none = full[-1], none[-1]
-        ratio_events = final_none.events / max(final_full.events, 1)
-        ratio_cpu = final_none.cpu_seconds / max(final_full.cpu_seconds, 1e-9)
+        final_full_ev, final_none_ev = full_ev[-1][1], none_ev[-1][1]
+        final_full_cpu, final_none_cpu = full_cpu[-1][1], none_cpu[-1][1]
+        ratio_events = final_none_ev / max(final_full_ev, 1)
+        ratio_cpu = final_none_cpu / max(final_full_cpu, 1e-9)
         lines.append(
-            f"final: events {final_full.events} vs {final_none.events} "
-            f"(x{ratio_events:.1f}); cpu {final_full.cpu_seconds:.2f}s vs "
-            f"{final_none.cpu_seconds:.2f}s (x{ratio_cpu:.1f})"
+            f"final: events {final_full_ev:.0f} vs {final_none_ev:.0f} "
+            f"(x{ratio_events:.1f}); cpu {final_full_cpu:.2f}s vs "
+            f"{final_none_cpu:.2f}s (x{ratio_cpu:.1f})"
         )
         report("fig11", lines)
+        report_json("fig11", {
+            mode.value: snapshot for mode, snapshot in _SNAPSHOTS.items()
+        })
 
         # --- shape assertions ---------------------------------------
         # (1) curves coincide during the initialization phase
-        init_full = at_or_before(full, INIT_END).events
-        init_none = at_or_before(none, INIT_END).events
+        init_full = at_or_before(full_ev, INIT_END)
+        init_none = at_or_before(none_ev, INIT_END)
         assert abs(init_full - init_none) <= 0.1 * max(init_full, 1), \
             "event curves must coincide during the init phase"
         # (2) strong divergence afterwards (paper: 2x; ours is larger)
         assert ratio_events > 2.0
-        assert final_none.cpu_seconds > final_full.cpu_seconds
+        assert final_none_cpu > final_full_cpu
 
     benchmark.pedantic(build_report, rounds=1, iterations=1)

@@ -27,10 +27,12 @@ import time
 import pytest
 
 import repro
-from repro import AccumulationMode, SimOptions
+from repro import (
+    AccumulationMode, MetricsRegistry, Observability, SimOptions,
+)
 from repro.designs import load
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
 
 #: workload per design: loader kwargs + simulation bound
 WORKLOADS = {
@@ -40,20 +42,40 @@ WORKLOADS = {
 }
 
 _RESULTS: dict = {}
+_SNAPSHOTS: dict = {}
 
 
 def _run_cell(design: str, mode: AccumulationMode):
     kwargs, until = WORKLOADS[design]
     source, top, defines = load(design, **kwargs)
+    # Metrics-only observability: the kernel leaves its hot paths
+    # un-wrapped, so the timed cell matches an un-instrumented run.
+    registry = MetricsRegistry()
     sim = repro.SymbolicSimulator.from_source(
         source, top=top, defines=defines,
-        options=SimOptions(accumulation=mode))
+        options=SimOptions(accumulation=mode,
+                           obs=Observability(metrics=registry)))
     started = time.perf_counter()
     result = sim.run(until=until)
     elapsed = time.perf_counter() - started
     assert not result.violations, f"{design} checker mismatch!"
-    _RESULTS[(design, mode)] = (elapsed, result.stats.events_processed)
+    registry.gauge("bench.wall_seconds",
+                   "wall time of the timed run() call").set(elapsed)
+    # Keep only the plain-data snapshot: the live registry's callback
+    # gauges hold the BddManager (and its arena) alive, which would
+    # bloat the process and slow every later cell.
+    _SNAPSHOTS[(design, mode)] = registry.snapshot()
+    _RESULTS[(design, mode)] = (elapsed,
+                                int(registry.gauge(
+                                    "sim.events_processed").value))
     return result
+
+
+def _gauge(snapshot, name):
+    for metric in snapshot["metrics"]:
+        if metric["name"] == name:
+            return metric["value"]
+    raise KeyError(name)
 
 
 @pytest.mark.parametrize("design", list(WORKLOADS))
@@ -80,7 +102,26 @@ def test_table1_report(benchmark):
                 cells.append(f"{elapsed:9.2f}s ({events:6d}ev)")
             lines.append(f"{design:8s} {cells[0]:>22s} {cells[1]:>22s} "
                          f"{cells[2]:>22s}")
+        lines.append("")
+        lines.append("BDD work per cell (nodes created / ite-cache hit rate)")
+        for design in ("dram", "risc8", "gcd"):
+            cells = []
+            for mode in (AccumulationMode.FULL,
+                         AccumulationMode.QUEUE_MERGE_ONLY,
+                         AccumulationMode.NONE):
+                snapshot = _SNAPSHOTS[(design, mode)]
+                nodes = int(_gauge(snapshot, "bdd.nodes"))
+                hits = _gauge(snapshot, "bdd.ite_cache.hits")
+                misses = _gauge(snapshot, "bdd.ite_cache.misses")
+                rate = 100.0 * hits / max(hits + misses, 1)
+                cells.append(f"{nodes:9d}n {rate:5.1f}%")
+            lines.append(f"{design:8s} {cells[0]:>22s} {cells[1]:>22s} "
+                         f"{cells[2]:>22s}")
         report("table1", lines)
+        report_json("table1", {
+            f"{design}/{mode.value}": snapshot
+            for (design, mode), snapshot in _SNAPSHOTS.items()
+        })
 
         # --- shape assertions (paper's qualitative claims) ----------
         dram = {m: _RESULTS[("dram", m)] for m in AccumulationMode}

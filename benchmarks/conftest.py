@@ -8,6 +8,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 
@@ -24,3 +25,18 @@ def report(name: str, lines) -> None:
         handle.write(text + "\n")
     # __stderr__ bypasses pytest capture so the table is always visible
     print(f"\n{text}", file=sys.__stderr__, flush=True)
+
+
+def report_json(name: str, payload) -> None:
+    """Persist machine-readable telemetry next to the text tables.
+
+    Benchmarks route their series through ``repro.obs`` metric
+    registries; the registry snapshots land here
+    (``results/<name>.metrics.json``) so figures and telemetry share
+    one data path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.metrics.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -45,6 +45,9 @@ from repro.errors import (
 )
 from repro.fourval import FourVec
 from repro.frontend import elaborate, parse_source
+from repro.obs import (
+    HotSpotProfiler, MetricsRegistry, Observability, Tracer,
+)
 from repro.sim import (
     ErrorTrace, Kernel, SimOptions, SimResult, Violation,
 )
@@ -55,6 +58,7 @@ __version__ = "1.0.0"
 __all__ = [
     "SymbolicSimulator", "SimOptions", "SimResult", "AccumulationMode",
     "FourVec", "BddManager", "ErrorTrace", "Violation",
+    "Observability", "MetricsRegistry", "Tracer", "HotSpotProfiler",
     "parse_source", "elaborate", "compile_design", "resimulate",
     "resimulate_violation",
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",

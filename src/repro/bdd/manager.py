@@ -50,6 +50,16 @@ class BddManager:
         self._not_cache: Dict[int, int] = {}
         self._var_names: List[str] = []
         self._var_bdds: List[int] = []
+        # Cache instrumentation (repro.obs).  Misses are derived for
+        # free: every miss inserts exactly one computed-table entry and
+        # the table only shrinks on reorder(), where the length is
+        # folded into the epoch base.  Only hits pay an increment, and
+        # only on the ite fast path; terminal shortcuts that never
+        # consult a cache are counted by neither side.
+        self._ite_hits = 0
+        self._ite_miss_base = 0
+        self._not_hits = 0
+        self._not_miss_base = 0
 
     # ------------------------------------------------------------------
     # variables
@@ -141,6 +151,7 @@ class BddManager:
         key = (f, g, h)
         cached = cache.get(key)
         if cached is not None:
+            self._ite_hits += 1
             return cached
         levels = self._level
         lows = self._low
@@ -186,6 +197,7 @@ class BddManager:
             return TRUE
         cached = self._not_cache.get(f)
         if cached is not None:
+            self._not_hits += 1
             return cached
         result = self._mk(
             self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
@@ -504,8 +516,146 @@ class BddManager:
         """Total nodes ever created in the arena (a growth metric)."""
         return len(self._level) - 2
 
+    @property
+    def peak_nodes(self) -> int:
+        """Peak live nodes.  The arena never shrinks (no GC), so the
+        peak equals :attr:`total_nodes`; the alias keeps the memory
+        story explicit in stats output."""
+        return len(self._level) - 2
+
+    @property
+    def ite_cache_hits(self) -> int:
+        return self._ite_hits
+
+    @property
+    def ite_cache_misses(self) -> int:
+        # Every miss stores exactly one computed-table entry, so the
+        # count falls out of the table length — no hot-path counter.
+        return self._ite_miss_base + len(self._ite_cache)
+
+    @property
+    def not_cache_hits(self) -> int:
+        return self._not_hits
+
+    @property
+    def not_cache_misses(self) -> int:
+        # Each miss inserts a complement *pair* (f -> r and r -> f);
+        # neither key can pre-exist (a present r -> f implies f -> r
+        # was inserted alongside it, which would have been a hit).
+        return self._not_miss_base + len(self._not_cache) // 2
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Cache/arena counters as a flat dict (repro.obs schema).
+
+        Hit rates are fractions in [0, 1]; ``nodes``/``peak_nodes``
+        count internal nodes (terminals excluded).
+        """
+        ite_misses = self.ite_cache_misses
+        not_misses = self.not_cache_misses
+        ite_total = self._ite_hits + ite_misses
+        not_total = self._not_hits + not_misses
+        return {
+            "ite_hits": self._ite_hits,
+            "ite_misses": ite_misses,
+            "ite_hit_rate": self._ite_hits / ite_total if ite_total else 0.0,
+            "not_hits": self._not_hits,
+            "not_misses": not_misses,
+            "not_hit_rate": self._not_hits / not_total if not_total else 0.0,
+            "nodes": self.total_nodes,
+            "peak_nodes": self.peak_nodes,
+            "var_count": self.var_count,
+        }
+
+    def attach_metrics(self, registry) -> None:
+        """Register live gauges on a :class:`repro.obs.MetricsRegistry`.
+
+        Gauges are callback-backed: they read the manager at snapshot
+        time, so attaching costs nothing on the operator hot paths.
+        """
+        pairs = (
+            ("bdd.nodes", "internal nodes in the arena",
+             lambda: self.total_nodes),
+            ("bdd.peak_nodes", "peak live nodes (== total, no GC)",
+             lambda: self.peak_nodes),
+            ("bdd.vars", "BDD variables created",
+             lambda: self.var_count),
+            ("bdd.ite_cache.hits", "ite computed-table hits",
+             lambda: self._ite_hits),
+            ("bdd.ite_cache.misses", "ite computed-table misses",
+             lambda: self.ite_cache_misses),
+            ("bdd.not_cache.hits", "not cache hits",
+             lambda: self._not_hits),
+            ("bdd.not_cache.misses", "not cache misses",
+             lambda: self.not_cache_misses),
+        )
+        for name, help_, fn in pairs:
+            registry.gauge(name, help_).set_function(fn)
+
+    def instrument_latency(self, registry, sample_every: int = 64) -> None:
+        """Record per-operation latency histograms (opt-in, sampled).
+
+        Wraps :meth:`ite` and :meth:`not_` on *this instance* so every
+        ``sample_every``-th top-level call is timed into
+        ``bdd.op_seconds{op=...}``.  Recursive inner calls pass through
+        untimed (a depth counter), so a sample measures one whole
+        operator application.  Only instrumented managers pay the
+        wrapper cost; plain managers are untouched.
+        """
+        import time as _time
+
+        hist = registry.histogram(
+            "bdd.op_seconds", "top-level BDD operator latency",
+            labels=("op",),
+        )
+        ite_hist = hist.labels(op="ite")
+        not_hist = hist.labels(op="not")
+        orig_ite = BddManager.ite.__get__(self)
+        orig_not = BddManager.not_.__get__(self)
+        state = {"depth": 0, "n": 0}
+
+        def timed_ite(f: int, g: int, h: int) -> int:
+            if state["depth"]:
+                return orig_ite(f, g, h)
+            state["n"] += 1
+            if state["n"] % sample_every:
+                state["depth"] = 1
+                try:
+                    return orig_ite(f, g, h)
+                finally:
+                    state["depth"] = 0
+            started = _time.perf_counter()
+            state["depth"] = 1
+            try:
+                return orig_ite(f, g, h)
+            finally:
+                state["depth"] = 0
+                ite_hist.observe(_time.perf_counter() - started)
+
+        def timed_not(f: int) -> int:
+            if state["depth"]:
+                return orig_not(f)
+            state["n"] += 1
+            if state["n"] % sample_every:
+                state["depth"] = 1
+                try:
+                    return orig_not(f)
+                finally:
+                    state["depth"] = 0
+            started = _time.perf_counter()
+            state["depth"] = 1
+            try:
+                return orig_not(f)
+            finally:
+                state["depth"] = 0
+                not_hist.observe(_time.perf_counter() - started)
+
+        self.ite = timed_ite  # type: ignore[method-assign]
+        self.not_ = timed_not  # type: ignore[method-assign]
+
     def clear_caches(self) -> None:
         """Drop the operator caches (the unique table is kept)."""
+        self._ite_miss_base += len(self._ite_cache)
+        self._not_miss_base += len(self._not_cache) // 2
         self._ite_cache.clear()
         self._not_cache.clear()
 

@@ -7,16 +7,26 @@ Examples::
     symsim design.v --random-seed 1      # conventional random simulation
     symsim design.v --accumulation none  # Table-1 style comparisons
     symsim design.v --resimulate         # replay the first violation
+
+Observability (see docs/OBSERVABILITY.md)::
+
+    symsim design.v --trace-out t.json   # Chrome trace (Perfetto-loadable)
+    symsim design.v --trace-jsonl t.jsonl
+    symsim design.v --profile            # print top-N hot event sites
+    symsim design.v --profile-out p.json --metrics-out m.json
+    symsim report p.json                 # pretty-print a saved document
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro import (
-    AccumulationMode, ReproError, SimOptions, SymbolicSimulator,
+    AccumulationMode, Observability, ReproError, SimOptions,
+    SymbolicSimulator,
 )
 
 
@@ -49,28 +59,96 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print event/CPU statistics")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress $display output echo")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Chrome trace_event JSON "
+                          "(chrome://tracing / Perfetto)")
+    obs.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                     help="write the structured trace as JSONL")
+    obs.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write the unified metrics registry as JSON")
+    obs.add_argument("--profile", action="store_true",
+                     help="print the top-N hot event sites after the run")
+    obs.add_argument("--profile-out", metavar="PATH", default=None,
+                     help="write the hot-spot profile as JSON "
+                          "(render with 'symsim report')")
+    obs.add_argument("--profile-top", type=int, default=10, metavar="N",
+                     help="sites to print with --profile (default 10)")
+    obs.add_argument("--bdd-latency", action="store_true",
+                     help="sample BDD operator latency histograms into "
+                          "the metrics registry (implies metrics)")
     return parser
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim report",
+        description="Pretty-print a saved observability document "
+                    "(profile, metrics, or trace JSONL)",
+    )
+    parser.add_argument("file", help="JSON/JSONL document written by a "
+                                     "symsim run")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="event sites to show for profiles "
+                             "(default 10)")
+    return parser
+
+
+def report_main(argv: List[str]) -> int:
+    from repro.obs.report import render_file
+
+    args = build_report_parser().parse_args(argv)
+    try:
+        print(render_file(args.file, top=args.top))
+    except BrokenPipeError:
+        return 0  # downstream pager/head closed early — not an error
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot render {args.file}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     defines = {}
     for item in args.define:
         name, _, value = item.partition("=")
         defines[name] = value
+    want_profile = args.profile or args.profile_out is not None
+    try:
+        obs = Observability.from_flags(
+            trace_out=args.trace_out,
+            trace_jsonl=args.trace_jsonl,
+            metrics=args.metrics_out is not None or args.bdd_latency,
+            profile=want_profile,
+        )
+    except OSError as exc:
+        print(f"error: cannot open trace output: {exc}", file=sys.stderr)
+        return 2
     options = SimOptions(
         accumulation=AccumulationMode(args.accumulation),
         stop_on_violation=not args.continue_on_violation,
         echo_output=not args.quiet,
         concrete_random=args.random_seed,
+        trace_stats=obs is not None and obs.metrics is not None,
+        obs=obs,
     )
     try:
         sim = SymbolicSimulator.from_file(args.source, top=args.top,
                                           options=options, defines=defines)
+        if args.bdd_latency:
+            sim.mgr.instrument_latency(obs.metrics)
         result = sim.run(until=args.until)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if obs is not None:
+            obs.close()
     mode = "random" if args.random_seed is not None else "symbolic"
     print(f"[{mode}] simulation ended at time {result.time} "
           f"({'$finish' if result.finished else 'queue empty/bound'})")
@@ -78,6 +156,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[stats] {result.stats.summary()}")
         print(f"[stats] cpu={sim.kernel.cpu_seconds:.3f}s "
               f"bdd-nodes={sim.mgr.total_nodes}")
+    if args.metrics_out is not None:
+        try:
+            obs.metrics.write_json(args.metrics_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[obs] metrics written to {args.metrics_out}")
+    if args.trace_out is not None:
+        print(f"[obs] chrome trace written to {args.trace_out}")
+    if args.trace_jsonl is not None:
+        print(f"[obs] trace JSONL written to {args.trace_jsonl}")
+    if want_profile:
+        document = sim.kernel.profile_document()
+        if args.profile_out is not None:
+            try:
+                with open(args.profile_out, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2)
+                    handle.write("\n")
+            except OSError as exc:
+                print(f"error: cannot write {args.profile_out}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"[obs] profile written to {args.profile_out}")
+        if args.profile:
+            from repro.obs.report import format_profile
+
+            print(format_profile(document, top=args.profile_top))
     for violation in result.violations:
         print(violation)
     if result.violations and args.resimulate:

@@ -1,0 +1,27 @@
+"""``repro.obs`` — observability for the symbolic simulation kernel.
+
+Three instruments, one bundle:
+
+* :class:`~repro.obs.tracer.Tracer` — structured spans/instants as
+  JSONL and Chrome ``trace_event`` JSON (Perfetto-loadable);
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges,
+  histograms and Fig.-11-style series with labels, exportable as JSON;
+* :class:`~repro.obs.profiler.HotSpotProfiler` — per-event-site pops /
+  merges / CPU / BDD-work attribution, rendered by ``symsim report``.
+
+Attach a bundle via ``SimOptions(obs=Observability(...))``; every hook
+in the kernel, scheduler and BDD manager is a single identity check
+when observability is off.  See docs/OBSERVABILITY.md for schemas.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, Series,
+)
+from repro.obs.profiler import HotSpotProfiler, SiteStats, event_label
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Observability", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "Series", "HotSpotProfiler", "SiteStats", "event_label", "Tracer",
+]

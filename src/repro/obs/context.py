@@ -1,0 +1,70 @@
+"""The per-run observability bundle the kernel hooks into.
+
+:class:`Observability` groups the three instruments — tracer, metrics
+registry, hot-spot profiler — behind one object that rides in
+:class:`~repro.sim.kernel.SimOptions`.  Each slot is optional; the
+kernel and scheduler guard every hook with an identity check, so a run
+without an ``obs`` pays nothing, and a run with (say) only a profiler
+pays only the profiler.
+
+The bundle also owns the *scheduler merge* hook: the scheduler has no
+business knowing about trace lanes or metric names, it just calls
+``obs.on_merge(event)`` when an accumulation merge absorbs a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import HotSpotProfiler, event_label
+from repro.obs.tracer import LANE_SCHED, Tracer
+
+
+class Observability:
+    """Tracer + metrics + profiler for one simulation run."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 profiler: Optional[HotSpotProfiler] = None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.profiler = profiler
+        self._merge_counter = (
+            metrics.counter("sim.merges",
+                            "accumulation merges absorbed by the scheduler")
+            if metrics is not None else None
+        )
+
+    @classmethod
+    def from_flags(cls, trace_out: Optional[str] = None,
+                   trace_jsonl: Optional[str] = None,
+                   metrics: bool = False,
+                   profile: bool = False) -> Optional["Observability"]:
+        """Build a bundle from CLI-style switches (None when all off)."""
+        tracer = Tracer(jsonl_path=trace_jsonl, chrome_path=trace_out) \
+            if (trace_out or trace_jsonl) else None
+        registry = MetricsRegistry() if metrics else None
+        profiler = HotSpotProfiler() if profile else None
+        if tracer is None and registry is None and profiler is None:
+            return None
+        return cls(tracer=tracer, metrics=registry, profiler=profiler)
+
+    @property
+    def enabled(self) -> bool:
+        return (self.tracer is not None or self.metrics is not None
+                or self.profiler is not None)
+
+    def on_merge(self, event) -> None:
+        """An accumulation merge absorbed a schedule of ``event``."""
+        if self.profiler is not None:
+            self.profiler.record_merge(event)
+        if self._merge_counter is not None:
+            self._merge_counter.inc()
+        if self.tracer is not None:
+            self.tracer.instant("merge", "sched", lane=LANE_SCHED,
+                                site=event_label(event), time=event.time)
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()

@@ -1,0 +1,340 @@
+"""Unified metrics registry — counters, gauges, histograms, series.
+
+One :class:`MetricsRegistry` per simulation run collects every numeric
+signal the simulator produces: kernel event counters (unifying
+:class:`~repro.sim.stats.SimStats`), BDD-manager cache and arena
+gauges, per-operation latency histograms, and the cumulative
+(sim-time, events, CPU) series behind Fig. 11.  Benchmarks and the CLI
+export the registry as JSON so paper figures and ad-hoc telemetry
+share one data path.
+
+The design is deliberately prometheus-shaped without the dependency:
+
+* metrics are *families* identified by name + fixed label names;
+* ``family.labels(design="gcd")`` returns the child instrument for one
+  label assignment (created on first use);
+* a family declared with no label names is itself the instrument.
+
+All instruments are plain-Python and allocation-light; a counter
+increment is one attribute add.  Snapshots are cheap dictionaries and
+the JSON schema (``repro.obs.metrics/1``) is documented in
+docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+SCHEMA = "repro.obs.metrics/1"
+
+#: Default histogram buckets — wide geometric range that covers both
+#: microsecond-scale BDD operations and second-scale runs.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (duplicate names, bad labels)."""
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value; may also be backed by a callback."""
+
+    __slots__ = ("value", "_fn")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` lazily at snapshot time (live gauges)."""
+        self._fn = fn
+
+    def snapshot(self):
+        if self._fn is not None:
+            self.value = float(self._fn())
+        return self.value
+
+
+class Histogram:
+    """Bucketed distribution with count / sum / min / max.
+
+    Buckets are upper-bound-inclusive like prometheus; an implicit
+    +inf bucket catches the tail.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        # linear scan is fine: bucket lists are short and observe()
+        # sites that matter are already sampled
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from bucket counts (upper bounds)."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, bound in enumerate(self.buckets):
+            running += self.counts[i]
+            if running >= target:
+                return bound
+        return self.max if self.max is not None else self.buckets[-1]
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound, "count": self.counts[i]}
+                for i, bound in enumerate(self.buckets)
+            ] + [{"le": "+inf", "count": self.counts[-1]}],
+        }
+
+
+class Series:
+    """An append-only (x, y) sample series — Fig. 11-style trajectories.
+
+    ``x`` is typically simulation time; ``y`` a cumulative quantity.
+    Consecutive samples with an identical ``x`` overwrite (the kernel
+    snapshots once per time advance, but a final flush may repeat the
+    last sim time).
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float]] = []
+
+    def sample(self, x: float, y: float) -> None:
+        if self.samples and self.samples[-1][0] == x:
+            self.samples[-1] = (x, y)
+        else:
+            self.samples.append((x, y))
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.samples[-1] if self.samples else None
+
+    def snapshot(self):
+        return [[x, y] for x, y in self.samples]
+
+
+_TYPES = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "series": Series,
+}
+
+
+class Family:
+    """All children of one metric name across label assignments."""
+
+    def __init__(self, name: str, type_: str, help_: str,
+                 label_names: Tuple[str, ...], **kwargs) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.label_names = label_names
+        self._kwargs = kwargs
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not label_names:
+            # the unlabeled family IS its only instrument
+            self._default = self._make()
+        else:
+            self._default = None
+
+    def _make(self):
+        return _TYPES[self.type](**self._kwargs)
+
+    def labels(self, **labels):
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make()
+        return child
+
+    # Unlabeled convenience passthroughs -------------------------------
+
+    def _only(self):
+        if self._default is None:
+            raise MetricError(
+                f"metric {self.name!r} is labeled; call .labels(...) first"
+            )
+        return self._default
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._only().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._only().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._only().observe(value)
+
+    def sample(self, x: float, y: float) -> None:
+        self._only().sample(x, y)
+
+    @property
+    def value(self):
+        # snapshot() rather than the raw attribute so callback-backed
+        # gauges evaluate on read
+        return self._only().snapshot()
+
+    @property
+    def samples(self):
+        return self._only().samples
+
+    def children(self) -> Iterable[Tuple[Dict[str, str], object]]:
+        if self._default is not None:
+            yield {}, self._default
+        for key, child in sorted(self._children.items()):
+            yield dict(zip(self.label_names, key)), child
+
+
+class MetricsRegistry:
+    """Namespace of metric families for one run."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, Family] = {}
+
+    # -- declaration ---------------------------------------------------
+
+    def _declare(self, name: str, type_: str, help_: str,
+                 labels: Sequence[str], **kwargs) -> Family:
+        family = self._families.get(name)
+        if family is not None:
+            if family.type != type_ or family.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} re-declared as {type_} with labels "
+                    f"{tuple(labels)} (was {family.type} "
+                    f"{family.label_names})"
+                )
+            return family
+        family = Family(name, type_, help_, tuple(labels), **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Family:
+        return self._declare(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Family:
+        return self._declare(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Family:
+        return self._declare(name, "histogram", help, labels,
+                             buckets=buckets)
+
+    def series(self, name: str, help: str = "",
+               labels: Sequence[str] = ()) -> Family:
+        return self._declare(name, "series", help, labels)
+
+    def get(self, name: str) -> Optional[Family]:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def names(self) -> List[str]:
+        return sorted(self._families)
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable view of every instrument (evaluates gauges)."""
+        metrics = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            for labels, child in family.children():
+                metrics.append({
+                    "name": name,
+                    "type": family.type,
+                    "help": family.help,
+                    "labels": labels,
+                    "value": child.snapshot(),
+                })
+        return {"schema": SCHEMA, "metrics": metrics}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=2))
+            handle.write("\n")

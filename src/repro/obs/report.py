@@ -1,0 +1,164 @@
+"""Pretty-printing for saved profiles and metrics — ``symsim report``.
+
+``symsim run ... --profile-out p.json`` (or ``--metrics-out m.json``)
+persists a run's telemetry; ``symsim report p.json`` renders it for a
+terminal.  The renderer sniffs the schema field, so one subcommand
+covers both document kinds (and the trace JSONL header, for which it
+prints summary statistics rather than the full stream).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import profiler as _profiler
+
+
+def load_document(path: str) -> dict:
+    """Load a saved observability document, sniffing its schema."""
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.read(1)
+        handle.seek(0)
+        if first == "{":
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError:
+                handle.seek(0)
+        # JSONL trace stream: summarize into a synthetic document
+        records = [json.loads(line) for line in handle if line.strip()]
+    return {"schema": "jsonl-trace", "records": records}
+
+
+def format_report(document: dict, top: int = 10) -> str:
+    schema = document.get("schema", "")
+    if schema == _profiler.SCHEMA:
+        return format_profile(document, top=top)
+    if schema == _metrics.SCHEMA:
+        return format_metrics(document)
+    if schema == "jsonl-trace" or "records" in document:
+        return format_trace_summary(document)
+    if "traceEvents" in document:
+        return format_trace_summary(
+            {"records": [{"ev": e.get("ph"), "name": e.get("name"),
+                          "cat": e.get("cat")}
+                         for e in document["traceEvents"]]})
+    raise ValueError(f"unrecognized observability document "
+                     f"(schema={schema!r})")
+
+
+# ---------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------
+
+def format_profile(document: dict, top: int = 10,
+                   by: str = "cpu_seconds") -> str:
+    meta = document.get("meta", {})
+    totals = document.get("totals", {})
+    sites = document.get("sites", [])
+    ranked = sorted(sites, key=lambda s: s.get(by, 0), reverse=True)[:top]
+    lines: List[str] = []
+    title = meta.get("design") or meta.get("source") or "run"
+    lines.append(f"=== hot-spot profile — {title} ===")
+    if meta:
+        bits = []
+        if "sim_time" in meta:
+            bits.append(f"sim time {meta['sim_time']}")
+        if "events_processed" in meta:
+            bits.append(f"{meta['events_processed']} events")
+        if "cpu_seconds" in meta:
+            bits.append(f"{meta['cpu_seconds']:.3f}s cpu")
+        if bits:
+            lines.append("run: " + ", ".join(bits))
+    lines.append(
+        f"top {len(ranked)} event sites by {by} "
+        f"(of {len(sites)} sites):"
+    )
+    lines.append(f"{'#':>3s} {'site':<40s} {'kind':<7s} {'pops':>8s} "
+                 f"{'merges':>8s} {'cpu(ms)':>9s} {'bdd-nodes':>10s}")
+    for rank, site in enumerate(ranked, 1):
+        lines.append(
+            f"{rank:3d} {site['label']:<40.40s} {site['kind']:<7s} "
+            f"{site['pops']:8d} {site['merges']:8d} "
+            f"{site['cpu_seconds'] * 1e3:9.2f} {site['bdd_nodes']:10d}"
+        )
+    if totals:
+        lines.append(
+            f"totals: {totals.get('pops', 0)} pops, "
+            f"{totals.get('merges', 0)} merges, "
+            f"{totals.get('cpu_seconds', 0.0):.3f}s cpu, "
+            f"{totals.get('bdd_nodes', 0)} bdd nodes created"
+        )
+    bdd = document.get("bdd") or {}
+    if bdd:
+        lines.append(_format_bdd_line(bdd))
+    return "\n".join(lines)
+
+
+def _format_bdd_line(bdd: dict) -> str:
+    ite_h, ite_m = bdd.get("ite_hits", 0), bdd.get("ite_misses", 0)
+    not_h, not_m = bdd.get("not_hits", 0), bdd.get("not_misses", 0)
+
+    def rate(hits: int, misses: int) -> str:
+        total = hits + misses
+        return f"{100.0 * hits / total:.1f}%" if total else "n/a"
+
+    return (
+        f"bdd: ite-cache hit-rate {rate(ite_h, ite_m)} "
+        f"({ite_h}/{ite_h + ite_m}), not-cache {rate(not_h, not_m)}, "
+        f"nodes={bdd.get('nodes', 0)} (peak {bdd.get('peak_nodes', 0)}), "
+        f"vars={bdd.get('var_count', 0)}"
+    )
+
+
+# ---------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------
+
+def format_metrics(document: dict) -> str:
+    lines = ["=== metrics snapshot ==="]
+    for metric in document.get("metrics", []):
+        labels = metric.get("labels") or {}
+        label_text = ("{" + ", ".join(f"{k}={v}"
+                                      for k, v in sorted(labels.items()))
+                      + "}") if labels else ""
+        name = f"{metric['name']}{label_text}"
+        value = metric["value"]
+        kind = metric["type"]
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name:<48s} {kind:<9s} {value:g}")
+        elif kind == "histogram":
+            lines.append(
+                f"{name:<48s} histogram count={value['count']} "
+                f"mean={value['mean']:.3g} min={value['min']} "
+                f"max={value['max']}"
+            )
+        elif kind == "series":
+            tail = value[-1] if value else None
+            lines.append(
+                f"{name:<48s} series    {len(value)} samples"
+                + (f", last=({tail[0]:g}, {tail[1]:g})" if tail else "")
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# trace summary
+# ---------------------------------------------------------------------
+
+def format_trace_summary(document: dict) -> str:
+    records = document.get("records", [])
+    by_cat: dict = {}
+    for record in records:
+        key = (record.get("cat", "?"), record.get("ev", record.get("ph", "?")))
+        by_cat[key] = by_cat.get(key, 0) + 1
+    lines = [f"=== trace summary — {len(records)} records ==="]
+    for (cat, ev), count in sorted(by_cat.items()):
+        lines.append(f"{cat:<12s} {ev:<9s} {count:8d}")
+    return "\n".join(lines)
+
+
+def render_file(path: str, top: int = 10) -> str:
+    """Load + format in one call (the ``symsim report`` entry point)."""
+    return format_report(load_document(path), top=top)

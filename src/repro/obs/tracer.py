@@ -1,0 +1,180 @@
+"""Structured trace emitter — JSONL stream + Chrome ``trace_event``.
+
+The kernel emits *spans* (begin/end pairs or complete events with a
+measured duration) and *instants* for the interesting moments of a
+run: simulation time-steps, event pops, process resumes, NBA flushes
+and accumulation merges.  The tracer renders each record twice:
+
+* **JSONL** (``--trace-jsonl``): one self-describing object per line —
+  the schema (``repro.obs.trace/1``) is grep/jq-friendly and documented
+  in docs/OBSERVABILITY.md;
+* **Chrome trace_event** (``--trace-out``): a ``{"traceEvents": [...]}``
+  JSON document loadable in Perfetto / ``chrome://tracing``.  Spans map
+  to ``B``/``E`` (open-ended) or ``X`` (complete) phases, instants to
+  ``i``, counters to ``C``.
+
+Zero overhead when off: the kernel holds ``None`` instead of a tracer
+and guards every emit site with one identity check; no tracer code
+runs in an un-instrumented simulation.
+
+Timestamps are microseconds of ``time.perf_counter`` relative to
+tracer construction.  The current simulation time rides along in
+``args.sim_time`` so trace viewers can correlate wall-clock spans with
+simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+SCHEMA = "repro.obs.trace/1"
+
+#: Chrome trace "thread" lanes — one per concern so Perfetto renders
+#: steps, event pops and scheduler activity as separate tracks.
+LANE_STEP = 0
+LANE_EVENT = 1
+LANE_SCHED = 2
+
+
+class Tracer:
+    """Span/instant/counter recorder with JSONL and Chrome sinks.
+
+    Either sink (or both) may be enabled; with neither, records are
+    kept in memory (``records``) — the mode unit tests use.  When a
+    file sink is active, records stream out immediately and are *not*
+    retained in memory, so long runs stay flat.
+    """
+
+    def __init__(self, jsonl_path: Optional[str] = None,
+                 chrome_path: Optional[str] = None,
+                 keep_in_memory: Optional[bool] = None) -> None:
+        self._t0 = time.perf_counter()
+        self._jsonl = open(jsonl_path, "w", encoding="utf-8") \
+            if jsonl_path else None
+        self._chrome = open(chrome_path, "w", encoding="utf-8") \
+            if chrome_path else None
+        self._chrome_first = True
+        if self._chrome is not None:
+            self._chrome.write('{"schema": "%s", "displayTimeUnit": "ms", '
+                               '"traceEvents": [' % SCHEMA)
+        if keep_in_memory is None:
+            keep_in_memory = self._jsonl is None and self._chrome is None
+        self.records: Optional[List[dict]] = [] if keep_in_memory else None
+        self._closed = False
+
+    # -- clock ---------------------------------------------------------
+
+    def now_us(self) -> float:
+        """Microseconds since tracer construction."""
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def to_us(self, perf_counter_time: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to trace µs."""
+        return (perf_counter_time - self._t0) * 1e6
+
+    # -- emission ------------------------------------------------------
+
+    def begin(self, name: str, cat: str, lane: int = LANE_EVENT,
+              **args) -> None:
+        """Open a span (closed later by :meth:`end` on the same lane)."""
+        self._emit("B", name, cat, self.now_us(), None, lane, args)
+
+    def end(self, name: str, cat: str, lane: int = LANE_EVENT,
+            **args) -> None:
+        """Close the innermost open span on ``lane``."""
+        self._emit("E", name, cat, self.now_us(), None, lane, args)
+
+    def complete(self, name: str, cat: str, start_us: float, dur_us: float,
+                 lane: int = LANE_EVENT, **args) -> None:
+        """One finished span with a known duration."""
+        self._emit("X", name, cat, start_us, dur_us, lane, args)
+
+    def instant(self, name: str, cat: str, lane: int = LANE_SCHED,
+                **args) -> None:
+        self._emit("i", name, cat, self.now_us(), None, lane, args)
+
+    def counter(self, name: str, lane: int = LANE_SCHED, **values) -> None:
+        """Chrome counter track — stacked series in the viewer."""
+        self._emit("C", name, "counter", self.now_us(), None, lane, values)
+
+    def _emit(self, phase: str, name: str, cat: str, ts_us: float,
+              dur_us: Optional[float], lane: int, args: Dict) -> None:
+        if self._closed:
+            return
+        record = {
+            "ev": {"B": "begin", "E": "end", "X": "complete", "i": "instant",
+                   "C": "counter"}[phase],
+            "name": name,
+            "cat": cat,
+            "ts_us": round(ts_us, 3),
+            "lane": lane,
+        }
+        if dur_us is not None:
+            record["dur_us"] = round(dur_us, 3)
+        if args:
+            record["args"] = args
+        if self.records is not None:
+            self.records.append(record)
+        if self._jsonl is not None:
+            self._jsonl.write(json.dumps(record) + "\n")
+        if self._chrome is not None:
+            event = {
+                "name": name, "cat": cat, "ph": phase,
+                "ts": record["ts_us"], "pid": 1, "tid": lane,
+            }
+            if dur_us is not None:
+                event["dur"] = record["dur_us"]
+            if phase == "i":
+                event["s"] = "t"  # instant scope: thread
+            if args:
+                event["args"] = args
+            prefix = "" if self._chrome_first else ", "
+            self._chrome_first = False
+            self._chrome.write(prefix + json.dumps(event))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Finalize sinks; further emits are ignored."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+        if self._chrome is not None:
+            self._chrome.write("]}\n")
+            self._chrome.close()
+            self._chrome = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- in-memory conversion (tests, report tooling) ------------------
+
+    def to_chrome_events(self) -> List[dict]:
+        """Render retained records as Chrome trace events."""
+        if self.records is None:
+            raise ValueError("tracer did not retain records in memory")
+        phases = {"begin": "B", "end": "E", "complete": "X",
+                  "instant": "i", "counter": "C"}
+        events = []
+        for record in self.records:
+            event = {
+                "name": record["name"], "cat": record["cat"],
+                "ph": phases[record["ev"]], "ts": record["ts_us"],
+                "pid": 1, "tid": record["lane"],
+            }
+            if "dur_us" in record:
+                event["dur"] = record["dur_us"]
+            if event["ph"] == "i":
+                event["s"] = "t"
+            if "args" in record:
+                event["args"] = record["args"]
+            events.append(event)
+        return events

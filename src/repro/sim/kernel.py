@@ -36,6 +36,8 @@ from repro.errors import (
 )
 from repro.fourval import FourVec, ops
 from repro.fourval.vector import BIT_Z
+from repro.obs.profiler import event_label
+from repro.obs.tracer import LANE_EVENT, LANE_STEP
 from repro.sim import systasks
 from repro.sim.scheduler import (
     Event, REGION_ACTIVE, REGION_INACTIVE, REGION_MONITOR, REGION_NBA,
@@ -84,6 +86,12 @@ class SimOptions:
     #: with False, ACTIVE events run FIFO instead of depth-first, so
     #: nested statements no longer merge before enclosing ones.
     depth_first_priorities: bool = True
+    #: Optional :class:`repro.obs.Observability` bundle (tracer /
+    #: metrics registry / hot-spot profiler).  With None — the default
+    #: — no observability code runs: the kernel leaves its fast-path
+    #: methods un-wrapped and every remaining hook is one identity
+    #: check.
+    obs: Optional[object] = None
 
 
 @dataclass
@@ -148,9 +156,28 @@ class Kernel:
         self.options = options or SimOptions()
         self.mgr = mgr or BddManager()
         self.state = SimState(self.mgr, self.design)
+        self.obs = self.options.obs
         self.sched = Scheduler(self.mgr, self.options.accumulation,
-                               depth_first=self.options.depth_first_priorities)
+                               depth_first=self.options.depth_first_priorities,
+                               obs=self.obs)
         self.stats = SimStats()
+        self._tracer = self.obs.tracer if self.obs is not None else None
+        self._profiler = self.obs.profiler if self.obs is not None else None
+        self._metrics = self.obs.metrics if self.obs is not None else None
+        self._step_open = False
+        self._last_nba_flush = -1
+        self._m_events = self._m_cpu = None
+        if self.obs is not None:
+            # Swap in instrumented entry points via instance attributes
+            # so the un-instrumented hot paths stay untouched when off.
+            # Metrics-only bundles need no per-event hook at all: series
+            # are sampled on time advance and gauges read at the end.
+            if self._tracer is not None or self._profiler is not None:
+                self._dispatch = self._obs_dispatch
+            if self._tracer is not None:
+                self._run_frame = self._obs_run_frame
+            if self._metrics is not None:
+                self._init_metrics()
         self.now = 0
         self.finished = False
         self.stopped = False
@@ -210,8 +237,16 @@ class Kernel:
             self._cpu_accum += _time.perf_counter() - cpu_start
             self.stats.events_scheduled = self.sched.scheduled
             self.stats.events_merged = self.sched.merged
+            self.stats.bdd = self.mgr.cache_stats()
             if self.options.trace_stats:
                 self.stats.snapshot(self.now, self._cpu_accum)
+            if self._metrics is not None:
+                self._sample_series()
+                self._publish_metrics()
+            if self._tracer is not None and self._step_open:
+                self._tracer.end("step", "step", lane=LANE_STEP,
+                                 sim_time=self.now)
+                self._step_open = False
             if self._vcd is not None and self._vcd_stream is not None:
                 self._vcd_stream.flush()
         return SimResult(
@@ -249,6 +284,10 @@ class Kernel:
 
     def _event_loop(self, until: Optional[int]) -> None:
         cpu_mark = _time.perf_counter()
+        tracer = self._tracer
+        if tracer is not None and not self._step_open:
+            tracer.begin("step", "step", lane=LANE_STEP, sim_time=self.now)
+            self._step_open = True
         while True:
             next_time = self.sched.peek_time()
             if next_time is None:
@@ -267,6 +306,15 @@ class Kernel:
                     self._cpu_accum += now_cpu - cpu_mark
                     cpu_mark = now_cpu
                     self.stats.snapshot(self.now, self._cpu_accum)
+                    if self._m_events is not None:
+                        self._sample_series()
+                if tracer is not None:
+                    if self._step_open:
+                        tracer.end("step", "step", lane=LANE_STEP,
+                                   sim_time=self.now)
+                    tracer.begin("step", "step", lane=LANE_STEP,
+                                 sim_time=next_time)
+                    self._step_open = True
                 self.now = next_time
                 self._step_activity = 0
             event = self.sched.pop()
@@ -308,6 +356,117 @@ class Kernel:
                 frame.pc = next_pc
         except _PathFinish:
             return
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs) — instrumented twins of the hot paths.
+    # __init__ swaps these in as instance attributes when an
+    # Observability bundle is configured; otherwise the plain methods
+    # above run with zero added work.
+    # ------------------------------------------------------------------
+
+    def _obs_dispatch(self, event: Event) -> None:
+        tracer = self._tracer
+        profiler = self._profiler
+        if tracer is None and profiler is None:
+            # metrics-only bundles need no per-event timing
+            Kernel._dispatch(self, event)
+            return
+        if (tracer is not None and event.kind == "nba"
+                and self.now != self._last_nba_flush):
+            # first NBA update of this time step — region transition
+            self._last_nba_flush = self.now
+            tracer.instant("nba-flush", "sched", sim_time=self.now)
+        nodes_before = len(self.mgr._level)
+        insns_before = self.stats.instructions
+        started = _time.perf_counter()
+        try:
+            Kernel._dispatch(self, event)
+        finally:
+            # finally: a $finish unwind must still record its pop
+            elapsed = _time.perf_counter() - started
+            if profiler is not None:
+                profiler.record_pop(
+                    event, elapsed, len(self.mgr._level) - nodes_before,
+                    self.stats.instructions - insns_before,
+                )
+            if tracer is not None:
+                tracer.complete(
+                    f"pop:{event.kind}", "pop", tracer.to_us(started),
+                    elapsed * 1e6, lane=LANE_EVENT,
+                    site=event_label(event), sim_time=self.now,
+                )
+
+    def _obs_run_frame(self, frame: Frame) -> None:
+        tracer = self._tracer
+        started = _time.perf_counter()
+        try:
+            Kernel._run_frame(self, frame)
+        finally:
+            tracer.complete(
+                f"resume:{frame.process.name}", "resume",
+                tracer.to_us(started),
+                (_time.perf_counter() - started) * 1e6,
+                lane=LANE_EVENT, sim_time=self.now, pc=frame.pc,
+            )
+
+    def _init_metrics(self) -> None:
+        metrics = self._metrics
+        self.mgr.attach_metrics(metrics)
+        self._m_events = metrics.series(
+            "sim.timeline.events",
+            "cumulative processed events by simulation time")
+        self._m_cpu = metrics.series(
+            "sim.timeline.cpu_seconds",
+            "cumulative kernel CPU seconds by simulation time")
+
+    def _sample_series(self) -> None:
+        self._m_events.sample(self.now, self.stats.events_processed)
+        self._m_cpu.sample(self.now, self._cpu_accum)
+
+    def _publish_metrics(self) -> None:
+        metrics = self._metrics
+        stats = self.stats
+        for name, help_, value in (
+            ("sim.time", "final simulation time", self.now),
+            ("sim.cpu_seconds", "kernel CPU seconds", self._cpu_accum),
+            ("sim.events_processed", "events popped", stats.events_processed),
+            ("sim.events_scheduled", "events enqueued",
+             stats.events_scheduled),
+            ("sim.events_merged", "accumulation merges",
+             stats.events_merged),
+            ("sim.process_events", "process resume events",
+             stats.process_events),
+            ("sim.nba_events", "non-blocking update events",
+             stats.nba_events),
+            ("sim.assign_events", "continuous-assign events",
+             stats.assign_events),
+            ("sim.instructions", "micro-instructions retired",
+             stats.instructions),
+            ("sim.symbols_injected", "symbolic BDD variables injected",
+             stats.symbols_injected),
+        ):
+            metrics.gauge(name, help_).set(value)
+
+    def profile_document(self) -> dict:
+        """The run's hot-spot profile (``repro.obs.profile/1``).
+
+        Requires a profiler in the attached Observability bundle; the
+        CLI saves this via ``--profile-out`` and ``symsim report``
+        renders it.
+        """
+        if self._profiler is None:
+            raise SimulationError(
+                "no profiler attached; run with "
+                "SimOptions(obs=Observability(profiler=HotSpotProfiler()))"
+            )
+        meta = {
+            "design": self.design.top,
+            "sim_time": self.now,
+            "events_processed": self.stats.events_processed,
+            "events_merged": self.stats.events_merged,
+            "cpu_seconds": self._cpu_accum,
+        }
+        return self._profiler.to_dict(meta=meta, bdd=self.mgr.cache_stats())
 
     # ------------------------------------------------------------------
     # end of time step: NBA already drained by region order; here we run
@@ -528,6 +687,9 @@ class Kernel:
         self.mgr = new_mgr
         self.state.mgr = new_mgr
         self.sched.mgr = new_mgr
+        if self._metrics is not None:
+            # re-point the live BDD gauges at the replacement manager
+            new_mgr.attach_metrics(self._metrics)
 
     # ------------------------------------------------------------------
     # VCD dumping

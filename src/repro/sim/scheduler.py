@@ -60,9 +60,13 @@ class Scheduler:
     """Heap-backed stratified queue with accumulation merging."""
 
     def __init__(self, mgr, mode: AccumulationMode,
-                 depth_first: bool = True) -> None:
+                 depth_first: bool = True, obs=None) -> None:
         self.mgr = mgr
         self.mode = mode
+        #: Optional :class:`repro.obs.Observability` bundle; when set,
+        #: every accumulation merge is reported via ``obs.on_merge``
+        #: (trace instant + profiler merge attribution + counter).
+        self.obs = obs
         #: When False, the paper's priority discipline (Section 4c) is
         #: ablated: ACTIVE events run FIFO regardless of priority, so
         #: inner-statement paths no longer complete (and merge) before
@@ -102,6 +106,8 @@ class Scheduler:
                             existing.control, event.control
                         )
                     self.merged += 1
+                    if self.obs is not None:
+                        self.obs.on_merge(event)
                     return True
                 self._pending[key] = event
         self._seq += 1

@@ -12,7 +12,7 @@ Fig. 11.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 
 @dataclass
@@ -37,6 +37,10 @@ class SimStats:
     instructions: int = 0
     symbols_injected: int = 0
     timeline: List[TimePoint] = field(default_factory=list)
+    #: BDD manager cache/arena counters — populated by the kernel at
+    #: the end of every ``run()`` from ``BddManager.cache_stats()``
+    #: (the paper's memory story: node growth and cache behaviour).
+    bdd: Dict[str, float] = field(default_factory=dict)
 
     def snapshot(self, sim_time: int, cpu_seconds: float) -> None:
         self.timeline.append(
@@ -45,9 +49,26 @@ class SimStats:
         )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"events processed={self.events_processed} "
             f"(proc={self.process_events}, nba={self.nba_events}, "
             f"assign={self.assign_events}), scheduled={self.events_scheduled}, "
-            f"merged={self.events_merged}, symbols={self.symbols_injected}"
+            f"merged={self.events_merged}, "
+            f"instructions={self.instructions}, "
+            f"symbols={self.symbols_injected}"
         )
+        if self.bdd:
+            ite_total = self.bdd["ite_hits"] + self.bdd["ite_misses"]
+            not_total = self.bdd["not_hits"] + self.bdd["not_misses"]
+
+            def pct(hits: float, total: float) -> str:
+                return f"{100.0 * hits / total:.1f}%" if total else "n/a"
+
+            text += (
+                f"; bdd: nodes={int(self.bdd['nodes'])} "
+                f"(peak {int(self.bdd['peak_nodes'])}), "
+                f"vars={int(self.bdd['var_count'])}, "
+                f"ite-cache {pct(self.bdd['ite_hits'], ite_total)} hit, "
+                f"not-cache {pct(self.bdd['not_hits'], not_total)} hit"
+            )
+        return text

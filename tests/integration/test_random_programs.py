@@ -58,10 +58,13 @@ def statements(draw, depth=2):
         count = draw(st.integers(min_value=0, max_value=3))
         body = draw(statements(depth=depth - 1))
         return f"repeat ({count}) begin {body} end"
-    # for loop over the dedicated index variable
+    # for loop over a per-depth index variable — nested loops must not
+    # share an index, or the inner loop resets the outer one and the
+    # program never terminates
     bound = draw(st.integers(min_value=1, max_value=3))
     body = draw(statements(depth=depth - 1))
-    return (f"for (idx = 0; idx < {bound}; idx = idx + 1) "
+    idx = f"idx{depth}"
+    return (f"for ({idx} = 0; {idx} < {bound}; {idx} = {idx} + 1) "
             f"begin {body} end")
 
 
@@ -74,7 +77,7 @@ def programs(draw):
         module tb;
           reg [1:0] a, b;
           reg [3:0] x, y, z;
-          integer idx;
+          integer idx1, idx2;
           initial begin
             x = 0; y = 0; z = 0;
             a = $random;

@@ -1,0 +1,198 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricError, MetricsRegistry, Series,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_callback_backed(self):
+        g = Gauge()
+        box = {"v": 7}
+        g.set_function(lambda: box["v"])
+        assert g.snapshot() == 7
+        box["v"] = 9
+        assert g.snapshot() == 9
+
+    def test_set_clears_callback(self):
+        g = Gauge()
+        g.set_function(lambda: 42)
+        g.set(1)
+        assert g.snapshot() == 1
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        h = Histogram(buckets=[1, 10, 100])
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 555.5
+        assert h.min == 0.5
+        assert h.max == 500
+        assert h.mean == pytest.approx(138.875)
+
+    def test_bucketing_including_overflow(self):
+        h = Histogram(buckets=[1, 10])
+        for v in (0.1, 1.0, 2, 10, 11):
+            h.observe(v)
+        # upper-bound inclusive: 0.1 and 1.0 in le=1; 2 and 10 in le=10
+        assert h.counts == [2, 2, 1]
+
+    def test_quantile_estimate(self):
+        h = Histogram(buckets=[1, 2, 4, 8])
+        for v in (0.5, 1.5, 1.6, 3, 7):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) <= 1
+        assert h.quantile(0.5) == 2
+        assert h.quantile(1.0) == 8
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=[])
+
+    def test_snapshot_schema(self):
+        h = Histogram(buckets=[1])
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["count"] == 1
+        assert snap["buckets"][-1]["le"] == "+inf"
+        assert sum(b["count"] for b in snap["buckets"]) == 1
+
+
+class TestSeries:
+    def test_appends_in_order(self):
+        s = Series()
+        s.sample(0, 1)
+        s.sample(5, 2)
+        assert s.samples == [(0, 1), (5, 2)]
+        assert s.last() == (5, 2)
+
+    def test_same_x_overwrites(self):
+        s = Series()
+        s.sample(3, 10)
+        s.sample(3, 12)
+        assert s.samples == [(3, 12)]
+
+    def test_empty_last(self):
+        assert Series().last() is None
+
+
+class TestLabels:
+    def test_labeled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events", labels=("kind",))
+        fam.labels(kind="proc").inc()
+        fam.labels(kind="proc").inc()
+        fam.labels(kind="nba").inc(3)
+        assert fam.labels(kind="proc").value == 2
+        assert fam.labels(kind="nba").value == 3
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events", labels=("kind",))
+        with pytest.raises(MetricError):
+            fam.labels(wrong="x")
+        with pytest.raises(MetricError):
+            fam.labels()  # missing the label entirely
+
+    def test_unlabeled_family_is_the_instrument(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("total")
+        fam.inc(4)
+        assert fam.value == 4
+
+    def test_labeled_family_rejects_direct_use(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events", labels=("kind",))
+        with pytest.raises(MetricError):
+            fam.inc()
+
+    def test_label_values_stringified(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", labels=("n",))
+        fam.labels(n=1).set(5)
+        assert fam.labels(n="1").value == 5
+
+
+class TestRegistry:
+    def test_redeclaration_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_conflicting_redeclaration_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+        reg.counter("y", labels=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("y", labels=("b",))
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "c" not in reg
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_shape_and_json_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c", "help text").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=[1]).observe(0.5)
+        reg.series("s").sample(0, 10)
+        fam = reg.counter("lc", labels=("kind",))
+        fam.labels(kind="proc").inc()
+
+        snap = reg.snapshot()
+        assert snap["schema"] == "repro.obs.metrics/1"
+        by_name = {}
+        for m in snap["metrics"]:
+            by_name.setdefault(m["name"], []).append(m)
+        assert by_name["c"][0]["value"] == 2
+        assert by_name["c"][0]["help"] == "help text"
+        assert by_name["g"][0]["value"] == 1.5
+        assert by_name["h"][0]["value"]["count"] == 1
+        assert by_name["s"][0]["value"] == [[0, 10]]
+        assert by_name["lc"][0]["labels"] == {"kind": "proc"}
+
+        path = tmp_path / "m.json"
+        reg.write_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(reg.to_json())
+
+    def test_snapshot_evaluates_gauge_callbacks(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        reg.gauge("live").set_function(lambda: box["v"])
+        box["v"] = 123
+        snap = reg.snapshot()
+        (metric,) = snap["metrics"]
+        assert metric["value"] == 123

@@ -1,0 +1,84 @@
+"""Unit tests for the hot-spot profiler and site labeling."""
+
+import pytest
+
+from repro.compile.instructions import CompiledProcess, Exec
+from repro.obs.profiler import HotSpotProfiler, event_label
+from repro.sim.scheduler import Event, REGION_ACTIVE, REGION_NBA
+
+
+def make_proc_event(name="tb.p", lines=(3, 7), pc=0):
+    process = CompiledProcess(name=name, kind="always", index=0)
+    for line in lines:
+        process.emit(Exec(lambda kern, frame: None, line))
+    return Event(time=0, region=REGION_ACTIVE, prio=0, kind="proc",
+                 process=process, pc=pc, control=1)
+
+
+class TestEventLabel:
+    def test_proc_label_uses_source_line(self):
+        assert event_label(make_proc_event(pc=0)) == "tb.p:3"
+        assert event_label(make_proc_event(pc=1)) == "tb.p:7"
+
+    def test_assign_and_drive_share_index_label(self):
+        assign = Event(time=0, region=REGION_ACTIVE, prio=0, kind="assign",
+                       index=4)
+        drive = Event(time=0, region=REGION_ACTIVE, prio=0, kind="drive",
+                      index=4)
+        assert event_label(assign) == event_label(drive) == "assign#4"
+
+    def test_nba_bucket(self):
+        nba = Event(time=0, region=REGION_NBA, prio=0, kind="nba",
+                    apply=lambda kern: None)
+        assert event_label(nba) == "nba"
+
+
+class TestHotSpotProfiler:
+    def test_pop_accumulation(self):
+        profiler = HotSpotProfiler()
+        event = make_proc_event()
+        profiler.record_pop(event, 0.5, 100, instructions=12)
+        profiler.record_pop(event, 0.25, 50, instructions=3)
+        site = profiler.sites["tb.p:3"]
+        assert site.pops == 2
+        assert site.cpu_seconds == 0.75
+        assert site.bdd_nodes == 150
+        assert site.instructions == 15
+        assert site.kind == "proc"
+
+    def test_merge_attribution(self):
+        profiler = HotSpotProfiler()
+        event = make_proc_event()
+        profiler.record_merge(event)
+        profiler.record_merge(event)
+        assert profiler.sites["tb.p:3"].merges == 2
+        assert profiler.sites["tb.p:3"].pops == 0
+
+    def test_top_orders_by_requested_key(self):
+        profiler = HotSpotProfiler()
+        hot = make_proc_event(name="tb.hot")
+        cold = make_proc_event(name="tb.cold")
+        profiler.record_pop(hot, 1.0, 10)
+        profiler.record_pop(cold, 0.1, 999)
+        assert profiler.top(2, by="cpu_seconds")[0].label == "tb.hot:3"
+        assert profiler.top(2, by="bdd_nodes")[0].label == "tb.cold:3"
+        assert len(profiler.top(1)) == 1
+
+    def test_top_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            HotSpotProfiler().top(by="vibes")
+
+    def test_totals_and_document(self):
+        profiler = HotSpotProfiler()
+        profiler.record_pop(make_proc_event(), 0.5, 100, instructions=1)
+        profiler.record_merge(make_proc_event())
+        totals = profiler.totals()
+        assert totals["pops"] == 1
+        assert totals["merges"] == 1
+        document = profiler.to_dict(meta={"design": "tb"},
+                                    bdd={"ite_hits": 5, "ite_misses": 5})
+        assert document["schema"] == "repro.obs.profile/1"
+        assert document["meta"]["design"] == "tb"
+        assert document["bdd"]["ite_hits"] == 5
+        (site,) = document["sites"]
+        assert site["label"] == "tb.p:3"

@@ -1,0 +1,107 @@
+"""Unit tests for the structured trace emitter (JSONL + Chrome)."""
+
+import json
+
+from repro.obs.tracer import LANE_EVENT, LANE_SCHED, LANE_STEP, Tracer
+
+
+def emit_sample(tracer):
+    tracer.begin("step", "step", lane=LANE_STEP, sim_time=0)
+    tracer.complete("pop:proc", "pop", tracer.now_us(), 12.5,
+                    lane=LANE_EVENT, site="tb.p:3", sim_time=0)
+    tracer.instant("merge", "sched", lane=LANE_SCHED, site="tb.p:3")
+    tracer.counter("queue", depth=4)
+    tracer.end("step", "step", lane=LANE_STEP, sim_time=0)
+
+
+class TestInMemory:
+    def test_record_schema(self):
+        tracer = Tracer()
+        emit_sample(tracer)
+        records = tracer.records
+        assert [r["ev"] for r in records] == \
+            ["begin", "complete", "instant", "counter", "end"]
+        for record in records:
+            assert set(record) >= {"ev", "name", "cat", "ts_us", "lane"}
+        complete = records[1]
+        assert complete["dur_us"] == 12.5
+        assert complete["args"]["site"] == "tb.p:3"
+        begin, end = records[0], records[-1]
+        assert begin["args"]["sim_time"] == end["args"]["sim_time"] == 0
+
+    def test_timestamps_monotonic(self):
+        tracer = Tracer()
+        emit_sample(tracer)
+        ts = [r["ts_us"] for r in tracer.records
+              if r["ev"] in ("begin", "instant", "end")]
+        assert ts == sorted(ts)
+
+    def test_to_chrome_events(self):
+        tracer = Tracer()
+        emit_sample(tracer)
+        events = tracer.to_chrome_events()
+        assert [e["ph"] for e in events] == ["B", "X", "i", "C", "E"]
+        assert all(e["pid"] == 1 for e in events)
+        instant = events[2]
+        assert instant["s"] == "t"
+
+    def test_to_us_matches_clock(self):
+        import time
+
+        tracer = Tracer()
+        assert tracer.to_us(time.perf_counter()) >= 0
+
+
+class TestFileSinks:
+    def test_jsonl_stream(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(jsonl_path=str(path)) as tracer:
+            emit_sample(tracer)
+            assert tracer.records is None  # streaming, not retained
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert {"ev", "name", "cat", "ts_us", "lane"} <= set(record)
+
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        tracer = Tracer(chrome_path=str(path))
+        emit_sample(tracer)
+        tracer.close()
+        document = json.load(open(path))
+        events = document["traceEvents"]
+        assert [e["ph"] for e in events] == ["B", "X", "i", "C", "E"]
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_chrome_trace_valid_when_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        Tracer(chrome_path=str(path)).close()
+        assert json.load(open(path))["traceEvents"] == []
+
+    def test_both_sinks_agree(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        tracer = Tracer(jsonl_path=str(jsonl), chrome_path=str(chrome))
+        emit_sample(tracer)
+        tracer.close()
+        jsonl_names = [json.loads(l)["name"]
+                       for l in jsonl.read_text().splitlines()]
+        chrome_names = [e["name"]
+                        for e in json.load(open(chrome))["traceEvents"]]
+        assert jsonl_names == chrome_names
+
+    def test_emit_after_close_is_ignored(self, tmp_path):
+        path = tmp_path / "t.json"
+        tracer = Tracer(chrome_path=str(path))
+        tracer.close()
+        tracer.instant("late", "sched")
+        tracer.close()  # idempotent
+        assert json.load(open(path))["traceEvents"] == []
+
+    def test_keep_in_memory_override(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(jsonl_path=str(path), keep_in_memory=True)
+        emit_sample(tracer)
+        tracer.close()
+        assert len(tracer.records) == 5
