@@ -44,7 +44,12 @@ INIT_END = 12 + 10 * QUIET_CYCLES  # reset + quiet cycles
 _SNAPSHOTS: dict = {}
 
 
-def _run_mode(mode: AccumulationMode):
+#: GC knobs for the FULL+GC overlay, scaled to MCU8's ~50k-node runs
+GC_KNOBS = dict(gc_threshold=10_000, dyn_reorder=True,
+                reorder_threshold=20_000)
+
+
+def _run_mode(mode: AccumulationMode, gc: bool = False):
     source, top, defines = load("mcu8", runtime=RUNTIME, quiet=QUIET_CYCLES,
                                 period=PERIOD)
     registry = MetricsRegistry()
@@ -52,17 +57,26 @@ def _run_mode(mode: AccumulationMode):
         source, top=top, defines=defines,
         options=SimOptions(accumulation=mode, trace_stats=True,
                            stop_on_violation=False,
-                           obs=Observability(metrics=registry)))
+                           obs=Observability(metrics=registry),
+                           **(GC_KNOBS if gc else {})))
     result = sim.run(until=RUNTIME + 20)
-    _SNAPSHOTS[mode] = registry.snapshot()
+    _SNAPSHOTS[f"{mode.value}+gc" if gc else mode.value] = \
+        registry.snapshot()
     return result
 
 
-def _series(mode: AccumulationMode, name: str):
-    """(x, y) samples of one kernel series for one accumulation mode."""
-    for metric in _SNAPSHOTS[mode]["metrics"]:
+def _series(key: str, name: str):
+    """(x, y) samples of one kernel series for one run."""
+    for metric in _SNAPSHOTS[key]["metrics"]:
         if metric["name"] == name:
             return [tuple(pair) for pair in metric["value"]]
+    raise KeyError(name)
+
+
+def _gauge(key: str, name: str):
+    for metric in _SNAPSHOTS[key]["metrics"]:
+        if metric["name"] == name:
+            return metric["value"]
     raise KeyError(name)
 
 
@@ -73,12 +87,18 @@ def test_fig11_run(benchmark, mode):
     benchmark.pedantic(_run_mode, args=(mode,), rounds=1, iterations=1)
 
 
+def test_fig11_gc_run(benchmark):
+    benchmark.extra_info["accumulation"] = "full+gc"
+    benchmark.pedantic(_run_mode, args=(AccumulationMode.FULL,),
+                       kwargs={"gc": True}, rounds=1, iterations=1)
+
+
 def test_fig11_report(benchmark):
     def build_report():
-        full_ev = _series(AccumulationMode.FULL, "sim.timeline.events")
-        none_ev = _series(AccumulationMode.NONE, "sim.timeline.events")
-        full_cpu = _series(AccumulationMode.FULL, "sim.timeline.cpu_seconds")
-        none_cpu = _series(AccumulationMode.NONE, "sim.timeline.cpu_seconds")
+        full_ev = _series("full", "sim.timeline.events")
+        none_ev = _series("none", "sim.timeline.events")
+        full_cpu = _series("full", "sim.timeline.cpu_seconds")
+        none_cpu = _series("none", "sim.timeline.cpu_seconds")
 
         def at_or_before(series, sim_time):
             best = series[0][1]
@@ -110,12 +130,29 @@ def test_fig11_report(benchmark):
             f"(x{ratio_events:.1f}); cpu {final_full_cpu:.2f}s vs "
             f"{final_none_cpu:.2f}s (x{ratio_cpu:.1f})"
         )
+        # --- FULL+GC overlay: live-node trajectory ------------------
+        full_nodes = _series("full", "sim.timeline.bdd_nodes")
+        gc_nodes = _series("full+gc", "sim.timeline.bdd_nodes")
+        peak_full = max(y for _, y in full_nodes)
+        peak_gc = max(y for _, y in gc_nodes)
+        cpu_gc = _gauge("full+gc", "sim.cpu_seconds")
+        cpu_full = _gauge("full", "sim.cpu_seconds")
+        lines.append(
+            f"with GC/sifting: peak live nodes {peak_full:.0f} -> "
+            f"{peak_gc:.0f}, cpu {cpu_full:.2f}s -> {cpu_gc:.2f}s, "
+            f"reclaimed {_gauge('full+gc', 'bdd.gc.reclaimed_nodes'):.0f}n "
+            f"in {_gauge('full+gc', 'bdd.gc.runs'):.0f} collections"
+        )
         report("fig11", lines)
-        report_json("fig11", {
-            mode.value: snapshot for mode, snapshot in _SNAPSHOTS.items()
-        })
+        report_json("fig11", dict(_SNAPSHOTS))
 
         # --- shape assertions ---------------------------------------
+        # GC reclaims and reduces the trajectory's peak on this workload
+        assert _gauge("full+gc", "bdd.gc.reclaimed_nodes") > 0
+        assert peak_gc < peak_full
+        # events are untouched by memory management
+        assert _gauge("full+gc", "sim.events_processed") == \
+            _gauge("full", "sim.events_processed")
         # (1) curves coincide during the initialization phase
         init_full = at_or_before(full_ev, INIT_END)
         init_none = at_or_before(none_ev, INIT_END)

@@ -41,33 +41,69 @@ WORKLOADS = {
     "gcd": ({"rounds": 1, "width": 5}, 5000),
 }
 
+#: the FULL+GC column: mark-and-sweep whenever the arena grows 50k
+#: nodes past the last collection, sifting between steps once the
+#: arena holds 60k (the paper disabled dynamic reordering; this cell
+#: measures what CUDD-style memory management buys on the same runs)
+GC_KNOBS = dict(gc_threshold=50_000, dyn_reorder=True,
+                reorder_threshold=60_000)
+
 _RESULTS: dict = {}
 _SNAPSHOTS: dict = {}
+_SAMPLES: dict = {}
 
 
-def _run_cell(design: str, mode: AccumulationMode):
+def _sampled_tables(sim, max_nets=12, max_cases=16):
+    """Deterministic name-keyed truth samples of the final net values.
+
+    Keyed by variable *name*, not level, so a reordered manager yields
+    byte-identical tables iff the functions are identical.
+    """
+    import random as _random
+
+    mgr = sim.mgr
+    names = sorted(mgr.var_name(i) for i in range(mgr.var_count))
+    level_of = {mgr.var_name(i): i for i in range(mgr.var_count)}
+    rng = _random.Random(20010618)  # DAC 2001 started June 18
+    cases = [tuple(rng.random() < 0.5 for _ in names)
+             for _ in range(max_cases)]
+    nets = sorted(sim.kernel.state.snapshot_names())[:max_nets]
+    tables = {}
+    for bits in cases:
+        cube = {level_of[name]: bit for name, bit in zip(names, bits)}
+        for net in nets:
+            tables[(net, bits)] = \
+                sim.value(net).substitute(cube).to_verilog_bits()
+    return tables
+
+
+def _run_cell(design: str, mode: AccumulationMode, gc: bool = False):
     kwargs, until = WORKLOADS[design]
     source, top, defines = load(design, **kwargs)
     # Metrics-only observability: the kernel leaves its hot paths
     # un-wrapped, so the timed cell matches an un-instrumented run.
     registry = MetricsRegistry()
+    options = SimOptions(accumulation=mode,
+                         obs=Observability(metrics=registry),
+                         **(GC_KNOBS if gc else {}))
     sim = repro.SymbolicSimulator.from_source(
-        source, top=top, defines=defines,
-        options=SimOptions(accumulation=mode,
-                           obs=Observability(metrics=registry)))
+        source, top=top, defines=defines, options=options)
     started = time.perf_counter()
     result = sim.run(until=until)
     elapsed = time.perf_counter() - started
     assert not result.violations, f"{design} checker mismatch!"
     registry.gauge("bench.wall_seconds",
                    "wall time of the timed run() call").set(elapsed)
+    key = f"{design}/{mode.value}" + ("+gc" if gc else "")
+    if mode is AccumulationMode.FULL:
+        # bit-identity evidence: FULL and FULL+GC must sample equal
+        _SAMPLES[key] = _sampled_tables(sim)
     # Keep only the plain-data snapshot: the live registry's callback
     # gauges hold the BddManager (and its arena) alive, which would
     # bloat the process and slow every later cell.
-    _SNAPSHOTS[(design, mode)] = registry.snapshot()
-    _RESULTS[(design, mode)] = (elapsed,
-                                int(registry.gauge(
-                                    "sim.events_processed").value))
+    _SNAPSHOTS[key] = registry.snapshot()
+    _RESULTS[key] = (elapsed,
+                     int(registry.gauge("sim.events_processed").value))
     return result
 
 
@@ -86,6 +122,14 @@ def test_table1_cell(benchmark, design, mode):
     benchmark.pedantic(_run_cell, args=(design, mode), rounds=1, iterations=1)
 
 
+@pytest.mark.parametrize("design", list(WORKLOADS))
+def test_table1_gc_cell(benchmark, design):
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["accumulation"] = "full+gc"
+    benchmark.pedantic(_run_cell, args=(design, AccumulationMode.FULL),
+                       kwargs={"gc": True}, rounds=1, iterations=1)
+
+
 def test_table1_report(benchmark):
     def build_report():
         lines = [
@@ -98,7 +142,7 @@ def test_table1_report(benchmark):
             for mode in (AccumulationMode.FULL,
                          AccumulationMode.QUEUE_MERGE_ONLY,
                          AccumulationMode.NONE):
-                elapsed, events = _RESULTS[(design, mode)]
+                elapsed, events = _RESULTS[f"{design}/{mode.value}"]
                 cells.append(f"{elapsed:9.2f}s ({events:6d}ev)")
             lines.append(f"{design:8s} {cells[0]:>22s} {cells[1]:>22s} "
                          f"{cells[2]:>22s}")
@@ -109,7 +153,7 @@ def test_table1_report(benchmark):
             for mode in (AccumulationMode.FULL,
                          AccumulationMode.QUEUE_MERGE_ONLY,
                          AccumulationMode.NONE):
-                snapshot = _SNAPSHOTS[(design, mode)]
+                snapshot = _SNAPSHOTS[f"{design}/{mode.value}"]
                 nodes = int(_gauge(snapshot, "bdd.nodes"))
                 hits = _gauge(snapshot, "bdd.ite_cache.hits")
                 misses = _gauge(snapshot, "bdd.ite_cache.misses")
@@ -117,29 +161,62 @@ def test_table1_report(benchmark):
                 cells.append(f"{nodes:9d}n {rate:5.1f}%")
             lines.append(f"{design:8s} {cells[0]:>22s} {cells[1]:>22s} "
                          f"{cells[2]:>22s}")
+        lines.append("")
+        lines.append("FULL + GC/sifting (peak nodes vs FULL, reclaimed, "
+                     "reorders)")
+        for design in ("dram", "risc8", "gcd"):
+            base = _SNAPSHOTS[f"{design}/full"]
+            managed = _SNAPSHOTS[f"{design}/full+gc"]
+            elapsed, _ = _RESULTS[f"{design}/full+gc"]
+            base_peak = int(_gauge(base, "bdd.peak_nodes"))
+            peak = int(_gauge(managed, "bdd.peak_nodes"))
+            reclaimed = int(_gauge(managed, "bdd.gc.reclaimed_nodes"))
+            reorders = int(_gauge(managed, "bdd.reorder.runs"))
+            saved = int(_gauge(managed, "bdd.reorder.nodes_saved"))
+            lines.append(
+                f"{design:8s} {elapsed:9.2f}s peak {base_peak:8d}n -> "
+                f"{peak:8d}n  reclaimed {reclaimed:8d}n  "
+                f"reorders {reorders:2d} (saved {saved:6d}n)")
         report("table1", lines)
-        report_json("table1", {
-            f"{design}/{mode.value}": snapshot
-            for (design, mode), snapshot in _SNAPSHOTS.items()
-        })
+        report_json("table1", dict(_SNAPSHOTS))
 
         # --- shape assertions (paper's qualitative claims) ----------
-        dram = {m: _RESULTS[("dram", m)] for m in AccumulationMode}
-        events = {m: e for m, (_, e) in dram.items()}
+        events = {m: _RESULTS[f"dram/{m.value}"][1]
+                  for m in AccumulationMode}
         assert len(set(events.values())) == 1, \
             "DRAM event counts must be identical across modes"
 
-        gcd_full, _ = _RESULTS[("gcd", AccumulationMode.FULL)]
-        gcd_none, _ = _RESULTS[("gcd", AccumulationMode.NONE)]
+        gcd_full, _ = _RESULTS["gcd/full"]
+        gcd_none, _ = _RESULTS["gcd/none"]
         assert gcd_none > 3 * gcd_full, \
             "GCD without accumulation must be disproportionately slow"
 
-        _, risc_full_ev = _RESULTS[("risc8", AccumulationMode.FULL)]
-        _, risc_none_ev = _RESULTS[("risc8", AccumulationMode.NONE)]
+        _, risc_full_ev = _RESULTS["risc8/full"]
+        _, risc_none_ev = _RESULTS["risc8/none"]
         assert risc_none_ev > risc_full_ev, \
             "RISC event multiplication without accumulation"
-        risc_full, _ = _RESULTS[("risc8", AccumulationMode.FULL)]
-        risc_none, _ = _RESULTS[("risc8", AccumulationMode.NONE)]
+        risc_full, _ = _RESULTS["risc8/full"]
+        risc_none, _ = _RESULTS["risc8/none"]
         assert risc_none > 1.5 * risc_full
+
+        # --- GC-cell assertions (PR acceptance criteria) ------------
+        peak_dropped = []
+        for design in ("dram", "risc8", "gcd"):
+            managed = _SNAPSHOTS[f"{design}/full+gc"]
+            base = _SNAPSHOTS[f"{design}/full"]
+            assert _gauge(managed, "bdd.gc.reclaimed_nodes") > 0, \
+                f"{design}: GC never reclaimed anything"
+            peak_dropped.append(
+                _gauge(managed, "bdd.peak_nodes") <
+                _gauge(base, "bdd.peak_nodes"))
+            # memory management must be invisible to results
+            assert _SAMPLES[f"{design}/full+gc"] == \
+                _SAMPLES[f"{design}/full"], \
+                f"{design}: GC/reordering perturbed final values"
+            assert _RESULTS[f"{design}/full+gc"][1] == \
+                _RESULTS[f"{design}/full"][1], \
+                f"{design}: GC/reordering changed the event count"
+        assert any(peak_dropped), \
+            "GC must reduce peak live nodes on at least one design"
 
     benchmark.pedantic(build_report, rounds=1, iterations=1)

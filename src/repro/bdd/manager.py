@@ -8,16 +8,41 @@ sharing, two nodes represent the same Boolean function iff their ids
 are equal — the property the simulator relies on to detect dead
 execution paths (``control == FALSE``) in O(1).
 
-The manager is deliberately garbage-collection free: symbolic
+The manager deliberately avoids *reference counting*: symbolic
 simulation creates and drops huge numbers of intermediate functions,
-and reference counting in pure Python costs more than it saves at the
-scale this package targets.  ``clear_caches`` can be called to drop the
-operator caches between simulation phases if memory pressure matters.
+and per-operation count maintenance in pure Python costs more than it
+saves at the scale this package targets.  Instead, memory is managed
+at *safe points* with mark-and-sweep garbage collection
+(:meth:`BddManager.collect`): holders of node ids register as *root
+providers* (:meth:`register_root_provider`) or pin individual nodes
+through the stable handle table (:meth:`ref`); a collection marks from
+the registered roots, compacts the arena, rebuilds the unique table
+and remaps every registered reference, so all held ids stay valid.
+
+Variable order management comes in three flavours:
+
+* :meth:`rebuild` — static reordering into a *fresh* manager (the
+  original API, kept for standalone analyses);
+* :meth:`reorder` — in-place reordering of *this* manager: live roots
+  are re-expressed under the new order and every registered reference
+  is remapped;
+* :meth:`sift` — dynamic sifting (Rudell): each variable is moved
+  through the order with adjacent-level swaps on a scratch copy of the
+  live graph, bounded by ``sift_max_swap``/``sift_max_growth`` the way
+  CUDD bounds its reordering passes, and the best order found is then
+  applied with :meth:`reorder`.
+
+``clear_caches`` can still be called to drop just the operator caches
+between simulation phases if memory pressure matters.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+import time as _time
+import weakref
+from typing import (
+    Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple,
+)
 
 from repro.errors import BddError
 
@@ -25,6 +50,34 @@ FALSE = 0
 TRUE = 1
 
 _TERMINAL_LEVEL = 1 << 30
+
+
+class BddRef:
+    """A GC-stable reference to one node of a :class:`BddManager`.
+
+    Raw node ids held outside the manager are invalidated by
+    :meth:`BddManager.collect` and :meth:`BddManager.reorder` unless
+    their holder participates in the root-provider protocol.  A
+    ``BddRef`` (from :meth:`BddManager.ref`) is the lightweight
+    alternative: the manager keeps a weak handle table and rewrites
+    ``ref.node`` on every collection/reorder, so the reference both
+    pins the node (it is a GC root) and stays valid across arena
+    compactions.  Dropping the last strong reference to the handle
+    un-pins the node automatically.
+    """
+
+    __slots__ = ("manager", "node", "__weakref__")
+
+    def __init__(self, manager: "BddManager", node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    def deref(self) -> int:
+        """The current node id (valid until the next safe-point op)."""
+        return self.node
+
+    def __repr__(self) -> str:
+        return f"BddRef({self.node})"
 
 
 class BddManager:
@@ -60,6 +113,30 @@ class BddManager:
         self._ite_miss_base = 0
         self._not_hits = 0
         self._not_miss_base = 0
+        # --- memory management (safe-point operations) ----------------
+        # Knobs are plain attributes so the kernel/CLI can configure a
+        # manager after construction; ``None``/``False`` keep the
+        # original append-only behaviour.
+        self.gc_threshold: Optional[int] = None  # arena growth before GC
+        self.dyn_reorder = False          # enable sifting at safe points
+        self.reorder_growth = 2.0         # re-sift after this live growth
+        self.sift_threshold = 4096        # min arena size worth sifting
+        self.sift_max_swap = 1_000_000    # swap budget per sift (cf. CUDD)
+        self.sift_max_growth = 1.2        # per-variable growth bound
+        self.sift_max_vars = 1000         # variables sifted per pass
+        self.sift_converge = False        # repeat passes until no gain
+        self._handles: "weakref.WeakSet[BddRef]" = weakref.WeakSet()
+        self._root_providers: List[object] = []
+        self._last_gc_size = 0            # arena size after the last GC
+        self._next_sift_at = 0            # arena size that re-arms sifting
+        self._peak = 0                    # high-water mark across GCs
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._gc_seconds = 0.0
+        self._reorder_runs = 0
+        self._reorder_swaps = 0
+        self._reorder_seconds = 0.0
+        self._reorder_saved = 0
 
     # ------------------------------------------------------------------
     # variables
@@ -513,15 +590,18 @@ class BddManager:
 
     @property
     def total_nodes(self) -> int:
-        """Total nodes ever created in the arena (a growth metric)."""
+        """Nodes currently in the arena (a growth metric).
+
+        Between collections this grows append-only; :meth:`collect`
+        compacts it back down to the live count.
+        """
         return len(self._level) - 2
 
     @property
     def peak_nodes(self) -> int:
-        """Peak live nodes.  The arena never shrinks (no GC), so the
-        peak equals :attr:`total_nodes`; the alias keeps the memory
-        story explicit in stats output."""
-        return len(self._level) - 2
+        """High-water mark of the arena across collections."""
+        current = len(self._level) - 2
+        return self._peak if self._peak > current else current
 
     @property
     def ite_cache_hits(self) -> int:
@@ -564,6 +644,13 @@ class BddManager:
             "nodes": self.total_nodes,
             "peak_nodes": self.peak_nodes,
             "var_count": self.var_count,
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+            "gc_seconds": self._gc_seconds,
+            "reorder_runs": self._reorder_runs,
+            "reorder_swaps": self._reorder_swaps,
+            "reorder_seconds": self._reorder_seconds,
+            "reorder_saved": self._reorder_saved,
         }
 
     def attach_metrics(self, registry) -> None:
@@ -575,7 +662,7 @@ class BddManager:
         pairs = (
             ("bdd.nodes", "internal nodes in the arena",
              lambda: self.total_nodes),
-            ("bdd.peak_nodes", "peak live nodes (== total, no GC)",
+            ("bdd.peak_nodes", "arena high-water mark across GCs",
              lambda: self.peak_nodes),
             ("bdd.vars", "BDD variables created",
              lambda: self.var_count),
@@ -587,6 +674,22 @@ class BddManager:
              lambda: self._not_hits),
             ("bdd.not_cache.misses", "not cache misses",
              lambda: self.not_cache_misses),
+            ("bdd.gc.runs", "mark-and-sweep collections",
+             lambda: self._gc_runs),
+            ("bdd.gc.reclaimed_nodes", "dead nodes reclaimed by GC",
+             lambda: self._gc_reclaimed),
+            ("bdd.gc.live_nodes", "live nodes after the last GC",
+             lambda: self._last_gc_size),
+            ("bdd.gc.seconds", "wall time spent collecting",
+             lambda: self._gc_seconds),
+            ("bdd.reorder.runs", "in-place reorders applied",
+             lambda: self._reorder_runs),
+            ("bdd.reorder.swaps", "adjacent-level swaps while sifting",
+             lambda: self._reorder_swaps),
+            ("bdd.reorder.seconds", "wall time spent reordering",
+             lambda: self._reorder_seconds),
+            ("bdd.reorder.nodes_saved", "live-node reduction from sifting",
+             lambda: self._reorder_saved),
         )
         for name, help_, fn in pairs:
             registry.gauge(name, help_).set_function(fn)
@@ -712,7 +815,539 @@ class BddManager:
 
         return new, {root: translate(root) for root in set(roots)}
 
+    # ------------------------------------------------------------------
+    # garbage collection / in-place reordering (safe-point operations)
+    # ------------------------------------------------------------------
+    #
+    # Node ids are arena indices, so compaction and in-place reordering
+    # renumber them.  Both operations are therefore only legal at *safe
+    # points* — when no raw ids live in Python locals of an in-flight
+    # operator (the kernel calls them between time steps).  Everything
+    # that holds ids across a safe point must be reachable through the
+    # handle table (:meth:`ref`) or a registered root provider.
+
+    def ref(self, node: int) -> BddRef:
+        """Pin ``node`` with a GC-stable handle (see :class:`BddRef`)."""
+        handle = BddRef(self, node)
+        self._handles.add(handle)
+        return handle
+
+    def register_root_provider(self, provider) -> None:
+        """Register an object enumerating live roots for GC/reordering.
+
+        ``provider`` must implement ``bdd_roots() -> Iterable[int]``
+        (every node id it holds) and ``bdd_remap(lookup, level_map)``
+        where ``lookup`` is a callable taking each previously-yielded
+        old id to its new id and ``level_map`` — ``None`` for a pure
+        collection — maps old variable levels to their new order
+        positions (for state keyed by level, e.g. witness cubes).
+        """
+        self._root_providers.append(provider)
+
+    def unregister_root_provider(self, provider) -> None:
+        """Remove a previously registered root provider."""
+        self._root_providers.remove(provider)
+
+    def _iter_roots(self) -> Iterator[int]:
+        """Every externally live node: variables, handles, providers."""
+        yield from self._var_bdds
+        for handle in list(self._handles):
+            yield handle.node
+        for provider in self._root_providers:
+            yield from provider.bdd_roots()
+
+    def collect(self) -> int:
+        """Mark-and-sweep: compact the arena down to the live nodes.
+
+        Marks from the registered roots, slides the survivors down
+        (children always precede parents in the arena, so one ascending
+        pass suffices), rebuilds the unique table, drops the operator
+        caches and remaps every handle and root provider.  Returns the
+        number of nodes reclaimed.
+        """
+        started = _time.perf_counter()
+        size = len(self._level)
+        if size - 2 > self._peak:
+            self._peak = size - 2
+        lows = self._low
+        highs = self._high
+        levels = self._level
+        marked = bytearray(size)
+        marked[FALSE] = marked[TRUE] = 1
+        stack: List[int] = []
+        handles = list(self._handles)
+        for root in self._iter_roots():
+            if not marked[root]:
+                marked[root] = 1
+                stack.append(root)
+        while stack:
+            node = stack.pop()
+            child = lows[node]
+            if not marked[child]:
+                marked[child] = 1
+                stack.append(child)
+            child = highs[node]
+            if not marked[child]:
+                marked[child] = 1
+                stack.append(child)
+        # Compact in place: ids only ever shrink, and a node's children
+        # have smaller ids than the node itself, so by the time a node
+        # is moved its children's new ids are already final.
+        node_map = list(range(size))
+        write = 2
+        for node in range(2, size):
+            if marked[node]:
+                node_map[node] = write
+                levels[write] = levels[node]
+                lows[write] = node_map[lows[node]]
+                highs[write] = node_map[highs[node]]
+                write += 1
+        del levels[write:]
+        del lows[write:]
+        del highs[write:]
+        self._unique = {
+            (levels[node], lows[node], highs[node]): node
+            for node in range(2, write)
+        }
+        # The computed tables are keyed by old ids; fold their lengths
+        # into the miss bases (same bookkeeping as clear_caches) so the
+        # derived miss counters stay monotonic.
+        self._ite_miss_base += len(self._ite_cache)
+        self._not_miss_base += len(self._not_cache) // 2
+        self._ite_cache = {}
+        self._not_cache = {}
+        self._var_bdds = [node_map[node] for node in self._var_bdds]
+        for handle in handles:
+            handle.node = node_map[handle.node]
+        lookup = node_map.__getitem__
+        for provider in self._root_providers:
+            provider.bdd_remap(lookup, None)
+        reclaimed = size - write
+        self._last_gc_size = write - 2
+        self._gc_runs += 1
+        self._gc_reclaimed += reclaimed
+        self._gc_seconds += _time.perf_counter() - started
+        return reclaimed
+
+    def gc_due(self) -> bool:
+        """True when the arena grew ``gc_threshold`` nodes since last GC."""
+        threshold = self.gc_threshold
+        return (threshold is not None
+                and len(self._level) - 2 - self._last_gc_size >= threshold)
+
+    def maybe_collect(self) -> int:
+        """Collect iff :meth:`gc_due`; a no-op with the default config.
+
+        The kernel calls this at every safe point.
+        """
+        if not self.gc_due():
+            return 0
+        return self.collect()
+
+    def reorder(self, order: Sequence[int]) -> None:
+        """Re-express the live graph of *this* manager under a new order.
+
+        ``order`` lists existing levels in their new order (a
+        permutation of ``range(var_count)``), exactly like
+        :meth:`rebuild` — but instead of returning a fresh manager, the
+        rebuilt arena replaces this manager's own, dead nodes are
+        dropped as a side effect, and every handle and root provider is
+        remapped (``level_map`` tells providers where each old level
+        went, for anything keyed by variable level).  Node ids held
+        outside the root protocol are invalidated.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.var_count)):
+            raise BddError(
+                f"order must be a permutation of range({self.var_count})"
+            )
+        started = _time.perf_counter()
+        before = len(self._level) - 2
+        if before > self._peak:
+            self._peak = before
+        # Translation runs ite() on a scratch manager; its recursion is
+        # bounded by the variable count, which can exceed the default
+        # interpreter limit on long runs with many symbolic inputs.
+        import sys
+        need = 2 * self.var_count + 200
+        if sys.getrecursionlimit() < need:
+            sys.setrecursionlimit(need)
+        scratch = BddManager()
+        var_bdd = [0] * self.var_count
+        level_map = [0] * self.var_count
+        for pos, old_level in enumerate(order):
+            var_bdd[old_level] = scratch.new_var(self._var_names[old_level])
+            level_map[old_level] = pos
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        handles = list(self._handles)
+        roots = list(self._iter_roots())
+        stack: List[int] = []
+        for root in roots:
+            if root in memo:
+                continue
+            stack.append(root)
+            while stack:
+                node = stack[-1]
+                if node in memo:
+                    stack.pop()
+                    continue
+                low, high = lows[node], highs[node]
+                done = True
+                if high not in memo:
+                    stack.append(high)
+                    done = False
+                if low not in memo:
+                    stack.append(low)
+                    done = False
+                if done:
+                    memo[node] = scratch.ite(
+                        var_bdd[levels[node]], memo[high], memo[low]
+                    )
+                    stack.pop()
+        # Translation litters the scratch arena with superseded
+        # intermediate ite results, and translations of *internal* old
+        # nodes need not be subgraphs of the translated roots under
+        # the new order.  Compact the scratch arena pinning only the
+        # external roots, so the adopted arena is exactly their live
+        # graph.
+        pin = _ReorderPin({root: memo[root] for root in roots})
+        scratch.register_root_provider(pin)
+        scratch.collect()
+        root_map = pin.memo
+        # Adopt the scratch arena wholesale.  The old computed tables
+        # are keyed by dead ids; their lengths fold into the miss bases
+        # to keep the derived counters monotonic (translation work in
+        # the scratch manager is maintenance, not workload — its own
+        # counters are deliberately dropped).
+        self._level = scratch._level
+        self._low = scratch._low
+        self._high = scratch._high
+        self._unique = scratch._unique
+        self._ite_miss_base += len(self._ite_cache)
+        self._not_miss_base += len(self._not_cache) // 2
+        self._ite_cache = {}
+        self._not_cache = {}
+        self._var_names = [self._var_names[old] for old in order]
+        self._var_bdds = scratch._var_bdds
+        for handle in handles:
+            handle.node = root_map[handle.node]
+        lookup = root_map.__getitem__
+        for provider in self._root_providers:
+            provider.bdd_remap(lookup, level_map)
+        self._last_gc_size = len(self._level) - 2
+        self._reorder_runs += 1
+        self._reorder_seconds += _time.perf_counter() - started
+
+    def sift(self) -> int:
+        """One round of dynamic sifting (Rudell); returns nodes saved.
+
+        Collects first (sifting cost scales with live size), then moves
+        each variable through the order with adjacent-level swaps on a
+        scratch copy of the live graph — bounded by ``sift_max_swap``
+        total swaps, ``sift_max_growth`` intermediate growth per
+        variable and ``sift_max_vars`` candidates per pass, with
+        ``sift_converge`` repeating passes while they improve, the same
+        shape as CUDD's ``CUDD_REORDER_SIFT``/``_CONVERGE`` — and
+        finally applies the best order found with :meth:`reorder`.
+        """
+        started = _time.perf_counter()
+        self.collect()
+        before = len(self._level) - 2
+        saved = 0
+        if self.var_count >= 2 and before > 0:
+            space = _SiftSpace(self)
+            space.run()
+            self._reorder_swaps += space.swaps
+            self._reorder_seconds += _time.perf_counter() - started
+            if space.order != list(range(self.var_count)):
+                self.reorder(space.order)  # adds its own time share
+            saved = before - (len(self._level) - 2)
+            if saved > 0:
+                self._reorder_saved += saved
+        else:
+            self._reorder_seconds += _time.perf_counter() - started
+        live = len(self._level) - 2
+        self._next_sift_at = int(live * self.reorder_growth)
+        return saved
+
+    def sift_due(self) -> bool:
+        """True when dynamic sifting is armed and the arena outgrew it."""
+        if not self.dyn_reorder:
+            return False
+        trigger = self._next_sift_at
+        if trigger < self.sift_threshold:
+            trigger = self.sift_threshold
+        return len(self._level) - 2 >= trigger
+
+    def maybe_sift(self) -> int:
+        """Sift iff :meth:`sift_due`.
+
+        After each sift the trigger re-arms at ``live_nodes *
+        reorder_growth`` (never below ``sift_threshold``), so sifting
+        runs when the live graph has grown by the configured ratio —
+        not on every safe point.
+        """
+        if not self.sift_due():
+            return 0
+        return self.sift()
+
     def check_node(self, f: int) -> None:
         """Validate that ``f`` is a node of this manager (for API misuse)."""
         if not isinstance(f, int) or f < 0 or f >= len(self._level):
             raise BddError(f"not a node of this manager: {f!r}")
+
+
+class _ReorderPin:
+    """Pins translated roots while a reorder scratch arena compacts.
+
+    ``memo`` maps old-manager ids to scratch ids; the scratch
+    manager's own :meth:`BddManager.collect` rewrites the scratch side
+    through this provider so the mapping survives the compaction.
+    """
+
+    def __init__(self, memo: Dict[int, int]) -> None:
+        self.memo = memo
+
+    def bdd_roots(self) -> Iterable[int]:
+        return self.memo.values()
+
+    def bdd_remap(self, lookup, level_map) -> None:
+        self.memo = {old: lookup(new) for old, new in self.memo.items()}
+
+
+class _SiftSpace:
+    """Scratch graph for dynamic sifting.
+
+    A mutable copy of a (freshly collected, hence all-live) manager
+    arena that supports the classic adjacent-level swap: exchanging
+    order positions ``p`` and ``p+1`` only touches nodes at those two
+    levels, so a swap costs O(nodes at p) and a full sift explores
+    every position for a variable in O(arena) amortized.  Node ids
+    never change here — nodes are relabeled and rewritten in place —
+    so ``order`` (position → original level) is the only output; the
+    owning manager applies it with :meth:`BddManager.reorder`.
+
+    Unlike the manager itself, the scratch graph *is* reference
+    counted (``parents``), because swaps must know when a node at the
+    lower level dies; roots are pinned with an extra count.
+    """
+
+    def __init__(self, mgr: BddManager) -> None:
+        self.level = list(mgr._level)
+        self.low = list(mgr._low)
+        self.high = list(mgr._high)
+        size = len(self.level)
+        self.nvars = mgr.var_count
+        self.order = list(range(self.nvars))     # position -> orig level
+        self.pos_of = list(range(self.nvars))    # orig level -> position
+        self.buckets: List[Set[int]] = [set() for _ in range(self.nvars)]
+        self.parents = [0] * size
+        for node in range(2, size):
+            self.buckets[self.level[node]].add(node)
+            low, high = self.low[node], self.high[node]
+            if low > TRUE:
+                self.parents[low] += 1
+            if high > TRUE:
+                self.parents[high] += 1
+        for root in mgr._iter_roots():
+            if root > TRUE:
+                self.parents[root] += 1          # pin
+        self.unique: Dict[Tuple[int, int, int], int] = {
+            (self.level[node], self.low[node], self.high[node]): node
+            for node in range(2, size)
+        }
+        self.size = size - 2
+        self.free: List[int] = []
+        self.swaps = 0
+        self.max_growth = mgr.sift_max_growth
+        self.max_swap = mgr.sift_max_swap
+        self.max_vars = mgr.sift_max_vars
+        self.converge = mgr.sift_converge
+
+    def swap(self, p: int) -> None:
+        """Exchange the variables at order positions ``p`` and ``p+1``."""
+        self.swaps += 1
+        q = p + 1
+        level = self.level
+        low = self.low
+        high = self.high
+        unique = self.unique
+        parents = self.parents
+        bucket_p = self.buckets[p]
+        bucket_q = self.buckets[q]
+        upper = list(bucket_p)
+        lower = list(bucket_q)
+        for node in upper:
+            del unique[(p, low[node], high[node])]
+        for node in lower:
+            del unique[(q, low[node], high[node])]
+        # Classify the upper nodes *before* any relabeling: a node
+        # interacts with the swap iff a child sits at the lower level.
+        work = []
+        solitary = []
+        for node in upper:
+            f0, f1 = low[node], high[node]
+            f0w = level[f0] == q
+            f1w = level[f1] == q
+            if f0w or f1w:
+                work.append((node, f0, f1, f0w, f1w))
+            else:
+                solitary.append(node)
+        # Solitary upper nodes are independent of the rising variable:
+        # they keep their children and simply move down one position.
+        # Their keys go in first so re-expression can share them.
+        for node in solitary:
+            level[node] = q
+            unique[(q, low[node], high[node])] = node
+            bucket_p.discard(node)
+            bucket_q.add(node)
+        # Original lower nodes move up one position wholesale.  (Their
+        # new keys cannot collide with re-expressed ones: these
+        # children are all at positions >= p+2, a re-expressed node
+        # always keeps at least one child at p+1.)
+        for node in lower:
+            level[node] = p
+            unique[(p, low[node], high[node])] = node
+            bucket_q.discard(node)
+            bucket_p.add(node)
+        pending: List[int] = []
+        free = self.free
+
+        def decref(node: int) -> None:
+            if node > TRUE:
+                parents[node] -= 1
+                if parents[node] == 0:
+                    pending.append(node)
+
+        def mk_lower(lo: int, hi: int) -> int:
+            # Find-or-create (q, lo, hi); the caller owns one reference
+            # to the returned node.  Sharing with an existing node —
+            # including one whose count just hit zero — revives it;
+            # the sweep below re-checks counts for exactly that reason.
+            if lo == hi:
+                return lo
+            key = (q, lo, hi)
+            node = unique.get(key)
+            if node is None:
+                if free:
+                    node = free.pop()
+                    level[node] = q
+                    low[node] = lo
+                    high[node] = hi
+                else:
+                    node = len(level)
+                    level.append(q)
+                    low.append(lo)
+                    high.append(hi)
+                    parents.append(0)
+                unique[key] = node
+                bucket_q.add(node)
+                if lo > TRUE:
+                    parents[lo] += 1
+                if hi > TRUE:
+                    parents[hi] += 1
+                self.size += 1
+            return node
+
+        # Re-express interacting nodes over the risen variable:
+        #   ite(u, f1, f0) == ite(w, ite(u, f11, f01), ite(u, f10, f00))
+        # The node keeps its id (parents above are untouched) but now
+        # branches on w; its u-cofactors are fresh/shared lower nodes.
+        for node, f0, f1, f0w, f1w in work:
+            if f0w:
+                f00, f01 = low[f0], high[f0]
+            else:
+                f00 = f01 = f0
+            if f1w:
+                f10, f11 = low[f1], high[f1]
+            else:
+                f10 = f11 = f1
+            hi_node = mk_lower(f01, f11)
+            if hi_node > TRUE:
+                parents[hi_node] += 1
+            lo_node = mk_lower(f00, f10)
+            if lo_node > TRUE:
+                parents[lo_node] += 1
+            decref(f0)
+            decref(f1)
+            low[node] = lo_node
+            high[node] = hi_node
+            unique[(p, lo_node, hi_node)] = node
+        # Sweep nodes orphaned by the re-expression (cascading to
+        # their children), skipping any that sharing revived.
+        buckets = self.buckets
+        while pending:
+            node = pending.pop()
+            if parents[node] != 0 or level[node] < 0:
+                continue
+            key = (level[node], low[node], high[node])
+            if unique.get(key) == node:
+                del unique[key]
+            buckets[level[node]].discard(node)
+            decref(low[node])
+            decref(high[node])
+            level[node] = -1
+            free.append(node)
+            self.size -= 1
+        u, w = self.order[p], self.order[q]
+        self.order[p], self.order[q] = w, u
+        self.pos_of[w] = p
+        self.pos_of[u] = q
+
+    def _sift_one(self, pos: int, budget: List[int]) -> None:
+        """Move one variable through the order, settle at its best spot."""
+        limit = int(self.size * self.max_growth) + 2
+        best_size = self.size
+        best_pos = pos
+        cur = pos
+        top = self.nvars - 1
+        # Head for the nearer end first (fewer swaps wasted if the
+        # sweep aborts on the growth limit).
+        phases = ("up", "down") if pos <= top - pos else ("down", "up")
+        for phase in phases:
+            if phase == "up":
+                while cur > 0 and budget[0] > 0 and self.size <= limit:
+                    self.swap(cur - 1)
+                    budget[0] -= 1
+                    cur -= 1
+                    if self.size < best_size:
+                        best_size = self.size
+                        best_pos = cur
+            else:
+                while cur < top and budget[0] > 0 and self.size <= limit:
+                    self.swap(cur)
+                    budget[0] -= 1
+                    cur += 1
+                    if self.size < best_size:
+                        best_size = self.size
+                        best_pos = cur
+        # Return to the best position seen — off budget, since stopping
+        # anywhere else would leave a worse order than we started with.
+        while cur > best_pos:
+            self.swap(cur - 1)
+            cur -= 1
+        while cur < best_pos:
+            self.swap(cur)
+            cur += 1
+
+    def run(self) -> None:
+        """Sift the largest levels first; optionally repeat to converge."""
+        budget = [self.max_swap]
+        while True:
+            start_size = self.size
+            candidates = sorted(
+                range(self.nvars),
+                key=lambda pos: len(self.buckets[pos]),
+                reverse=True,
+            )[: self.max_vars]
+            # Track candidates by variable, not position: earlier
+            # sifts shift the positions of later candidates.
+            for var in [self.order[pos] for pos in candidates]:
+                if budget[0] <= 0:
+                    break
+                self._sift_one(self.pos_of[var], budget)
+            if not self.converge or budget[0] <= 0 or self.size >= start_size:
+                break

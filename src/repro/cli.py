@@ -59,6 +59,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print event/CPU statistics")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress $display output echo")
+    mem = parser.add_argument_group("BDD memory management")
+    mem.add_argument("--gc-threshold", type=int, default=None,
+                     metavar="NODES",
+                     help="run mark-and-sweep BDD garbage collection "
+                          "whenever the arena grows by NODES since the "
+                          "last collection (default: no GC)")
+    mem.add_argument("--dyn-reorder", action="store_true",
+                     help="enable dynamic sifting-based variable "
+                          "reordering between time steps")
+    mem.add_argument("--reorder-threshold", type=int, default=4096,
+                     metavar="NODES",
+                     help="minimum arena size before a sift is "
+                          "considered (default 4096)")
     obs = parser.add_argument_group("observability")
     obs.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write a Chrome trace_event JSON "
@@ -135,6 +148,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         echo_output=not args.quiet,
         concrete_random=args.random_seed,
         trace_stats=obs is not None and obs.metrics is not None,
+        gc_threshold=args.gc_threshold,
+        dyn_reorder=args.dyn_reorder,
+        reorder_threshold=args.reorder_threshold,
         obs=obs,
     )
     try:
@@ -143,7 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.bdd_latency:
             sim.mgr.instrument_latency(obs.metrics)
         result = sim.run(until=args.until)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -155,7 +171,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.stats:
         print(f"[stats] {result.stats.summary()}")
         print(f"[stats] cpu={sim.kernel.cpu_seconds:.3f}s "
-              f"bdd-nodes={sim.mgr.total_nodes}")
+              f"bdd-nodes={sim.mgr.total_nodes} "
+              f"bdd-peak={sim.mgr.peak_nodes}")
+        cache = sim.mgr.cache_stats()
+        if args.gc_threshold is not None or args.dyn_reorder:
+            print(f"[stats] gc-runs={cache['gc_runs']} "
+                  f"gc-reclaimed={cache['gc_reclaimed']} "
+                  f"reorder-runs={cache['reorder_runs']} "
+                  f"reorder-swaps={cache['reorder_swaps']} "
+                  f"reorder-saved={cache['reorder_saved']}")
     if args.metrics_out is not None:
         try:
             obs.metrics.write_json(args.metrics_out)

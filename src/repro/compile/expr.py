@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bdd import FALSE, TRUE
+from repro.compile.instructions import NbaUpdate
 from repro.errors import CompileError
 from repro.frontend import ast_nodes as ast
 from repro.frontend.elaborate import NetInfo, Scope
@@ -51,8 +52,9 @@ class LhsPlan:
     width: int
     #: write(kernel, env, value, control) — immediate blocking write
     write: Callable[["object", Env, FourVec, int], None]
-    #: capture(kernel, env, value, control) -> apply(kernel) closure
-    capture: Callable[["object", Env, FourVec, int], Callable[["object"], None]]
+    #: capture(kernel, env, value, control) -> NbaUpdate: the deferred
+    #: non-blocking write with its BDD payload in enumerable fields
+    capture: Callable[["object", Env, FourVec, int], NbaUpdate]
     support: FrozenSet[str] = frozenset()
 
 
@@ -530,13 +532,12 @@ class ExprCompiler:
         def write(kern, env, value, control):
             kern.write_net(full, value.resize(width), control)
 
+        def commit(kern2, vecs, controls):
+            kern2.write_net(full, vecs[0], controls[0])
+
         def capture(kern, env, value, control):
-            frozen = value.resize(width)
-
-            def apply(kern2):
-                kern2.write_net(full, frozen, control)
-
-            return apply
+            return NbaUpdate(commit, vecs=[value.resize(width)],
+                             controls=[control])
 
         return LhsPlan(width=width, write=write, capture=capture,
                        support=frozenset([full]))
@@ -571,14 +572,15 @@ class ExprCompiler:
                 idx = index.eval(kern, env, control, max(index.width, 32))
                 kern.write_array(full, idx, value.resize(width), control, low, high)
 
+            def commit_word(kern2, vecs, controls):
+                kern2.write_array(full, vecs[0], vecs[1], controls[0],
+                                  low, high)
+
             def capture_word(kern, env, value, control):
                 idx = index.eval(kern, env, control, max(index.width, 32))
-                frozen = value.resize(width)
-
-                def apply(kern2):
-                    kern2.write_array(full, idx, frozen, control, low, high)
-
-                return apply
+                return NbaUpdate(commit_word,
+                                 vecs=[idx, value.resize(width)],
+                                 controls=[control])
 
             return LhsPlan(width=width, write=write_word, capture=capture_word,
                            support=frozenset([full]))
@@ -587,14 +589,14 @@ class ExprCompiler:
             idx = index.eval(kern, env, control, max(index.width, 32))
             _write_selected_bit(kern, full, info, idx, value, control)
 
+        def commit_bit(kern2, vecs, controls):
+            _write_selected_bit(kern2, full, info, vecs[0], vecs[1],
+                                controls[0])
+
         def capture_bit(kern, env, value, control):
             idx = index.eval(kern, env, control, max(index.width, 32))
-            frozen = value.resize(1)
-
-            def apply(kern2):
-                _write_selected_bit(kern2, full, info, idx, frozen, control)
-
-            return apply
+            return NbaUpdate(commit_bit, vecs=[idx, value.resize(1)],
+                             controls=[control])
 
         return LhsPlan(width=1, write=write_bit, capture=capture_bit,
                        support=frozenset([full]))
@@ -614,13 +616,12 @@ class ExprCompiler:
         def write(kern, env, value, control):
             _write_part(kern, full, offset, width, value, control)
 
+        def commit(kern2, vecs, controls):
+            _write_part(kern2, full, offset, width, vecs[0], controls[0])
+
         def capture(kern, env, value, control):
-            frozen = value.resize(width)
-
-            def apply(kern2):
-                _write_part(kern2, full, offset, width, frozen, control)
-
-            return apply
+            return NbaUpdate(commit, vecs=[value.resize(width)],
+                             controls=[control])
 
         return LhsPlan(width=width, write=write, capture=capture,
                        support=frozenset([full]))
@@ -646,16 +647,10 @@ class ExprCompiler:
 
         def capture(kern, env, value, control):
             value = value.resize(width)
-            applies = [
+            return NbaUpdate(subs=[
                 plan.capture(kern, env, piece, control)
                 for plan, piece in zip(plans, distribute(value))
-            ]
-
-            def apply(kern2):
-                for fn in applies:
-                    fn(kern2)
-
-            return apply
+            ])
 
         return LhsPlan(width=width, write=write, capture=capture, support=support)
 

@@ -57,6 +57,48 @@ class Frame:
     prio: int
 
 
+class NbaUpdate:
+    """A captured non-blocking assignment, enumerable for BDD GC.
+
+    The value, index and control captured at schedule time (1364
+    semantics) are stored in *fields* rather than closed over, so a
+    queued update — which can sit across time steps under an
+    intra-assignment delay — can enumerate its BDD roots and be
+    remapped when the manager collects or reorders.  ``fn`` receives
+    ``(kernel, vecs, controls)`` and must not close over node ids
+    itself; ``subs`` composes concatenation targets.
+    """
+
+    __slots__ = ("fn", "vecs", "controls", "subs")
+
+    def __init__(self, fn=None, vecs=(), controls=(), subs=()):
+        self.fn = fn
+        self.vecs = list(vecs)
+        self.controls = list(controls)
+        self.subs = list(subs)
+
+    def __call__(self, kern) -> None:
+        if self.fn is not None:
+            self.fn(kern, self.vecs, self.controls)
+        for sub in self.subs:
+            sub(kern)
+
+    def bdd_roots(self):
+        for vec in self.vecs:
+            for a, b in vec.bits:
+                yield a
+                yield b
+        yield from self.controls
+        for sub in self.subs:
+            yield from sub.bdd_roots()
+
+    def bdd_remap(self, lookup) -> None:
+        self.vecs = [vec.remap(lookup) for vec in self.vecs]
+        self.controls = [lookup(control) for control in self.controls]
+        for sub in self.subs:
+            sub.bdd_remap(lookup)
+
+
 class Instruction:
     """Base class; subclasses implement :meth:`execute`."""
 

@@ -196,6 +196,18 @@ class FourVec:
             return self
         return FourVec(self.mgr, self.bits, signed)
 
+    def remap(self, lookup) -> "FourVec":
+        """Rebuild with every rail id passed through ``lookup``.
+
+        Used by the BDD garbage collector's root-provider protocol:
+        after an arena compaction or in-place reorder, every held node
+        id must be translated to its new value.
+        """
+        return FourVec(
+            self.mgr, [(lookup(a), lookup(b)) for a, b in self.bits],
+            self.signed,
+        )
+
     def resize(self, width: int) -> "FourVec":
         """Truncate or extend to ``width``.
 

@@ -86,6 +86,19 @@ class SimOptions:
     #: with False, ACTIVE events run FIFO instead of depth-first, so
     #: nested statements no longer merge before enclosing ones.
     depth_first_priorities: bool = True
+    #: Arena growth (in nodes) that triggers mark-and-sweep BDD garbage
+    #: collection at the end-of-step safe point; ``None`` keeps the
+    #: original append-only arena.
+    gc_threshold: Optional[int] = None
+    #: Enable dynamic sifting-based variable reordering between time
+    #: steps (the paper ran with dynamic reordering disabled; this is
+    #: the scaling knob CUDD would have provided).
+    dyn_reorder: bool = False
+    #: Minimum arena size before a sift is considered.
+    reorder_threshold: int = 4096
+    #: Re-sift when the live graph grows by this factor since the last
+    #: reorder.
+    reorder_growth: float = 2.0
     #: Optional :class:`repro.obs.Observability` bundle (tracer /
     #: metrics registry / hot-spot profiler).  With None — the default
     #: — no observability code runs: the kernel leaves its fast-path
@@ -155,6 +168,13 @@ class Kernel:
         self.design = program.design
         self.options = options or SimOptions()
         self.mgr = mgr or BddManager()
+        self.mgr.gc_threshold = self.options.gc_threshold
+        self.mgr.dyn_reorder = self.options.dyn_reorder
+        self.mgr.sift_threshold = self.options.reorder_threshold
+        self.mgr.reorder_growth = self.options.reorder_growth
+        # The kernel is the manager's root provider: at every GC or
+        # reorder it enumerates/rewrites all node ids it holds.
+        self.mgr.register_root_provider(self)
         self.state = SimState(self.mgr, self.design)
         self.obs = self.options.obs
         self.sched = Scheduler(self.mgr, self.options.accumulation,
@@ -194,6 +214,7 @@ class Kernel:
         self._drivers: Dict[str, Dict[tuple, FourVec]] = {}
         self._step_activity = 0
         self._started = False
+        self._busy = False
         self._cpu_accum = 0.0
         self._finish_control = FALSE
         self._line_open = False
@@ -229,11 +250,13 @@ class Kernel:
         if not self._started:
             self._startup()
         cpu_start = _time.perf_counter()
+        self._busy = True
         try:
             self._event_loop(until)
         except _FinishSignal:
             self._end_of_step()
         finally:
+            self._busy = False
             self._cpu_accum += _time.perf_counter() - cpu_start
             self.stats.events_scheduled = self.sched.scheduled
             self.stats.events_merged = self.sched.merged
@@ -308,6 +331,11 @@ class Kernel:
                     self.stats.snapshot(self.now, self._cpu_accum)
                     if self._m_events is not None:
                         self._sample_series()
+                mgr = self.mgr
+                if mgr.gc_threshold is not None or mgr.dyn_reorder:
+                    # End-of-step is the BDD safe point: no raw node
+                    # ids live in Python locals of in-flight operators.
+                    self._maintain()
                 if tracer is not None:
                     if self._step_open:
                         tracer.end("step", "step", lane=LANE_STEP,
@@ -418,10 +446,14 @@ class Kernel:
         self._m_cpu = metrics.series(
             "sim.timeline.cpu_seconds",
             "cumulative kernel CPU seconds by simulation time")
+        self._m_nodes = metrics.series(
+            "sim.timeline.bdd_nodes",
+            "BDD arena size by simulation time (drops show GC)")
 
     def _sample_series(self) -> None:
         self._m_events.sample(self.now, self.stats.events_processed)
         self._m_cpu.sample(self.now, self._cpu_accum)
+        self._m_nodes.sample(self.now, self.mgr.total_nodes)
 
     def _publish_metrics(self) -> None:
         metrics = self._metrics
@@ -583,113 +615,142 @@ class Kernel:
             self._schedule_subscribers(name)
 
     # ------------------------------------------------------------------
-    # static variable reordering (between run() calls)
+    # BDD memory management: the kernel is its manager's root provider.
+    # GC and reordering renumber node ids, so they only run at *safe
+    # points* — between time steps (``_maintain``) or between ``run()``
+    # calls — never while raw ids live in event-loop locals.
     # ------------------------------------------------------------------
 
     def reorder(self, order: Sequence[int]) -> None:
-        """Rebuild every live BDD under a new static variable order.
+        """Re-pack every live BDD under a new static variable order.
 
-        ``order`` is a permutation of the existing levels (see
-        :meth:`BddManager.rebuild`).  The paper ran with dynamic
-        reordering disabled, but order still dominates BDD size; this
-        lets a caller re-pack the space between ``run()`` phases — e.g.
-        interleaving related variables once their relationship is
-        known.  Translates the value store, memories, net drivers,
-        waiters, pending events, assertions, invocation logs, recorded
-        violations and the finish control.  Simulation then continues
-        unchanged (asserted by tests/integration/test_reorder.py).
+        ``order`` is a permutation of the existing levels.  The paper
+        ran with dynamic reordering disabled, but order still dominates
+        BDD size; this lets a caller re-pack the space between ``run()``
+        phases — e.g. interleaving related variables once their
+        relationship is known.  The manager reorders in place and the
+        kernel's root-provider hooks translate the value store,
+        memories, net drivers, waiters, pending events (including
+        delayed non-blocking updates), assertions, invocation logs,
+        recorded violations and the finish control.  Simulation then
+        continues unchanged (asserted by tests/integration/
+        test_reorder.py).
+
+        Raises :class:`SimulationError` when invoked from inside the
+        event loop (e.g. from an instruction callback): mid-step, raw
+        node ids live in Python locals that no root provider can see,
+        and a reorder would silently corrupt them.
         """
-        roots: set = set()
+        self._require_safe_point("reorder()")
+        self.mgr.reorder(order)
 
-        def note_vec(vec: FourVec) -> None:
-            for a, b in vec.bits:
-                roots.add(a)
-                roots.add(b)
+    def collect_garbage(self) -> int:
+        """Explicitly run a BDD collection (safe between ``run()`` calls)."""
+        self._require_safe_point("collect_garbage()")
+        return self.mgr.collect()
 
-        for name in list(self.state.names()):
-            note_vec(self.state.value(name))
-        for array_name in list(self.design.nets):
-            if self.state.is_array(array_name):
-                for word in self.state.array_words(array_name).values():
-                    note_vec(word)
-        for drivers in self._drivers.values():
-            for vec in drivers.values():
-                note_vec(vec)
-        for waiters in self._waiters.values():
-            for waiter in waiters:
-                roots.add(waiter.control)
-                for ts in waiter.triggers:
-                    note_vec(ts.last)
-        for _, _, _, _, event in self.sched._heap:
-            if event.kind == "proc":
-                roots.add(event.control)
-            if event.kind == "drive" and event.payload is not None:
-                note_vec(event.payload)
-        for assertion in self._assertions.values():
-            roots.add(assertion.armed)
-        for invocation in self.random_log:
-            roots.add(invocation.control)
-            note_vec(invocation.vector)
-        for violation in self.violations:
-            roots.add(violation.condition)
-        if self._monitor is not None:
-            roots.add(self._monitor[1])
-        for _, control in self._strobes:
-            roots.add(control)
-        roots.add(self._finish_control)
-
-        new_mgr, mapping = self.mgr.rebuild(order, roots)
-        level_map = {old: position for position, old in enumerate(order)}
-
-        def tr_vec(vec: FourVec) -> FourVec:
-            return FourVec(
-                new_mgr,
-                [(mapping[a], mapping[b]) for a, b in vec.bits],
-                vec.signed,
+    def _require_safe_point(self, what: str) -> None:
+        if self._busy:
+            raise SimulationError(
+                f"{what} is only legal at a safe point — between run() "
+                "calls or time steps — not from inside the event loop; "
+                "raw BDD node ids held by in-flight instructions would "
+                "be corrupted"
             )
 
-        for name in list(self.state.names()):
-            self.state.set_value(name, tr_vec(self.state.value(name)))
-        for array_name in list(self.design.nets):
-            if self.state.is_array(array_name):
-                words = self.state.array_words(array_name)
-                for index in list(words):
-                    words[index] = tr_vec(words[index])
-        for drivers in self._drivers.values():
-            for key in list(drivers):
-                drivers[key] = tr_vec(drivers[key])
+    def _maintain(self) -> None:
+        """End-of-step BDD housekeeping: GC, then dynamic sifting."""
+        mgr = self.mgr
+        tracer = self._tracer
+        if mgr.gc_due():
+            started = _time.perf_counter()
+            reclaimed = mgr.collect()
+            if tracer is not None:
+                tracer.complete(
+                    "bdd-gc", "bdd", tracer.to_us(started),
+                    (_time.perf_counter() - started) * 1e6,
+                    lane=LANE_EVENT, sim_time=self.now,
+                    reclaimed=reclaimed,
+                )
+        if mgr.sift_due():
+            started = _time.perf_counter()
+            saved = mgr.sift()
+            if tracer is not None:
+                tracer.complete(
+                    "bdd-reorder", "bdd", tracer.to_us(started),
+                    (_time.perf_counter() - started) * 1e6,
+                    lane=LANE_EVENT, sim_time=self.now,
+                    nodes_saved=saved,
+                )
+
+    def _iter_waiters(self):
+        """Each live waiter exactly once (they appear per watched net)."""
+        seen = set()
         for waiters in self._waiters.values():
             for waiter in waiters:
-                waiter.control = mapping[waiter.control]
-                for ts in waiter.triggers:
-                    ts.last = tr_vec(ts.last)
-        for _, _, _, _, event in self.sched._heap:
-            if event.kind == "proc":
-                event.control = mapping[event.control]
-            if event.kind == "drive" and event.payload is not None:
-                event.payload = tr_vec(event.payload)
+                if id(waiter) not in seen:
+                    seen.add(id(waiter))
+                    yield waiter
+
+    def bdd_roots(self):
+        """Root-provider hook: every node id the kernel holds."""
+        yield from self.state.bdd_roots()
+        yield from self.sched.bdd_roots()
+        for drivers in self._drivers.values():
+            for vec in drivers.values():
+                for a, b in vec.bits:
+                    yield a
+                    yield b
+        for waiter in self._iter_waiters():
+            yield waiter.control
+            for ts in waiter.triggers:
+                for a, b in ts.last.bits:
+                    yield a
+                    yield b
         for assertion in self._assertions.values():
-            assertion.armed = mapping[assertion.armed]
+            yield assertion.armed
         for invocation in self.random_log:
-            invocation.control = mapping[invocation.control]
-            invocation.vector = tr_vec(invocation.vector)
+            yield invocation.control
+            for a, b in invocation.vector.bits:
+                yield a
+                yield b
         for violation in self.violations:
-            violation.condition = mapping[violation.condition]
-            violation.trace.witness = {
-                level_map[level]: value
-                for level, value in violation.trace.witness.items()
-            }
+            yield violation.condition
         if self._monitor is not None:
-            self._monitor = (self._monitor[0], mapping[self._monitor[1]])
-        self._strobes = [(args, mapping[control])
+            yield self._monitor[1]
+        for _, control in self._strobes:
+            yield control
+        yield self._finish_control
+
+    def bdd_remap(self, lookup, level_map) -> None:
+        """Root-provider hook: rewrite all held ids after GC/reorder."""
+        self.state.bdd_remap(lookup, level_map)
+        self.sched.bdd_remap(lookup, level_map)
+        for drivers in self._drivers.values():
+            for key, vec in drivers.items():
+                drivers[key] = vec.remap(lookup)
+        for waiter in self._iter_waiters():
+            waiter.control = lookup(waiter.control)
+            for ts in waiter.triggers:
+                ts.last = ts.last.remap(lookup)
+        for assertion in self._assertions.values():
+            assertion.armed = lookup(assertion.armed)
+        for invocation in self.random_log:
+            invocation.control = lookup(invocation.control)
+            invocation.vector = invocation.vector.remap(lookup)
+        for violation in self.violations:
+            violation.condition = lookup(violation.condition)
+            if level_map is not None:
+                # error-trace witness cubes are keyed by variable level
+                violation.trace.witness = {
+                    level_map[level]: value
+                    for level, value in violation.trace.witness.items()
+                }
+        if self._monitor is not None:
+            self._monitor = (self._monitor[0], lookup(self._monitor[1]))
+        self._strobes = [(args, lookup(control))
                          for args, control in self._strobes]
-        self._finish_control = mapping[self._finish_control]
-        self.mgr = new_mgr
-        self.state.mgr = new_mgr
-        self.sched.mgr = new_mgr
-        if self._metrics is not None:
-            # re-point the live BDD gauges at the replacement manager
-            new_mgr.attach_metrics(self._metrics)
+        self._finish_control = lookup(self._finish_control)
 
     # ------------------------------------------------------------------
     # VCD dumping

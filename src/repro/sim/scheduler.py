@@ -133,6 +133,38 @@ class Scheduler:
             return None
         return self._heap[0][0]
 
+    # ------------------------------------------------------------------
+    # BDD root-provider protocol (GC / in-place reordering)
+    # ------------------------------------------------------------------
+
+    def bdd_roots(self):
+        """Every BDD node id held by a queued event."""
+        for _, _, _, _, event in self._heap:
+            kind = event.kind
+            if kind == "proc":
+                yield event.control
+            elif kind == "nba":
+                yield from event.apply.bdd_roots()
+            elif kind == "drive" and event.payload is not None:
+                for a, b in event.payload.bits:
+                    yield a
+                    yield b
+
+    def bdd_remap(self, lookup, level_map) -> None:
+        """Rewrite queued events after an arena compaction/reorder.
+
+        ``_pending`` aliases the same :class:`Event` objects as the
+        heap, so rewriting the heap entries covers both.
+        """
+        for _, _, _, _, event in self._heap:
+            kind = event.kind
+            if kind == "proc":
+                event.control = lookup(event.control)
+            elif kind == "nba":
+                event.apply.bdd_remap(lookup)
+            elif kind == "drive" and event.payload is not None:
+                event.payload = event.payload.remap(lookup)
+
     def peek_region(self) -> Optional[int]:
         if not self._heap:
             return None

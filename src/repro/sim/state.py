@@ -153,6 +153,31 @@ class SimState:
         return change
 
     # ------------------------------------------------------------------
+    # BDD root-provider protocol (GC / in-place reordering)
+    # ------------------------------------------------------------------
+
+    def bdd_roots(self) -> Iterator[int]:
+        """Every BDD node id held by a net value or memory word."""
+        for vec in self._values.values():
+            for a, b in vec.bits:
+                yield a
+                yield b
+        for words in self._arrays.values():
+            for vec in words.values():
+                for a, b in vec.bits:
+                    yield a
+                    yield b
+
+    def bdd_remap(self, lookup, level_map) -> None:
+        """Rewrite the store after an arena compaction/reorder."""
+        values = self._values
+        for name, vec in values.items():
+            values[name] = vec.remap(lookup)
+        for words in self._arrays.values():
+            for index, vec in words.items():
+                words[index] = vec.remap(lookup)
+
+    # ------------------------------------------------------------------
     # witness substitution (error-trace support)
     # ------------------------------------------------------------------
 

@@ -18,15 +18,21 @@ from repro import SimOptions
 from repro.sim.trace import ErrorTrace, TraceEntry
 
 
-def cross_validate(source, nets, until=None, max_cases=16, top=None):
+def cross_validate(source, nets, until=None, max_cases=16, top=None,
+                   options=None):
     """Run symbolically once, then per concrete case compare every net.
 
     Concrete runs are driven through the resimulation machinery: the
     recorded invocation log tells us how many values each call site
-    consumed on a given path.
+    consumed on a given path.  ``options`` overrides the symbolic run's
+    :class:`SimOptions` — e.g. to force aggressive BDD GC/reordering
+    and differentially test that memory management never perturbs
+    results.
     """
+    if options is None:
+        options = SimOptions(stop_on_violation=False)
     sim = repro.SymbolicSimulator.from_source(
-        source, top=top, options=SimOptions(stop_on_violation=False))
+        source, top=top, options=options)
     sim.run(until=until)
     mgr = sim.mgr
     levels = list(range(mgr.var_count))

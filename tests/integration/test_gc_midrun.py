@@ -1,0 +1,114 @@
+"""Mid-simulation GC/reordering must be invisible to results.
+
+Stress layer: the Fig. 10 arbiter (exhaustive property checking over
+all request sequences) is re-run with a tiny GC threshold — a
+collection after nearly every time step — and with dynamic sifting on
+top, asserting the :class:`SimResult` and the final symbolic values
+are unchanged from the unmanaged baseline.  Also pins the safe-point
+contract: calling :meth:`Kernel.reorder` from *inside* the event loop
+(where raw node ids live in interpreter locals) raises a clear
+:class:`ReproError` instead of silently corrupting state.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro import SimOptions
+from repro.compile.instructions import Exec
+from repro.errors import ReproError, SimulationError
+from tests.integration.test_arbiter import run_arbiter
+
+
+def sampled_tables(sim, nets, max_cases=32):
+    """Name-keyed truth samples — comparable across variable orders."""
+    mgr = sim.mgr
+    names = sorted(mgr.var_name(i) for i in range(mgr.var_count))
+    level_of = {mgr.var_name(i): i for i in range(mgr.var_count)}
+    tables = {}
+    rng = random.Random(7)
+    cases = {tuple(rng.random() < 0.5 for _ in names)
+             for _ in range(max_cases)}
+    for bits in sorted(cases):
+        cube = {level_of[name]: bit for name, bit in zip(names, bits)}
+        for net in nets:
+            tables[(net, bits)] = \
+                sim.value(net).substitute(cube).to_verilog_bits()
+    return tables
+
+
+class TestArbiterUnderGc:
+    NETS = ("grant", "req_q", "goal")
+
+    def compare(self, options):
+        base_result, base_sim = run_arbiter()
+        managed_result, managed_sim = run_arbiter(options=options)
+        assert managed_result.finished == base_result.finished
+        assert managed_result.time == base_result.time
+        assert len(managed_result.violations) == \
+            len(base_result.violations)
+        assert managed_result.stats.symbols_injected == \
+            base_result.stats.symbols_injected
+        assert managed_result.stats.events_processed == \
+            base_result.stats.events_processed
+        assert sampled_tables(managed_sim, self.NETS) == \
+            sampled_tables(base_sim, self.NETS)
+        return managed_sim
+
+    def test_tiny_threshold_gc_is_invisible(self):
+        sim = self.compare(SimOptions(gc_threshold=1))
+        stats = sim.mgr.cache_stats()
+        assert stats["gc_runs"] > 0
+        assert stats["gc_reclaimed"] > 0
+
+    def test_gc_plus_sifting_is_invisible(self):
+        sim = self.compare(SimOptions(
+            gc_threshold=1, dyn_reorder=True,
+            reorder_threshold=16, reorder_growth=1.1))
+        assert sim.mgr.cache_stats()["gc_runs"] > 0
+
+    def test_peak_nodes_drop_under_gc(self):
+        _, base_sim = run_arbiter()
+        _, managed_sim = run_arbiter(options=SimOptions(gc_threshold=64))
+        assert managed_sim.mgr.peak_nodes < base_sim.mgr.peak_nodes
+
+
+SRC = """
+    module tb; reg [1:0] a; reg [3:0] x;
+      initial begin
+        a = $random;
+        #5 x = a + 1;
+        #5 x = x * 2;
+      end
+    endmodule
+"""
+
+
+class TestSafePointGuard:
+    def inject(self, fn):
+        """Prepend an Exec instruction to the initial process."""
+        sim = repro.SymbolicSimulator.from_source(SRC)
+        process = sim.program.processes[0]
+        process.instructions.insert(0, Exec(fn))
+        return sim
+
+    def test_reorder_inside_event_loop_raises(self):
+        sim = self.inject(
+            lambda kern, frame: kern.reorder(
+                list(range(kern.mgr.var_count))))
+        with pytest.raises(SimulationError, match="safe point"):
+            sim.run(until=100)
+
+    def test_collect_inside_event_loop_raises(self):
+        sim = self.inject(lambda kern, frame: kern.collect_garbage())
+        with pytest.raises(ReproError, match="safe point"):
+            sim.run(until=100)
+
+    def test_reorder_between_runs_is_legal(self):
+        sim = repro.SymbolicSimulator.from_source(SRC)
+        sim.run(until=7)
+        sim.kernel.reorder(list(range(sim.mgr.var_count)))
+        assert sim.kernel.collect_garbage() >= 0
+        sim.run(until=100)
+        assert sim.value("x") is not None

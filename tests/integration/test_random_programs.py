@@ -7,11 +7,31 @@ symbolic 2-bit inputs, then every generated program is cross-validated:
 each concrete substitution of the symbolic result must equal a
 conventional concrete run fed the same values.  This is fuzzing for
 the entire compile+simulate stack.
+
+The GC variants re-run the same differential property with BDD
+garbage collection and dynamic reordering forced at aggressive
+thresholds (collect after every node of growth, sift between steps),
+pinning that memory management is invisible to simulation semantics.
 """
 
+import os
+
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import SimOptions
 from tests.integration.test_cross_validation import cross_validate
+
+FUZZ_SCALE = max(1, int(float(os.environ.get("REPRO_FUZZ_SCALE", "1"))))
+
+#: every collection opportunity taken, sifting from a near-empty arena
+AGGRESSIVE = dict(
+    stop_on_violation=False,
+    gc_threshold=1,
+    dyn_reorder=True,
+    reorder_threshold=16,
+    reorder_growth=1.1,
+)
 
 VARS = ["x", "y", "z"]
 INPUTS = ["a", "b"]
@@ -109,3 +129,23 @@ def test_generated_program_pretty_print_roundtrip(source):
     from tests.unit.test_printer import roundtrip
 
     roundtrip(source)
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_generated_program_agrees_under_gc_and_reorder(source):
+    """The differential property holds with GC + sifting forced on:
+    every concrete substitution of the (collected, reordered) symbolic
+    run still matches a conventional concrete simulation bit-exactly."""
+    cross_validate(source, nets=["x", "y", "z"], until=200, max_cases=4,
+                   options=SimOptions(**AGGRESSIVE))
+
+
+@pytest.mark.fuzz
+@settings(max_examples=25 * FUZZ_SCALE, deadline=None)
+@given(programs())
+def test_generated_program_gc_soak(source):
+    """Scheduled-lane soak: exhaustive input cases under aggressive
+    GC/reordering; REPRO_FUZZ_SCALE multiplies the program count."""
+    cross_validate(source, nets=["x", "y", "z"], until=200, max_cases=16,
+                   options=SimOptions(**AGGRESSIVE))

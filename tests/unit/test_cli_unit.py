@@ -80,8 +80,8 @@ class TestFlags:
         assert "first" in out and "second" in out
 
     def test_nonexistent_file(self, capsys):
-        with pytest.raises(OSError):
-            main(["/nonexistent/file.v"])
+        assert main(["/nonexistent/file.v"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_parser_help_lists_modes(self):
         parser = build_arg_parser()
