@@ -18,6 +18,9 @@ Absolute numbers are testbed-specific; the *shape* to reproduce is:
 
 Each (design, mode) cell runs once under pytest-benchmark; the final
 report benchmark prints the assembled table and checks the orderings.
+Two extra columns ride along: FULL+GC (memory management must be
+invisible to results) and FULL+guard (resource budgets armed but never
+breached must cost <3% wall clock in aggregate).
 """
 
 from __future__ import annotations
@@ -28,7 +31,8 @@ import pytest
 
 import repro
 from repro import (
-    AccumulationMode, MetricsRegistry, Observability, SimOptions,
+    AccumulationMode, MetricsRegistry, Observability, ResourceBudgets,
+    SimOptions,
 )
 from repro.designs import load
 
@@ -47,6 +51,14 @@ WORKLOADS = {
 #: measures what CUDD-style memory management buys on the same runs)
 GC_KNOBS = dict(gc_threshold=50_000, dyn_reorder=True,
                 reorder_threshold=60_000)
+
+#: the FULL+guard column: resource budgets armed but sized so that no
+#: rung of the mitigation ladder can fire — measures the pure cost of
+#: the guard's per-safe-point bookkeeping (docs/ROBUSTNESS.md promises
+#: it stays under 3% of wall clock)
+GUARD_BUDGETS = dict(wall_seconds=24 * 3600.0,
+                     max_live_nodes=500_000_000,
+                     max_events=10 ** 12)
 
 _RESULTS: dict = {}
 _SNAPSHOTS: dict = {}
@@ -77,7 +89,8 @@ def _sampled_tables(sim, max_nets=12, max_cases=16):
     return tables
 
 
-def _run_cell(design: str, mode: AccumulationMode, gc: bool = False):
+def _run_cell(design: str, mode: AccumulationMode, gc: bool = False,
+              guard: bool = False):
     kwargs, until = WORKLOADS[design]
     source, top, defines = load(design, **kwargs)
     # Metrics-only observability: the kernel leaves its hot paths
@@ -85,6 +98,8 @@ def _run_cell(design: str, mode: AccumulationMode, gc: bool = False):
     registry = MetricsRegistry()
     options = SimOptions(accumulation=mode,
                          obs=Observability(metrics=registry),
+                         budgets=(ResourceBudgets(**GUARD_BUDGETS)
+                                  if guard else None),
                          **(GC_KNOBS if gc else {}))
     sim = repro.SymbolicSimulator.from_source(
         source, top=top, defines=defines, options=options)
@@ -92,9 +107,13 @@ def _run_cell(design: str, mode: AccumulationMode, gc: bool = False):
     result = sim.run(until=until)
     elapsed = time.perf_counter() - started
     assert not result.violations, f"{design} checker mismatch!"
+    if guard:
+        assert not sim.mgr.concretized, \
+            f"{design}: guard mitigation fired under no-op budgets"
     registry.gauge("bench.wall_seconds",
                    "wall time of the timed run() call").set(elapsed)
-    key = f"{design}/{mode.value}" + ("+gc" if gc else "")
+    key = (f"{design}/{mode.value}" + ("+gc" if gc else "")
+           + ("+guard" if guard else ""))
     if mode is AccumulationMode.FULL:
         # bit-identity evidence: FULL and FULL+GC must sample equal
         _SAMPLES[key] = _sampled_tables(sim)
@@ -128,6 +147,14 @@ def test_table1_gc_cell(benchmark, design):
     benchmark.extra_info["accumulation"] = "full+gc"
     benchmark.pedantic(_run_cell, args=(design, AccumulationMode.FULL),
                        kwargs={"gc": True}, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("design", list(WORKLOADS))
+def test_table1_guard_cell(benchmark, design):
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["accumulation"] = "full+guard"
+    benchmark.pedantic(_run_cell, args=(design, AccumulationMode.FULL),
+                       kwargs={"guard": True}, rounds=1, iterations=1)
 
 
 def test_table1_report(benchmark):
@@ -177,6 +204,16 @@ def test_table1_report(benchmark):
                 f"{design:8s} {elapsed:9.2f}s peak {base_peak:8d}n -> "
                 f"{peak:8d}n  reclaimed {reclaimed:8d}n  "
                 f"reorders {reorders:2d} (saved {saved:6d}n)")
+        lines.append("")
+        lines.append("Guard overhead (budgets armed, never breached)")
+        for design in ("dram", "risc8", "gcd"):
+            base, base_ev = _RESULTS[f"{design}/full"]
+            guarded, guard_ev = _RESULTS[f"{design}/full+guard"]
+            overhead = 100.0 * (guarded - base) / base
+            lines.append(
+                f"{design:8s} {base:9.2f}s -> {guarded:9.2f}s "
+                f"({overhead:+5.1f}%)  events {base_ev:6d} -> "
+                f"{guard_ev:6d}")
         report("table1", lines)
         report_json("table1", dict(_SNAPSHOTS))
 
@@ -218,5 +255,20 @@ def test_table1_report(benchmark):
                 f"{design}: GC/reordering changed the event count"
         assert any(peak_dropped), \
             "GC must reduce peak live nodes on at least one design"
+
+        # --- guard-overhead assertions (robustness PR criteria) ------
+        base_total = guarded_total = 0.0
+        for design in ("dram", "risc8", "gcd"):
+            base, base_ev = _RESULTS[f"{design}/full"]
+            guarded, guard_ev = _RESULTS[f"{design}/full+guard"]
+            base_total += base
+            guarded_total += guarded
+            assert guard_ev == base_ev, \
+                f"{design}: an idle guard changed the event count"
+        # Aggregated across designs to keep single-run timing noise
+        # from dominating the bound (individual cells run once).
+        assert guarded_total < 1.03 * base_total, \
+            (f"idle guard costs {100 * (guarded_total / base_total - 1):.1f}%"
+             " wall clock (must stay under 3%)")
 
     benchmark.pedantic(build_report, rounds=1, iterations=1)

@@ -39,12 +39,17 @@ from repro.bdd import BddManager
 from repro.compile import compile_design, Program
 from repro.compile.instructions import AccumulationMode
 from repro.errors import (
-    AssertionViolation, BddError, CompileError, ElaborationError,
-    FourValueError, ReproError, ResimulationError, SimulationError,
-    SimulationHang, SymbolicDelayError, VerilogSyntaxError,
+    AssertionViolation, BddError, CheckpointError, CompileError,
+    ElaborationError, FourValueError, ReproError, ResimulationError,
+    SimulationAborted, SimulationError, SimulationHang, SymbolicDelayError,
+    VerilogSyntaxError,
 )
 from repro.fourval import FourVec
 from repro.frontend import elaborate, parse_source
+from repro.guard import (
+    BudgetReport, Fault, FaultInjector, ResourceBudgets, load_checkpoint,
+    save_checkpoint,
+)
 from repro.obs import (
     HotSpotProfiler, MetricsRegistry, Observability, Tracer,
 )
@@ -59,10 +64,13 @@ __all__ = [
     "SymbolicSimulator", "SimOptions", "SimResult", "AccumulationMode",
     "FourVec", "BddManager", "ErrorTrace", "Violation",
     "Observability", "MetricsRegistry", "Tracer", "HotSpotProfiler",
+    "ResourceBudgets", "BudgetReport", "Fault", "FaultInjector",
+    "save_checkpoint", "load_checkpoint",
     "parse_source", "elaborate", "compile_design", "resimulate",
     "resimulate_violation",
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
-    "SimulationError", "SimulationHang", "SymbolicDelayError",
+    "SimulationError", "SimulationHang", "SimulationAborted",
+    "SymbolicDelayError", "CheckpointError",
     "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
 ]
 
@@ -109,6 +117,48 @@ class SymbolicSimulator:
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_source(handle.read(), top=top, options=options,
                                    defines=defines)
+
+    @classmethod
+    def resume_source(
+        cls,
+        source: str,
+        checkpoint_path: str,
+        top: Optional[str] = None,
+        options: Optional[SimOptions] = None,
+        defines: Optional[Dict[str, str]] = None,
+    ) -> "SymbolicSimulator":
+        """Rebuild a checkpointed simulation from the same source text.
+
+        The source is recompiled and verified against the checkpoint's
+        design fingerprint; the returned simulator continues exactly
+        where the checkpointed run stopped (see ``docs/ROBUSTNESS.md``).
+        With ``options=None`` the checkpoint's semantic options are
+        reused; a given ``options`` must match them semantically but may
+        change operational knobs (GC, observability, budgets).
+        """
+        modules = parse_source(source, defines=defines)
+        design = elaborate(modules, top=top)
+        program = compile_design(design)
+        kernel = load_checkpoint(program, checkpoint_path, options=options)
+        sim = cls.__new__(cls)
+        sim.program = program
+        sim.options = kernel.options
+        sim.kernel = kernel
+        return sim
+
+    @classmethod
+    def resume_file(
+        cls,
+        path: str,
+        checkpoint_path: str,
+        top: Optional[str] = None,
+        options: Optional[SimOptions] = None,
+        defines: Optional[Dict[str, str]] = None,
+    ) -> "SymbolicSimulator":
+        """Rebuild a checkpointed simulation from a Verilog file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.resume_source(handle.read(), checkpoint_path, top=top,
+                                     options=options, defines=defines)
 
     # ------------------------------------------------------------------
 

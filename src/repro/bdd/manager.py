@@ -137,6 +137,11 @@ class BddManager:
         self._reorder_swaps = 0
         self._reorder_seconds = 0.0
         self._reorder_saved = 0
+        # Variables forced to a constant by the resource guard
+        # (level -> chosen value); keys follow the order on reorder().
+        self._concretized: Dict[int, bool] = {}
+        self._concretize_runs = 0
+        self._concretize_seconds = 0.0
 
     # ------------------------------------------------------------------
     # variables
@@ -651,6 +656,8 @@ class BddManager:
             "reorder_swaps": self._reorder_swaps,
             "reorder_seconds": self._reorder_seconds,
             "reorder_saved": self._reorder_saved,
+            "concretize_runs": self._concretize_runs,
+            "concretize_seconds": self._concretize_seconds,
         }
 
     def attach_metrics(self, registry) -> None:
@@ -1037,6 +1044,10 @@ class BddManager:
         lookup = root_map.__getitem__
         for provider in self._root_providers:
             provider.bdd_remap(lookup, level_map)
+        self._concretized = {
+            level_map[level]: chosen
+            for level, chosen in self._concretized.items()
+        }
         self._last_gc_size = len(self._level) - 2
         self._reorder_runs += 1
         self._reorder_seconds += _time.perf_counter() - started
@@ -1093,6 +1104,96 @@ class BddManager:
         if not self.sift_due():
             return 0
         return self.sift()
+
+    # ------------------------------------------------------------------
+    # concretization (graceful degradation under memory pressure)
+    # ------------------------------------------------------------------
+
+    @property
+    def concretized(self) -> Dict[int, bool]:
+        """Levels the guard has forced to a constant (level -> value)."""
+        return dict(self._concretized)
+
+    def _restricted_size(
+        self, roots: Sequence[int], level: int, value: bool
+    ) -> int:
+        """Live node count if every root were cofactored at ``level``.
+
+        Builds the restricted functions in the arena (the junk is
+        reclaimed by the ``collect`` that follows a concretization) and
+        counts the unique internal nodes reachable from them.
+        """
+        memo: Dict[int, int] = {}
+        seen: Set[int] = set()
+        stack: List[int] = []
+        for root in roots:
+            restricted = self._restrict(root, level, value, memo)
+            if restricted > TRUE and restricted not in seen:
+                seen.add(restricted)
+                stack.append(restricted)
+        lows = self._low
+        highs = self._high
+        while stack:
+            node = stack.pop()
+            for child in (lows[node], highs[node]):
+                if child > TRUE and child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return len(seen)
+
+    def concretize(self, level: int, value: Optional[bool] = None) -> bool:
+        """Fix the variable at ``level`` to a constant in every live root.
+
+        The graceful-degradation lever (cf. Ryan & Sturton's selective
+        concretization): every handle and root-provider reference is
+        replaced by its cofactor with ``level`` forced to ``value``,
+        then the arena is collected.  Restricting *all* roots with the
+        same assignment keeps the state sound — path controls, value
+        rails, violation conditions and the ``$random`` invocation
+        vectors are all conditioned on the same choice, so error traces
+        built afterwards remain witnesses of real runs (the dropped
+        half of the space is simply no longer explored).
+
+        When ``value`` is ``None`` the smaller cofactor is chosen by
+        sizing both restrictions.  This is a safe-point operation: raw
+        node ids outside the root protocol are invalidated.  Returns
+        the value chosen.
+        """
+        if not 0 <= level < self.var_count:
+            raise BddError(f"unknown variable level {level}")
+        started = _time.perf_counter()
+        # Restriction recursion is bounded by the variable count, like
+        # reorder translation.
+        import sys
+        need = 2 * self.var_count + 200
+        if sys.getrecursionlimit() < need:
+            sys.setrecursionlimit(need)
+        handles = list(self._handles)
+        roots: List[int] = [handle.node for handle in handles]
+        for provider in self._root_providers:
+            roots.extend(provider.bdd_roots())
+        if value is None:
+            high_size = self._restricted_size(roots, level, True)
+            low_size = self._restricted_size(roots, level, False)
+            value = high_size < low_size
+        value = bool(value)
+        memo: Dict[int, int] = {}
+
+        def lookup(node: int) -> int:
+            return self._restrict(node, level, value, memo)
+
+        for handle in handles:
+            handle.node = lookup(handle.node)
+        for provider in self._root_providers:
+            provider.bdd_remap(lookup, None)
+        self._concretized[level] = value
+        self._concretize_runs += 1
+        # The variable's own node survives (it is pinned by the
+        # manager's variable table), so levels stay stable; everything
+        # the sizing pass and the restriction built gets swept here.
+        self.collect()
+        self._concretize_seconds += _time.perf_counter() - started
+        return value
 
     def check_node(self, f: int) -> None:
         """Validate that ``f`` is a node of this manager (for API misuse)."""

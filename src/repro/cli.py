@@ -15,6 +15,15 @@ Observability (see docs/OBSERVABILITY.md)::
     symsim design.v --profile            # print top-N hot event sites
     symsim design.v --profile-out p.json --metrics-out m.json
     symsim report p.json                 # pretty-print a saved document
+
+Robustness (see docs/ROBUSTNESS.md)::
+
+    symsim design.v --budget-nodes 100000 --budget-seconds 3600
+    symsim design.v --checkpoint-every 50 --checkpoint-dir ckpt/
+    symsim design.v --resume ckpt/latest.ckpt --checkpoint-dir ckpt/
+
+Exit codes: 0 clean, 1 violations found, 2 error, 3 resimulation
+failure, 4 aborted by the resource guard, 130 interrupted (Ctrl-C).
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from typing import List, Optional
 
 from repro import (
     AccumulationMode, Observability, ReproError, SimOptions,
-    SymbolicSimulator,
+    SimulationAborted, SymbolicSimulator,
 )
 
 
@@ -90,6 +99,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
     obs.add_argument("--bdd-latency", action="store_true",
                      help="sample BDD operator latency histograms into "
                           "the metrics registry (implies metrics)")
+    guard = parser.add_argument_group(
+        "robustness (budgets / checkpoint / resume)")
+    guard.add_argument("--budget-seconds", type=float, default=None,
+                       metavar="S",
+                       help="wall-clock budget; exceeded -> structured "
+                            "abort (exit 4) with a rescue checkpoint")
+    guard.add_argument("--budget-nodes", type=int, default=None,
+                       metavar="NODES",
+                       help="live BDD node ceiling; pressure runs the "
+                            "mitigation ladder (GC -> reorder -> "
+                            "concretize) before aborting")
+    guard.add_argument("--budget-rss-mb", type=float, default=None,
+                       metavar="MB",
+                       help="resident-set-size ceiling in MiB (Linux; "
+                            "same ladder as --budget-nodes)")
+    guard.add_argument("--budget-events", type=int, default=None,
+                       metavar="N", help="total processed-event budget")
+    guard.add_argument("--max-concretize", type=int, default=8,
+                       metavar="N",
+                       help="symbolic $random variables the ladder may "
+                            "concretize before giving up (default 8)")
+    guard.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="write a rolling checkpoint every N time "
+                            "steps (requires --checkpoint-dir)")
+    guard.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="directory for rolling/rescue/interrupt "
+                            "checkpoints")
+    guard.add_argument("--resume", metavar="CKPT", default=None,
+                       help="resume a checkpointed run of the same "
+                            "source instead of starting at time 0")
     return parser
 
 
@@ -142,6 +182,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         print(f"error: cannot open trace output: {exc}", file=sys.stderr)
         return 2
+    budgets = None
+    if (args.budget_seconds is not None or args.budget_nodes is not None
+            or args.budget_rss_mb is not None
+            or args.budget_events is not None):
+        from repro.guard import ResourceBudgets
+
+        budgets = ResourceBudgets(
+            wall_seconds=args.budget_seconds,
+            max_live_nodes=args.budget_nodes,
+            max_rss_mb=args.budget_rss_mb,
+            max_events=args.budget_events,
+            max_concretizations=args.max_concretize,
+        )
+    if args.checkpoint_every is not None and args.checkpoint_dir is None:
+        print("error: --checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     options = SimOptions(
         accumulation=AccumulationMode(args.accumulation),
         stop_on_violation=not args.continue_on_violation,
@@ -152,13 +209,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         dyn_reorder=args.dyn_reorder,
         reorder_threshold=args.reorder_threshold,
         obs=obs,
+        budgets=budgets,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
     )
+    aborted = None
     try:
-        sim = SymbolicSimulator.from_file(args.source, top=args.top,
-                                          options=options, defines=defines)
+        if args.resume is not None:
+            sim = SymbolicSimulator.resume_file(
+                args.source, args.resume, top=args.top, options=options,
+                defines=defines)
+        else:
+            sim = SymbolicSimulator.from_file(
+                args.source, top=args.top, options=options, defines=defines)
         if args.bdd_latency:
             sim.mgr.instrument_latency(obs.metrics)
         result = sim.run(until=args.until)
+    except SimulationAborted as exc:
+        # Structured abort: the guard exhausted its mitigation ladder
+        # (or hit a hard budget).  Report, keep the partial result, and
+        # exit 4 so scripts can distinguish this from a plain error.
+        print(f"aborted: {exc}", file=sys.stderr)
+        if exc.partial_result is None:
+            return 4
+        aborted = exc
+        result = exc.partial_result
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -166,8 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if obs is not None:
             obs.close()
     mode = "random" if args.random_seed is not None else "symbolic"
-    print(f"[{mode}] simulation ended at time {result.time} "
-          f"({'$finish' if result.finished else 'queue empty/bound'})")
+    if aborted is not None:
+        ended = "aborted by resource guard"
+    elif result.interrupted:
+        ended = "interrupted at a safe point"
+    elif result.finished:
+        ended = "$finish"
+    else:
+        ended = "queue empty/bound"
+    print(f"[{mode}] simulation ended at time {result.time} ({ended})")
     if args.stats:
         print(f"[stats] {result.stats.summary()}")
         print(f"[stats] cpu={sim.kernel.cpu_seconds:.3f}s "
@@ -219,6 +301,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 3
         print(f"resimulation reproduced {len(concrete.violations)} "
               f"violation(s) at time {concrete.time}")
+    if aborted is not None:
+        return 4
+    if result.interrupted:
+        return 130
     return 1 if result.violations else 0
 
 

@@ -21,7 +21,7 @@ assignment-delay RHS values, repeat counters and task arguments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.bdd import FALSE, TRUE
 from repro.errors import CompileError
@@ -87,6 +87,12 @@ class Program:
         self.processes: List[CompiledProcess] = []
         self.assigns: List[CompiledContAssign] = []
         self.callsites: List[CallSite] = []
+        # Compile-time registries keyed by stable ids so a checkpoint
+        # can serialize armed assertions / the active $monitor by
+        # reference and resolve them back to compiled closures on
+        # resume (closures themselves cannot be serialized).
+        self.assertion_sites: Dict[str, tuple] = {}
+        self.monitor_sites: Dict[str, list] = {}
         self._shadow_counter = 0
 
     def new_callsite(self, kind: str, where: str, line: int) -> CallSite:
@@ -706,8 +712,12 @@ class _ProcessCompiler:
                     support |= cexpr.support
 
             if name == "$monitor":
+                monitor_key = f"{self.proc.name}:{stmt.line}"
+                self.program.monitor_sites[monitor_key] = compiled_args
+
                 def set_monitor(kern, frame):
-                    kern.set_monitor(compiled_args, frame.control)
+                    kern.set_monitor(compiled_args, frame.control,
+                                     key=monitor_key)
 
                 self.proc.emit(Exec(set_monitor, stmt.line))
             else:
@@ -736,6 +746,7 @@ class _ProcessCompiler:
             cond = compiler.compile(stmt.args[0])
             where = f"{ctx.scope.path or self.program.design.top}:{stmt.line}"
             assertion_id = f"{self.proc.name}:{stmt.line}"
+            self.program.assertion_sites.setdefault(assertion_id, (cond, where))
 
             def do_assert(kern, frame):
                 kern.register_assertion(assertion_id, cond, frame.control, where)

@@ -537,7 +537,7 @@ class ExprCompiler:
 
         def capture(kern, env, value, control):
             return NbaUpdate(commit, vecs=[value.resize(width)],
-                             controls=[control])
+                             controls=[control], spec=("net", full))
 
         return LhsPlan(width=width, write=write, capture=capture,
                        support=frozenset([full]))
@@ -580,7 +580,8 @@ class ExprCompiler:
                 idx = index.eval(kern, env, control, max(index.width, 32))
                 return NbaUpdate(commit_word,
                                  vecs=[idx, value.resize(width)],
-                                 controls=[control])
+                                 controls=[control],
+                                 spec=("word", full, low, high))
 
             return LhsPlan(width=width, write=write_word, capture=capture_word,
                            support=frozenset([full]))
@@ -596,7 +597,7 @@ class ExprCompiler:
         def capture_bit(kern, env, value, control):
             idx = index.eval(kern, env, control, max(index.width, 32))
             return NbaUpdate(commit_bit, vecs=[idx, value.resize(1)],
-                             controls=[control])
+                             controls=[control], spec=("bit", full))
 
         return LhsPlan(width=1, write=write_bit, capture=capture_bit,
                        support=frozenset([full]))
@@ -621,7 +622,8 @@ class ExprCompiler:
 
         def capture(kern, env, value, control):
             return NbaUpdate(commit, vecs=[value.resize(width)],
-                             controls=[control])
+                             controls=[control],
+                             spec=("part", full, offset, width))
 
         return LhsPlan(width=width, write=write, capture=capture,
                        support=frozenset([full]))

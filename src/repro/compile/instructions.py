@@ -67,15 +67,22 @@ class NbaUpdate:
     remapped when the manager collects or reorders.  ``fn`` receives
     ``(kernel, vecs, controls)`` and must not close over node ids
     itself; ``subs`` composes concatenation targets.
+
+    ``spec`` names the commit action as pure data so a checkpoint can
+    serialize a queued update and rebuild ``fn`` on resume:
+    ``("net", name)``, ``("word", name, low, high)``, ``("bit", name)``,
+    ``("part", name, offset, width)``, or ``None`` for a pure
+    concatenation composite (``subs`` only).
     """
 
-    __slots__ = ("fn", "vecs", "controls", "subs")
+    __slots__ = ("fn", "vecs", "controls", "subs", "spec")
 
-    def __init__(self, fn=None, vecs=(), controls=(), subs=()):
+    def __init__(self, fn=None, vecs=(), controls=(), subs=(), spec=None):
         self.fn = fn
         self.vecs = list(vecs)
         self.controls = list(controls)
         self.subs = list(subs)
+        self.spec = spec
 
     def __call__(self, kern) -> None:
         if self.fn is not None:

@@ -62,7 +62,49 @@ class SymbolicDelayError(SimulationError):
 
 
 class SimulationHang(SimulationError):
-    """A zero-delay loop iterated more than the configured watchdog limit."""
+    """A zero-delay loop iterated more than the configured watchdog limit.
+
+    Carries hang diagnostics: the simulation time the step was stuck
+    at, the hottest event sites sampled after the watchdog tripped
+    (``(label, count)`` pairs), and the largest path-control support
+    seen among those events — everything needed to find the loop
+    without re-running under a profiler.
+    """
+
+    def __init__(self, message: str, sim_time: int = 0,
+                 top_sites=(), control_support: int = 0) -> None:
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.top_sites = list(top_sites)
+        self.control_support = control_support
+
+
+class SimulationAborted(SimulationError):
+    """The resource guard gave up after exhausting its mitigation ladder.
+
+    Raised *instead of* MemoryError or an open-ended hang when a
+    :class:`repro.guard.ResourceBudgets` limit stays breached after
+    every mitigation (GC, reordering, concretization) has fired.
+    Carries the partial :class:`~repro.sim.kernel.SimResult` at the
+    abort safe point and a :class:`repro.guard.BudgetReport`
+    describing what was breached, what was tried, and where the
+    rescue checkpoint (if any) was written.
+    """
+
+    def __init__(self, message: str, partial_result=None,
+                 budget_report=None) -> None:
+        super().__init__(message)
+        self.partial_result = partial_result
+        self.budget_report = budget_report
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or trusted.
+
+    Covers I/O failures, truncated or corrupt snapshot files (payload
+    checksum mismatch), version/format mismatches, and resuming
+    against a different design than the one checkpointed.
+    """
 
 
 class AssertionViolation(SimulationError):

@@ -1,0 +1,40 @@
+"""repro.guard — resource budgets, graceful degradation and
+checkpoint/resume for the symbolic kernel.
+
+Three pieces, all acting at the kernel's end-of-step safe points:
+
+* :class:`ResourceBudgets` + :class:`Guard` (``budgets.py``) — enforce
+  wall-clock/node/RSS/event ceilings and climb the mitigation ladder
+  (GC -> sift -> concretize -> structured abort) under memory pressure;
+* ``checkpoint.py`` — versioned, checksummed on-disk snapshots of a
+  running simulation, resumable bit-identically in a fresh process;
+* :class:`~repro.guard.faults.FaultInjector` (``faults.py``) —
+  deterministic chaos for testing all of the above.
+
+The kernel imports this package lazily, only when a
+:class:`~repro.sim.kernel.SimOptions` sets ``budgets``,
+``checkpoint_every`` or ``faults``; default runs never pay for it.
+"""
+
+from repro.guard.budgets import (
+    BudgetReport, Guard, ResourceBudgets, process_rss_mb,
+)
+from repro.guard.checkpoint import (
+    FORMAT_VERSION, design_fingerprint, load_checkpoint, read_header,
+    save_checkpoint,
+)
+from repro.guard.faults import Fault, FaultInjector
+
+__all__ = [
+    "BudgetReport",
+    "Fault",
+    "FaultInjector",
+    "FORMAT_VERSION",
+    "Guard",
+    "ResourceBudgets",
+    "design_fingerprint",
+    "load_checkpoint",
+    "process_rss_mb",
+    "read_header",
+    "save_checkpoint",
+]

@@ -32,7 +32,8 @@ from repro.compile.compiler import CompiledContAssign, Program, Trigger
 from repro.compile.expr import CExpr
 from repro.compile.instructions import AccumulationMode, CompiledProcess, Frame
 from repro.errors import (
-    ResimulationError, SimulationError, SimulationHang, SymbolicDelayError,
+    ResimulationError, SimulationAborted, SimulationError, SimulationHang,
+    SymbolicDelayError,
 )
 from repro.fourval import FourVec, ops
 from repro.fourval.vector import BIT_Z
@@ -105,6 +106,26 @@ class SimOptions:
     #: methods un-wrapped and every remaining hook is one identity
     #: check.
     obs: Optional[object] = None
+    #: Optional :class:`repro.guard.ResourceBudgets` enforced at the
+    #: end-of-step safe points.  Breaches drive the mitigation ladder
+    #: (GC -> sift reorder -> concretize -> abort with a rescue
+    #: checkpoint and a structured SimulationAborted).
+    budgets: Optional[object] = None
+    #: Write a rolling checkpoint every N end-of-step safe points
+    #: (requires ``checkpoint_dir``).
+    checkpoint_every: Optional[int] = None
+    #: Directory for rolling/rescue/interrupt checkpoints.
+    checkpoint_dir: Optional[str] = None
+    #: Optional :class:`repro.guard.faults.FaultInjector` — a
+    #: deterministic chaos plan whose faults fire at safe points.
+    faults: Optional[object] = None
+    #: Defer SIGINT to the next safe point: the first Ctrl-C finishes
+    #: the current time step, writes a checkpoint when a
+    #: ``checkpoint_dir`` is configured, and returns an ``interrupted``
+    #: result with all stats/metrics flushed; a second Ctrl-C raises
+    #: KeyboardInterrupt immediately (mid-step state is then suspect,
+    #: so no checkpoint is written).
+    defer_interrupt: bool = True
 
 
 @dataclass
@@ -118,6 +139,9 @@ class SimResult:
     finished: bool
     stopped: bool
     kernel: "Kernel"
+    #: True when the run was stopped by a deferred SIGINT at a safe
+    #: point instead of running to completion.
+    interrupted: bool = False
 
     def value(self, name: str) -> FourVec:
         """Current value of a net by full hierarchical name."""
@@ -230,6 +254,25 @@ class Kernel:
             import random as _random
 
             self._rng = _random.Random(self.options.concrete_random)
+        self._interrupted = False
+        self._sigint_flag = [False]
+        self._monitor_key: Optional[str] = None
+        self._hang_sites: Optional[Dict[str, int]] = None
+        self._hang_support = 0
+        self._guard = None
+        if (self.options.budgets is not None
+                or self.options.checkpoint_every is not None
+                or self.options.checkpoint_dir is not None
+                or self.options.faults is not None):
+            from repro.guard import Guard
+
+            self._guard = Guard(
+                budgets=self.options.budgets,
+                checkpoint_every=self.options.checkpoint_every,
+                checkpoint_dir=self.options.checkpoint_dir,
+                faults=self.options.faults,
+                obs=self.obs,
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -251,11 +294,20 @@ class Kernel:
             self._startup()
         cpu_start = _time.perf_counter()
         self._busy = True
+        restore_sigint = self._arm_sigint()
+        if self._guard is not None:
+            self._guard.on_run_start(self)
+        abort = None
         try:
             self._event_loop(until)
         except _FinishSignal:
             self._end_of_step()
+        except SimulationAborted as exc:
+            # Re-raised below with the flushed partial result attached.
+            abort = exc
         finally:
+            if restore_sigint is not None:
+                restore_sigint()
             self._busy = False
             self._cpu_accum += _time.perf_counter() - cpu_start
             self.stats.events_scheduled = self.sched.scheduled
@@ -272,11 +324,43 @@ class Kernel:
                 self._step_open = False
             if self._vcd is not None and self._vcd_stream is not None:
                 self._vcd_stream.flush()
-        return SimResult(
+        result = SimResult(
             time=self.now, violations=list(self.violations),
             output=list(self.output), stats=self.stats,
             finished=self.finished, stopped=self.stopped, kernel=self,
+            interrupted=self._interrupted,
         )
+        if abort is not None:
+            abort.partial_result = result
+            raise abort
+        return result
+
+    def _arm_sigint(self) -> Optional[Callable]:
+        """Defer Ctrl-C to the next safe point (main thread only).
+
+        The first SIGINT only sets a flag the event loop polls between
+        time steps — the manager and value store are never unwound
+        mid-operation.  A second SIGINT raises immediately for users
+        who really mean it.  Returns a restore callable, or ``None``
+        when no handler was installed.
+        """
+        if not self.options.defer_interrupt:
+            return None
+        import signal
+
+        flag = self._sigint_flag
+        flag[0] = False
+
+        def handler(signum, frame):
+            if flag[0]:
+                raise KeyboardInterrupt
+            flag[0] = True
+
+        try:
+            previous = signal.signal(signal.SIGINT, handler)
+        except ValueError:  # not the main thread — leave signals alone
+            return None
+        return lambda: signal.signal(signal.SIGINT, previous)
 
     @property
     def cpu_seconds(self) -> float:
@@ -336,6 +420,16 @@ class Kernel:
                     # End-of-step is the BDD safe point: no raw node
                     # ids live in Python locals of in-flight operators.
                     self._maintain()
+                if self._guard is not None:
+                    # Budgets / mitigation ladder / periodic checkpoints
+                    # / injected faults all act here, at the safe point.
+                    self._guard.on_safe_point(self)
+                if self._sigint_flag[0]:
+                    self._sigint_flag[0] = False
+                    self._interrupted = True
+                    if self._guard is not None:
+                        self._guard.on_interrupt(self)
+                    return
                 if tracer is not None:
                     if self._step_open:
                         tracer.end("step", "step", lane=LANE_STEP,
@@ -345,6 +439,8 @@ class Kernel:
                     self._step_open = True
                 self.now = next_time
                 self._step_activity = 0
+                self._hang_sites = None
+                self._hang_support = 0
             event = self.sched.pop()
             self._dispatch(event)
             if self.finished:
@@ -353,6 +449,8 @@ class Kernel:
     def _dispatch(self, event: Event) -> None:
         self.stats.events_processed += 1
         self.note_activity()
+        if self._hang_sites is not None:
+            self._note_hang_site(event_label(event), event.control)
         if event.kind == "proc":
             self.stats.process_events += 1
             if event.control == FALSE:
@@ -573,16 +671,53 @@ class Kernel:
             )
         return concrete
 
+    #: After the hang watchdog trips, keep running for up to this many
+    #: further events/iterations (capped at the watchdog limit itself)
+    #: to sample *which* sites are spinning before raising.
+    HANG_SAMPLE_WINDOW = 1000
+
     def note_activity(self) -> None:
         self._step_activity += 1
-        if self._step_activity > self.options.max_step_activity:
-            raise SimulationHang(
-                f"more than {self.options.max_step_activity} events/iterations "
-                f"in one time step (time {self.now}) — zero-delay loop?"
-            )
+        limit = self.options.max_step_activity
+        if self._step_activity <= limit:
+            return
+        if self._hang_sites is None:
+            # Watchdog tripped: open a short diagnostic window instead
+            # of raising blind — the extra events identify the loop.
+            self._hang_sites = {}
+            self._hang_support = 0
+        elif self._step_activity > limit + min(self.HANG_SAMPLE_WINDOW,
+                                               limit):
+            self._raise_hang()
+
+    def _note_hang_site(self, label: str, control: int) -> None:
+        sites = self._hang_sites
+        sites[label] = sites.get(label, 0) + 1
+        if control not in (FALSE, TRUE):
+            support = len(self.mgr.support(control))
+            if support > self._hang_support:
+                self._hang_support = support
+
+    def _raise_hang(self) -> None:
+        top = sorted(self._hang_sites.items(),
+                     key=lambda item: (-item[1], item[0]))[:3]
+        hot = ", ".join(f"{label} ({count}x)" for label, count in top)
+        raise SimulationHang(
+            f"more than {self.options.max_step_activity} events/iterations "
+            f"in one time step (time {self.now}) — zero-delay loop? "
+            f"hottest sites: {hot or 'n/a'}; "
+            f"max active control support: {self._hang_support} vars",
+            sim_time=self.now,
+            top_sites=top,
+            control_support=self._hang_support,
+        )
 
     def note_loop_iteration(self, frame: Frame) -> None:
         self.note_activity()
+        if self._hang_sites is not None:
+            line = frame.process.instructions[frame.pc].line
+            self._note_hang_site(f"{frame.process.name}:{line}",
+                                 frame.control)
 
     # ------------------------------------------------------------------
     # state writes + change notification
@@ -738,6 +873,10 @@ class Kernel:
         for invocation in self.random_log:
             invocation.control = lookup(invocation.control)
             invocation.vector = invocation.vector.remap(lookup)
+            if level_map is not None and invocation.levels:
+                invocation.levels = tuple(
+                    level_map[level] for level in invocation.levels
+                )
         for violation in self.violations:
             violation.condition = lookup(violation.condition)
             if level_map is not None:
@@ -942,10 +1081,12 @@ class Kernel:
             bits = values.popleft()
             return FourVec.from_verilog_bits(self.mgr, bits).resize(width)
         name = f"{callsite.kind[1:]}{callsite.index}.{seq}@t{self.now}"
+        before = self.mgr.var_count
         vector = FourVec.fresh_symbol(self.mgr, width, name, four_valued)
         self.random_log.append(
             RandomInvocation(callsite_index=callsite.index, seq=seq,
-                             time=self.now, vector=vector, control=control)
+                             time=self.now, vector=vector, control=control,
+                             levels=tuple(range(before, self.mgr.var_count)))
         )
         self.stats.symbols_injected += width * (2 if four_valued else 1)
         return vector
@@ -995,8 +1136,10 @@ class Kernel:
         text = self._format(args, control, env)
         self._emit(text if newline else text, newline)
 
-    def set_monitor(self, args, control: int) -> None:
+    def set_monitor(self, args, control: int,
+                    key: Optional[str] = None) -> None:
         self._monitor = (args, control)
+        self._monitor_key = key
         self._monitor_last = None
 
     def _format(self, args, control: int, env=None) -> str:

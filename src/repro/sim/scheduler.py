@@ -169,3 +169,41 @@ class Scheduler:
         if not self._heap:
             return None
         return self._heap[0][1]
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.guard)
+    # ------------------------------------------------------------------
+
+    def snapshot_events(self) -> List[Event]:
+        """The queued events in exact pop order.
+
+        Heap entries are ``(time, region, rank, seq, event)`` with a
+        unique ``seq``, so sorting them *is* the pop order — the
+        checkpoint layer serializes events in this order and
+        :meth:`restore_events` replays it, giving a resumed run the
+        identical event schedule.
+        """
+        return [entry[4] for entry in sorted(self._heap)]
+
+    def restore_events(self, events: List[Event]) -> None:
+        """Rebuild the queue from a :meth:`snapshot_events` list.
+
+        Events are re-sequenced in list order, which preserves the
+        original pop order; the merge table is rebuilt so accumulation
+        keeps working on the resumed run.
+        """
+        self._heap.clear()
+        self._pending.clear()
+        self._seq = 0
+        merging = self.mode is not AccumulationMode.NONE
+        for event in events:
+            self._seq += 1
+            rank = -event.prio if self.depth_first else 0
+            heapq.heappush(
+                self._heap,
+                (event.time, event.region, rank, self._seq, event),
+            )
+            if merging:
+                key = self._key(event)
+                if key is not None:
+                    self._pending[key] = event

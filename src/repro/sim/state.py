@@ -183,3 +183,41 @@ class SimState:
 
     def snapshot_names(self) -> Tuple[str, ...]:
         return tuple(self._values)
+
+    # ------------------------------------------------------------------
+    # checkpoint support (repro.guard)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Pure-builtin image of the store (node ids + signedness).
+
+        Node ids are only meaningful against the arena image saved in
+        the same checkpoint; the pair round-trips exactly.
+        """
+        return {
+            "values": {
+                name: (list(vec.bits), vec.signed)
+                for name, vec in self._values.items()
+            },
+            "arrays": {
+                name: {
+                    index: (list(vec.bits), vec.signed)
+                    for index, vec in words.items()
+                }
+                for name, words in self._arrays.items()
+            },
+        }
+
+    def restore(self, image: Dict[str, Dict]) -> None:
+        """Rebuild the store from a :meth:`snapshot` image."""
+        self._values = {
+            name: FourVec(self.mgr, [tuple(bit) for bit in bits], signed)
+            for name, (bits, signed) in image["values"].items()
+        }
+        self._arrays = {
+            name: {
+                index: FourVec(self.mgr, [tuple(bit) for bit in bits], signed)
+                for index, (bits, signed) in words.items()
+            }
+            for name, words in image["arrays"].items()
+        }

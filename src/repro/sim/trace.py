@@ -29,13 +29,22 @@ from repro.fourval import FourVec
 
 @dataclass
 class RandomInvocation:
-    """One dynamic execution of a ``$random``/``$randomxz`` statement."""
+    """One dynamic execution of a ``$random``/``$randomxz`` statement.
+
+    ``levels`` records the arena levels of the fresh BDD variables this
+    invocation injected (empty for concrete/x-z bits).  The resource
+    guard uses it to map a blow-up-causing variable level back to the
+    ``$random`` call that introduced it when picking a concretization
+    victim; levels are remapped alongside the vectors when the manager
+    reorders.
+    """
 
     callsite_index: int
     seq: int
     time: int
     vector: FourVec
     control: int  # BDD
+    levels: tuple = ()
 
 
 @dataclass

@@ -1,0 +1,165 @@
+"""Chaos lane (``pytest -m chaos``): real-process crash recovery and
+randomized checkpoint corruption.
+
+These tests exercise what the in-process round trips cannot: a run
+killed with SIGKILL mid-simulation (no atexit, no flush, no mercy)
+resumed by a *separate* CLI invocation from its rolling checkpoint,
+and a seeded sweep of byte-level corruptions over a real checkpoint
+file, every one of which must be rejected with
+:class:`CheckpointError` — never accepted, never a different
+exception type.
+
+Kept fast enough for the default lane (a few seconds total); the CI
+chaos job runs them nightly on their marker.
+"""
+
+import os
+import random
+import signal
+import shutil
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.compile import compile_design
+from repro.designs import load
+from repro.errors import CheckpointError
+from repro.frontend import elaborate, parse_source
+from repro.guard import load_checkpoint, read_header, save_checkpoint
+
+pytestmark = pytest.mark.chaos
+
+_VERILOG_DIR = os.path.join(os.path.dirname(repro.__file__), "designs",
+                            "verilog")
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(repro.__file__))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _symsim(args):
+    return [sys.executable, "-m", "repro.cli"] + args
+
+
+class TestKillMinusNine:
+    def test_sigkill_then_cli_resume(self, tmp_path):
+        design = shutil.copy(os.path.join(_VERILOG_DIR, "arbiter.v"),
+                             tmp_path / "arbiter.v")
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        # Big runtime: the process cannot finish before the SIGKILL.
+        common = [str(design), "--top", "arbiter_tb",
+                  "--define", "ARB_RUNTIME=100000", "--quiet"]
+        proc = subprocess.Popen(
+            _symsim(common + ["--checkpoint-every", "2",
+                              "--checkpoint-dir", str(ckpt_dir)]),
+            env=_cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE)
+        deadline = time.time() + 60
+        latest = ckpt_dir / "latest.ckpt"
+        while time.time() < deadline and not latest.exists():
+            time.sleep(0.1)
+        assert latest.exists(), "no rolling checkpoint appeared in 60s"
+        time.sleep(0.5)  # let a few more checkpoints roll over
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        header = read_header(str(latest))  # survived the kill intact
+        resume_until = header["sim_time"] + 40
+        result = subprocess.run(
+            _symsim(common + ["--resume", str(latest),
+                              "--until", str(resume_until)]),
+            env=_cli_env(), capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "simulation ended at time" in result.stdout
+        # and the resumed process really continued past the checkpoint
+        ended_at = int(result.stdout.split("ended at time")[1].split()[0])
+        assert ended_at > header["sim_time"]
+
+    def test_interrupt_checkpoint_roundtrip_across_processes(self, tmp_path):
+        design = shutil.copy(os.path.join(_VERILOG_DIR, "risc8.v"),
+                             tmp_path / "risc8.v")
+        ckpt_dir = tmp_path / "ckpt"
+        ckpt_dir.mkdir()
+        common = [str(design), "--top", "risc8_tb",
+                  "--define", "RISC_RUNTIME=100000", "--quiet",
+                  "--gc-threshold", "20000"]
+        proc = subprocess.Popen(
+            _symsim(common + ["--checkpoint-dir", str(ckpt_dir)]),
+            env=_cli_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        time.sleep(4)
+        proc.send_signal(signal.SIGINT)
+        out, _ = proc.communicate(timeout=120)
+        assert proc.returncode == 130
+        assert "interrupted at a safe point" in out
+        interrupt = ckpt_dir / "interrupt.ckpt"
+        assert interrupt.exists()
+
+        header = read_header(str(interrupt))
+        result = subprocess.run(
+            _symsim(common + ["--resume", str(interrupt),
+                              "--until", str(header["sim_time"] + 20)]),
+            env=_cli_env(), capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stderr
+
+
+class TestCorruptionSweep:
+    def test_every_corruption_is_rejected_with_checkpoint_error(
+            self, tmp_path):
+        source, top, defines = load("arbiter", runtime=60)
+        sim = repro.SymbolicSimulator.from_source(source, top=top,
+                                                  defines=defines)
+        sim.run(until=30)
+        pristine = str(tmp_path / "pristine.ckpt")
+        save_checkpoint(sim.kernel, pristine)
+        program = compile_design(
+            elaborate(parse_source(source, defines=defines), top=top))
+        # sanity: the pristine checkpoint loads
+        load_checkpoint(program, pristine).run(until=40)
+
+        size = os.path.getsize(pristine)
+        rng = random.Random(1234)
+        victim = str(tmp_path / "victim.ckpt")
+        outcomes = {"rejected": 0}
+        for trial in range(40):
+            shutil.copy(pristine, victim)
+            mode = rng.choice(("flip", "truncate", "zero-run"))
+            if mode == "flip":
+                offset = rng.randrange(size)
+                _flip(victim, offset)
+            elif mode == "truncate":
+                with open(victim, "r+b") as handle:
+                    handle.truncate(rng.randrange(size))
+            else:
+                offset = rng.randrange(size)
+                run = min(rng.randrange(1, 64), size - offset)
+                with open(victim, "r+b") as handle:
+                    handle.seek(offset)
+                    handle.write(b"\x00" * run)
+            try:
+                kern = load_checkpoint(program, victim)
+            except CheckpointError:
+                outcomes["rejected"] += 1
+                continue
+            # A flip can hit a byte that keeps the file bit-for-bit
+            # valid only if it never changed anything observable; the
+            # loaded kernel must then still run.
+            kern.run(until=40)
+        # overwhelmingly, corruption must be *detected*
+        assert outcomes["rejected"] >= 35
+
+
+def _flip(path, offset):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
