@@ -25,6 +25,8 @@ breached must cost <3% wall clock in aggregate).
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 
 import pytest
@@ -45,6 +47,11 @@ WORKLOADS = {
     "gcd": ({"rounds": 1, "width": 5}, 5000),
 }
 
+#: the conventional-simulation cells (concrete ``$random``, the paper's
+#: Section-7 baseline) execute ~zero BDD work per cycle, so they run a
+#: much longer program for a measurable wall-clock sample
+CONV_WORKLOAD = ({"runtime": 6000}, 12500)
+
 #: the FULL+GC column: mark-and-sweep whenever the arena grows 50k
 #: nodes past the last collection, sifting between steps once the
 #: arena holds 60k (the paper disabled dynamic reordering; this cell
@@ -63,6 +70,8 @@ GUARD_BUDGETS = dict(wall_seconds=24 * 3600.0,
 _RESULTS: dict = {}
 _SNAPSHOTS: dict = {}
 _SAMPLES: dict = {}
+#: VCD dumps for the fast-path bit-identity check (FULL vs FULL+nofp)
+_VCD_DIR = tempfile.mkdtemp(prefix="table1_vcd_")
 
 
 def _sampled_tables(sim, max_nets=12, max_cases=16):
@@ -90,19 +99,36 @@ def _sampled_tables(sim, max_nets=12, max_cases=16):
 
 
 def _run_cell(design: str, mode: AccumulationMode, gc: bool = False,
-              guard: bool = False):
-    kwargs, until = WORKLOADS[design]
+              guard: bool = False, nofp: bool = False, vcd: bool = False,
+              conv: bool = False):
+    kwargs, until = CONV_WORKLOAD if conv else WORKLOADS[design]
     source, top, defines = load(design, **kwargs)
     # Metrics-only observability: the kernel leaves its hot paths
     # un-wrapped, so the timed cell matches an un-instrumented run.
     registry = MetricsRegistry()
+    key = (f"{design}/{mode.value}" + ("+gc" if gc else "")
+           + ("+guard" if guard else "") + ("+conv" if conv else "")
+           + ("+vcd" if vcd else "") + ("+nofp" if nofp else ""))
+    # The fast-path twins both dump a VCD: byte-equal files are the
+    # strongest bit-identity evidence (every value change over the whole
+    # run, not just the end state).
+    vcd_path = (os.path.join(_VCD_DIR, key.replace("/", "_") + ".vcd")
+                if vcd else None)
     options = SimOptions(accumulation=mode,
                          obs=Observability(metrics=registry),
                          budgets=(ResourceBudgets(**GUARD_BUDGETS)
                                   if guard else None),
+                         no_fastpath=nofp,
+                         vcd_path=vcd_path,
+                         concrete_random=20010618 if conv else None,
                          **(GC_KNOBS if gc else {}))
     sim = repro.SymbolicSimulator.from_source(
         source, top=top, defines=defines, options=options)
+    # Drop the previous cell's dead arenas before timing: a ~0.5s cell
+    # that happens to follow a multi-million-node run otherwise pays
+    # that run's heap in allocator pressure.
+    import gc as _gc
+    _gc.collect()
     started = time.perf_counter()
     result = sim.run(until=until)
     elapsed = time.perf_counter() - started
@@ -112,10 +138,8 @@ def _run_cell(design: str, mode: AccumulationMode, gc: bool = False,
             f"{design}: guard mitigation fired under no-op budgets"
     registry.gauge("bench.wall_seconds",
                    "wall time of the timed run() call").set(elapsed)
-    key = (f"{design}/{mode.value}" + ("+gc" if gc else "")
-           + ("+guard" if guard else ""))
-    if mode is AccumulationMode.FULL:
-        # bit-identity evidence: FULL and FULL+GC must sample equal
+    if mode is AccumulationMode.FULL and not conv:
+        # bit-identity evidence: FULL, FULL+GC and FULL+nofp sample equal
         _SAMPLES[key] = _sampled_tables(sim)
     # Keep only the plain-data snapshot: the live registry's callback
     # gauges hold the BddManager (and its arena) alive, which would
@@ -155,6 +179,48 @@ def test_table1_guard_cell(benchmark, design):
     benchmark.extra_info["accumulation"] = "full+guard"
     benchmark.pedantic(_run_cell, args=(design, AccumulationMode.FULL),
                        kwargs={"guard": True}, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("nofp", (False, True), ids=("fastpath", "nofp"))
+@pytest.mark.parametrize("design", list(WORKLOADS))
+def test_table1_fastpath_cell(benchmark, design, nofp):
+    """FULL twins with the hybrid fast paths enabled vs force-disabled.
+
+    Separate from the timed ``test_table1_cell`` runs because both
+    twins also dump a VCD for the bit-identity comparison — the plain
+    table cells stay free of dump overhead.
+    """
+    benchmark.extra_info["design"] = design
+    benchmark.extra_info["accumulation"] = "full+nofp" if nofp else "full+vcd"
+    benchmark.pedantic(_run_cell, args=(design, AccumulationMode.FULL),
+                       kwargs={"nofp": nofp, "vcd": True},
+                       rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("nofp", (False, True), ids=("fastpath", "nofp"))
+def test_table1_conventional_cell(benchmark, nofp):
+    """Conventional (concrete ``$random``) risc8 runs — the paper's
+    Section-7 baseline, where the datapath is fully concrete and the
+    word-level fast path carries the whole run.
+
+    These cells are sub-second, so each twin keeps the best of two runs
+    — the speedup floor should measure the engine, not scheduler noise.
+    """
+    benchmark.extra_info["design"] = "risc8"
+    benchmark.extra_info["accumulation"] = ("conv+nofp" if nofp
+                                            else "conv+fastpath")
+    key = "risc8/full+conv+vcd" + ("+nofp" if nofp else "")
+
+    def run():
+        best = None
+        for _ in range(2):
+            _run_cell("risc8", AccumulationMode.FULL,
+                      nofp=nofp, vcd=True, conv=True)
+            if best is None or _RESULTS[key][0] < best[0]:
+                best = _RESULTS[key]
+        _RESULTS[key] = best
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
 
 
 def test_table1_report(benchmark):
@@ -214,6 +280,25 @@ def test_table1_report(benchmark):
                 f"{design:8s} {base:9.2f}s -> {guarded:9.2f}s "
                 f"({overhead:+5.1f}%)  events {base_ev:6d} -> "
                 f"{guard_ev:6d}")
+        lines.append("")
+        lines.append("Fast path (fast-path-disabled twin -> enabled, "
+                     "both dumping VCD)")
+        fp_rows = [("dram", "dram/full+vcd", "dram/full+vcd+nofp"),
+                   ("risc8", "risc8/full+vcd", "risc8/full+vcd+nofp"),
+                   ("gcd", "gcd/full+vcd", "gcd/full+vcd+nofp"),
+                   ("risc8/conv", "risc8/full+conv+vcd",
+                    "risc8/full+conv+vcd+nofp")]
+        for label, fast_key, slow_key in fp_rows:
+            fast, _ = _RESULTS[fast_key]
+            slow, _ = _RESULTS[slow_key]
+            snapshot = _SNAPSHOTS[fast_key]
+            word = int(_gauge(snapshot, "sim.fastpath.word_ops"))
+            bits = int(_gauge(snapshot, "sim.fastpath.bit_shortcuts"))
+            ratio = _gauge(snapshot, "sim.fastpath.concrete_ratio")
+            lines.append(
+                f"{label:10s} {slow:8.2f}s -> {fast:8.2f}s "
+                f"({slow / fast:4.1f}x)  word {word:8d}  "
+                f"bit-shortcuts {bits:8d}  concrete {100 * ratio:5.1f}%")
         report("table1", lines)
         report_json("table1", dict(_SNAPSHOTS))
 
@@ -270,5 +355,40 @@ def test_table1_report(benchmark):
         assert guarded_total < 1.03 * base_total, \
             (f"idle guard costs {100 * (guarded_total / base_total - 1):.1f}%"
              " wall clock (must stay under 3%)")
+
+        # --- fast-path assertions (hybrid-engine PR criteria) --------
+        speedups = []
+        for label, fast_key, slow_key in fp_rows:
+            fast, fast_ev = _RESULTS[fast_key]
+            slow, slow_ev = _RESULTS[slow_key]
+            speedups.append(slow / fast)
+            # Bit-identity: sampled truth tables, event counts, and the
+            # whole value-change history (byte-equal VCD dumps).
+            if fast_key in _SAMPLES:
+                assert _SAMPLES[fast_key] == _SAMPLES[slow_key], \
+                    f"{label}: fast path perturbed final values"
+                assert _SAMPLES[fast_key] == \
+                    _SAMPLES[fast_key.split("+", 1)[0]], \
+                    f"{label}: VCD twin diverged from the plain FULL run"
+            assert slow_ev == fast_ev, \
+                f"{label}: fast path changed the event count"
+            with open(os.path.join(
+                    _VCD_DIR, fast_key.replace("/", "_") + ".vcd"),
+                    "rb") as handle:
+                fast_vcd = handle.read()
+            with open(os.path.join(
+                    _VCD_DIR, slow_key.replace("/", "_") + ".vcd"),
+                    "rb") as handle:
+                slow_vcd = handle.read()
+            assert fast_vcd and fast_vcd == slow_vcd, \
+                f"{label}: VCD dumps differ between fast paths"
+            assert _gauge(_SNAPSHOTS[fast_key],
+                          "sim.fastpath.word_ops") > 0 and \
+                _gauge(_SNAPSHOTS[fast_key],
+                       "sim.fastpath.concrete_ratio") > 0, \
+                f"{label}: no concrete hits recorded"
+        assert max(speedups) >= 2.0, \
+            (f"best fast-path speedup {max(speedups):.2f}x "
+             "(need >=2x on at least one design)")
 
     benchmark.pedantic(build_report, rounds=1, iterations=1)

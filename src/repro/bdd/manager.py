@@ -101,18 +101,44 @@ class BddManager:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
+        # Specialized apply layer: and/or/xor run dedicated binary
+        # recursions with their own (smaller-keyed, commutatively
+        # canonicalized) computed tables instead of routing through the
+        # generic ite triple.
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._or_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+        # Interned constant FourVecs (terminal rails only, so entries
+        # stay valid across GC and reordering).  Owned here because the
+        # vector layer has no per-manager state of its own.
+        self._const_vec_cache: Dict[Tuple[int, int, bool], object] = {}
         self._var_names: List[str] = []
         self._var_bdds: List[int] = []
         # Cache instrumentation (repro.obs).  Misses are derived for
         # free: every miss inserts exactly one computed-table entry and
         # the table only shrinks on reorder(), where the length is
         # folded into the epoch base.  Only hits pay an increment, and
-        # only on the ite fast path; terminal shortcuts that never
+        # only on the cache fast path; terminal shortcuts that never
         # consult a cache are counted by neither side.
         self._ite_hits = 0
         self._ite_miss_base = 0
         self._not_hits = 0
         self._not_miss_base = 0
+        self._and_hits = 0
+        self._and_miss_base = 0
+        self._or_hits = 0
+        self._or_miss_base = 0
+        self._xor_hits = 0
+        self._xor_miss_base = 0
+        # --- word-level fast-path telemetry (repro.fourval.ops) -------
+        # The four-valued operator layer dispatches to pure-integer
+        # word-level implementations when operands are fully
+        # concrete-known; it reports here so the concrete-hit ratio is
+        # one place (the manager travels with every FourVec).
+        self.fastpath = True          # SimOptions.no_fastpath clears it
+        self._fp_word = 0             # whole operators done word-level
+        self._fp_bits = 0             # per-bit constant short-circuits
+        self._fp_sym = 0              # operators on the per-bit BDD path
         # --- memory management (safe-point operations) ----------------
         # Knobs are plain attributes so the kernel/CLI can configure a
         # manager after construction; ``None``/``False`` keep the
@@ -213,8 +239,22 @@ class BddManager:
     # core operators
     # ------------------------------------------------------------------
 
+    #: opcodes for the specialized binary apply (see ``_apply2``)
+    _OP_AND = 0
+    _OP_OR = 1
+    _OP_XOR = 2
+
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f·g + ¬f·h`` — the universal BDD operator."""
+        """If-then-else: ``f·g + ¬f·h`` — the universal BDD operator.
+
+        Implemented with an explicit stack (no Python recursion, so deep
+        variable orders cannot hit the interpreter recursion limit) and
+        with commutative-triple canonicalization: conjunction-shaped
+        triples ``ite(f, g, 0)`` and disjunction-shaped triples
+        ``ite(f, 1, h)`` are routed to the dedicated :meth:`and_` /
+        :meth:`or_` recursions, whose operand-sorted two-key caches
+        recognize ``ite(f, g, 0) == ite(g, f, 0)`` as one entry.
+        """
         # Terminal and triple reductions (cheap canonicalization that
         # multiplies computed-table hit rates).
         if f == TRUE:
@@ -227,8 +267,12 @@ class BddManager:
             g = TRUE
         if h == f:
             h = FALSE
-        if g == TRUE and h == FALSE:
-            return f
+        if g == TRUE:
+            if h == FALSE:
+                return f
+            return self.or_(f, h)
+        if h == FALSE:
+            return self.and_(f, g)
         cache = self._ite_cache
         key = (f, g, h)
         cached = cache.get(key)
@@ -238,83 +282,259 @@ class BddManager:
         levels = self._level
         lows = self._low
         highs = self._high
-        lf, lg, lh = levels[f], levels[g], levels[h]
-        top = lf if lf < lg else lg
-        if lh < top:
-            top = lh
-        if lf == top:
-            f0, f1 = lows[f], highs[f]
-        else:
-            f0 = f1 = f
-        if lg == top:
-            g0, g1 = lows[g], highs[g]
-        else:
-            g0 = g1 = g
-        if lh == top:
-            h0, h1 = lows[h], highs[h]
-        else:
-            h0 = h1 = h
-        r0 = self.ite(f0, g0, h0)
-        r1 = self.ite(f1, g1, h1)
-        if r0 == r1:
-            result = r0
-        else:
-            ukey = (top, r0, r1)
-            unique = self._unique
-            result = unique.get(ukey)
-            if result is None:
-                result = len(levels)
-                levels.append(top)
-                lows.append(r0)
-                highs.append(r1)
-                unique[ukey] = result
-        cache[key] = result
-        return result
+        unique = self._unique
+        results: List[int] = []
+        # Frames: (0, f, g, h) expands a triple; (1, key, top) builds a
+        # node from the two results produced by its cofactor frames.
+        # The high cofactor is pushed *below* the low one so the build
+        # frame pops r1 then r0.
+        stack: List[Tuple[int, ...]] = [(0, f, g, h)]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == 0:
+                _, f, g, h = frame
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if f == FALSE:
+                    results.append(h)
+                    continue
+                if g == h:
+                    results.append(g)
+                    continue
+                if g == f:
+                    g = TRUE
+                if h == f:
+                    h = FALSE
+                if g == TRUE:
+                    results.append(f if h == FALSE else self.or_(f, h))
+                    continue
+                if h == FALSE:
+                    results.append(self.and_(f, g))
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    self._ite_hits += 1
+                    results.append(cached)
+                    continue
+                lf, lg, lh = levels[f], levels[g], levels[h]
+                top = lf if lf < lg else lg
+                if lh < top:
+                    top = lh
+                if lf == top:
+                    f0, f1 = lows[f], highs[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    g0, g1 = lows[g], highs[g]
+                else:
+                    g0 = g1 = g
+                if lh == top:
+                    h0, h1 = lows[h], highs[h]
+                else:
+                    h0 = h1 = h
+                stack.append((1, key, top))
+                stack.append((0, f1, g1, h1))
+                stack.append((0, f0, g0, h0))
+            else:
+                _, key, top = frame
+                r1 = results.pop()
+                r0 = results.pop()
+                if r0 == r1:
+                    result = r0
+                else:
+                    ukey = (top, r0, r1)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(levels)
+                        levels.append(top)
+                        lows.append(r0)
+                        highs.append(r1)
+                        unique[ukey] = result
+                cache[key] = result
+                results.append(result)
+        return results[0]
 
     def not_(self, f: int) -> int:
-        """Boolean complement."""
-        if f == TRUE:
-            return FALSE
-        if f == FALSE:
-            return TRUE
-        cached = self._not_cache.get(f)
+        """Boolean complement (explicit stack; cached both directions)."""
+        if f <= TRUE:
+            return f ^ 1
+        cache = self._not_cache
+        cached = cache.get(f)
         if cached is not None:
             self._not_hits += 1
             return cached
-        result = self._mk(
-            self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
-        )
-        self._not_cache[f] = result
-        self._not_cache[result] = f
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        unique = self._unique
+        results: List[int] = []
+        stack: List[Tuple[int, int]] = [(0, f)]
+        while stack:
+            tag, node = stack.pop()
+            if tag == 0:
+                if node <= TRUE:
+                    results.append(node ^ 1)
+                    continue
+                cached = cache.get(node)
+                if cached is not None:
+                    self._not_hits += 1
+                    results.append(cached)
+                    continue
+                stack.append((1, node))
+                stack.append((0, highs[node]))
+                stack.append((0, lows[node]))
+            else:
+                r1 = results.pop()
+                r0 = results.pop()
+                if r0 == r1:
+                    result = r0
+                else:
+                    ukey = (levels[node], r0, r1)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(levels)
+                        levels.append(levels[node])
+                        lows.append(r0)
+                        highs.append(r1)
+                        unique[ukey] = result
+                cache[node] = result
+                cache[result] = node
+                results.append(result)
+        return results[0]
+
+    def _apply2(self, op: int, cache: Dict[Tuple[int, int], int],
+                f: int, g: int) -> int:
+        """Dedicated binary apply recursion for and/or/xor.
+
+        Explicit-stack post-order walk; operands are kept sorted at
+        every step so the computed table is commutatively canonical.
+        Terminal short-circuits never touch the cache.  Callers handle
+        the top-level terminal cases; ``f``/``g`` here are internal
+        nodes with ``f < g``.
+        """
+        hits = 0
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        unique = self._unique
+        not_ = self.not_
+        results: List[int] = []
+        stack: List[Tuple[int, ...]] = [(0, f, g)]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == 0:
+                _, f, g = frame
+                if f > g:
+                    f, g = g, f
+                # f <= g, so a terminal g implies a terminal f: the
+                # f-checks below cover every terminal case.
+                if f == FALSE:
+                    results.append(FALSE if op == 0 else g)
+                    continue
+                if f == TRUE:
+                    if op == 0:
+                        results.append(g)
+                    elif op == 1:
+                        results.append(TRUE)
+                    else:
+                        results.append(not_(g))
+                    continue
+                if f == g:
+                    results.append(FALSE if op == 2 else g)
+                    continue
+                key = (f, g)
+                cached = cache.get(key)
+                if cached is not None:
+                    hits += 1
+                    results.append(cached)
+                    continue
+                lf, lg = levels[f], levels[g]
+                top = lf if lf < lg else lg
+                if lf == top:
+                    f0, f1 = lows[f], highs[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    g0, g1 = lows[g], highs[g]
+                else:
+                    g0 = g1 = g
+                stack.append((1, key, top))
+                stack.append((0, f1, g1))
+                stack.append((0, f0, g0))
+            else:
+                _, key, top = frame
+                r1 = results.pop()
+                r0 = results.pop()
+                if r0 == r1:
+                    result = r0
+                else:
+                    ukey = (top, r0, r1)
+                    result = unique.get(ukey)
+                    if result is None:
+                        result = len(levels)
+                        levels.append(top)
+                        lows.append(r0)
+                        highs.append(r1)
+                        unique[ukey] = result
+                cache[key] = result
+                results.append(result)
+        if op == 0:
+            self._and_hits += hits
+        elif op == 1:
+            self._or_hits += hits
+        else:
+            self._xor_hits += hits
+        return results[0]
 
     def and_(self, f: int, g: int) -> int:
-        """Conjunction (operands sorted for cache locality)."""
+        """Conjunction — dedicated apply (operands sorted, own cache)."""
         if f > g:
             f, g = g, f
-        return self.ite(g, f, FALSE)
+        if f == FALSE:
+            return FALSE
+        if f == TRUE or f == g:
+            return g
+        cached = self._and_cache.get((f, g))
+        if cached is not None:
+            self._and_hits += 1
+            return cached
+        return self._apply2(0, self._and_cache, f, g)
 
     def or_(self, f: int, g: int) -> int:
-        """Disjunction (operands sorted for cache locality)."""
+        """Disjunction — dedicated apply (operands sorted, own cache)."""
         if f > g:
             f, g = g, f
-        return self.ite(g, TRUE, f)
+        if f == FALSE or f == g:
+            return g
+        if f == TRUE:
+            return TRUE
+        cached = self._or_cache.get((f, g))
+        if cached is not None:
+            self._or_hits += 1
+            return cached
+        return self._apply2(1, self._or_cache, f, g)
 
     def xor(self, f: int, g: int) -> int:
-        """Exclusive or (operands sorted for cache locality)."""
+        """Exclusive or — dedicated apply (operands sorted, own cache)."""
         if f > g:
             f, g = g, f
         if f == FALSE:
             return g
-        return self.ite(g, self.not_(f), f)
+        if f == g:
+            return FALSE
+        if f == TRUE:
+            return self.not_(g)
+        cached = self._xor_cache.get((f, g))
+        if cached is not None:
+            self._xor_hits += 1
+            return cached
+        return self._apply2(2, self._xor_cache, f, g)
 
     def xnor(self, f: int, g: int) -> int:
-        """Equivalence (operands sorted for cache locality)."""
-        if f > g:
-            f, g = g, f
-        if f == FALSE:
-            return self.not_(g)
-        return self.ite(g, f, self.not_(f))
+        """Equivalence (complement of the shared xor cache entry)."""
+        return self.not_(self.xor(f, g))
 
     def nand(self, f: int, g: int) -> int:
         """Negated conjunction."""
@@ -329,22 +549,57 @@ class BddManager:
         return self.ite(f, g, TRUE)
 
     def and_all(self, nodes: Iterable[int]) -> int:
-        """Conjunction of an iterable of functions (TRUE when empty)."""
-        result = TRUE
+        """Conjunction of an iterable of functions (TRUE when empty).
+
+        Reduces as a balanced tree rather than a linear fold: wide
+        reductions combine neighbours pairwise, which keeps intermediate
+        BDDs small and lets repeated subtrees hit the apply cache.
+        Absorbing elements (FALSE) still exit early.
+        """
+        items: List[int] = []
         for node in nodes:
-            result = self.and_(result, node)
-            if result == FALSE:
+            if node == FALSE:
                 return FALSE
-        return result
+            if node != TRUE:
+                items.append(node)
+        if not items:
+            return TRUE
+        while len(items) > 1:
+            paired: List[int] = []
+            for i in range(0, len(items) - 1, 2):
+                result = self.and_(items[i], items[i + 1])
+                if result == FALSE:
+                    return FALSE
+                paired.append(result)
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     def or_all(self, nodes: Iterable[int]) -> int:
-        """Disjunction of an iterable of functions (FALSE when empty)."""
-        result = FALSE
+        """Disjunction of an iterable of functions (FALSE when empty).
+
+        Balanced-tree reduction; see :meth:`and_all`.
+        """
+        items: List[int] = []
         for node in nodes:
-            result = self.or_(result, node)
-            if result == TRUE:
+            if node == TRUE:
                 return TRUE
-        return result
+            if node != FALSE:
+                items.append(node)
+        if not items:
+            return FALSE
+        while len(items) > 1:
+            paired: List[int] = []
+            for i in range(0, len(items) - 1, 2):
+                result = self.or_(items[i], items[i + 1])
+                if result == TRUE:
+                    return TRUE
+                paired.append(result)
+            if len(items) & 1:
+                paired.append(items[-1])
+            items = paired
+        return items[0]
 
     # ------------------------------------------------------------------
     # restriction / composition / quantification
@@ -629,6 +884,33 @@ class BddManager:
         # was inserted alongside it, which would have been a hit).
         return self._not_miss_base + len(self._not_cache) // 2
 
+    @property
+    def apply_cache_hits(self) -> int:
+        """Hits across the specialized and/or/xor apply caches."""
+        return self._and_hits + self._or_hits + self._xor_hits
+
+    @property
+    def apply_cache_misses(self) -> int:
+        """Misses across the specialized and/or/xor apply caches."""
+        return (self._and_miss_base + len(self._and_cache)
+                + self._or_miss_base + len(self._or_cache)
+                + self._xor_miss_base + len(self._xor_cache))
+
+    @property
+    def fastpath_word_ops(self) -> int:
+        """Operators the word-level (fully concrete) fast path handled."""
+        return self._fp_word
+
+    @property
+    def fastpath_bit_shortcuts(self) -> int:
+        """Per-bit constant-cofactor short-circuits on mixed operands."""
+        return self._fp_bits
+
+    @property
+    def fastpath_symbolic_ops(self) -> int:
+        """Operators that fell through to the per-bit BDD path."""
+        return self._fp_sym
+
     def cache_stats(self) -> Dict[str, float]:
         """Cache/arena counters as a flat dict (repro.obs schema).
 
@@ -637,8 +919,12 @@ class BddManager:
         """
         ite_misses = self.ite_cache_misses
         not_misses = self.not_cache_misses
+        apply_hits = self.apply_cache_hits
+        apply_misses = self.apply_cache_misses
         ite_total = self._ite_hits + ite_misses
         not_total = self._not_hits + not_misses
+        apply_total = apply_hits + apply_misses
+        fp_total = self._fp_word + self._fp_sym
         return {
             "ite_hits": self._ite_hits,
             "ite_misses": ite_misses,
@@ -646,6 +932,14 @@ class BddManager:
             "not_hits": self._not_hits,
             "not_misses": not_misses,
             "not_hit_rate": self._not_hits / not_total if not_total else 0.0,
+            "apply_hits": apply_hits,
+            "apply_misses": apply_misses,
+            "apply_hit_rate": apply_hits / apply_total if apply_total else 0.0,
+            "fastpath_word_ops": self._fp_word,
+            "fastpath_bit_shortcuts": self._fp_bits,
+            "fastpath_symbolic_ops": self._fp_sym,
+            "fastpath_word_ratio": self._fp_word / fp_total if fp_total
+            else 0.0,
             "nodes": self.total_nodes,
             "peak_nodes": self.peak_nodes,
             "var_count": self.var_count,
@@ -681,6 +975,22 @@ class BddManager:
              lambda: self._not_hits),
             ("bdd.not_cache.misses", "not cache misses",
              lambda: self.not_cache_misses),
+            ("bdd.apply.hits", "and/or/xor apply-cache hits",
+             lambda: self.apply_cache_hits),
+            ("bdd.apply.misses", "and/or/xor apply-cache misses",
+             lambda: self.apply_cache_misses),
+            ("bdd.apply.and.hits", "and apply-cache hits",
+             lambda: self._and_hits),
+            ("bdd.apply.and.misses", "and apply-cache misses",
+             lambda: self._and_miss_base + len(self._and_cache)),
+            ("bdd.apply.or.hits", "or apply-cache hits",
+             lambda: self._or_hits),
+            ("bdd.apply.or.misses", "or apply-cache misses",
+             lambda: self._or_miss_base + len(self._or_cache)),
+            ("bdd.apply.xor.hits", "xor apply-cache hits",
+             lambda: self._xor_hits),
+            ("bdd.apply.xor.misses", "xor apply-cache misses",
+             lambda: self._xor_miss_base + len(self._xor_cache)),
             ("bdd.gc.runs", "mark-and-sweep collections",
              lambda: self._gc_runs),
             ("bdd.gc.reclaimed_nodes", "dead nodes reclaimed by GC",
@@ -704,12 +1014,14 @@ class BddManager:
     def instrument_latency(self, registry, sample_every: int = 64) -> None:
         """Record per-operation latency histograms (opt-in, sampled).
 
-        Wraps :meth:`ite` and :meth:`not_` on *this instance* so every
-        ``sample_every``-th top-level call is timed into
-        ``bdd.op_seconds{op=...}``.  Recursive inner calls pass through
-        untimed (a depth counter), so a sample measures one whole
-        operator application.  Only instrumented managers pay the
-        wrapper cost; plain managers are untouched.
+        Wraps :meth:`ite`, :meth:`not_` and the specialized apply
+        operators (:meth:`and_`/:meth:`or_`/:meth:`xor`) on *this
+        instance* so every ``sample_every``-th top-level call is timed
+        into ``bdd.op_seconds{op=...}``.  Nested inner calls (e.g. the
+        ``and_`` an ``ite`` delegates a conjunction-shaped triple to)
+        pass through untimed (a shared depth counter), so a sample
+        measures one whole operator application.  Only instrumented
+        managers pay the wrapper cost; plain managers are untouched.
         """
         import time as _time
 
@@ -717,57 +1029,54 @@ class BddManager:
             "bdd.op_seconds", "top-level BDD operator latency",
             labels=("op",),
         )
-        ite_hist = hist.labels(op="ite")
-        not_hist = hist.labels(op="not")
-        orig_ite = BddManager.ite.__get__(self)
-        orig_not = BddManager.not_.__get__(self)
         state = {"depth": 0, "n": 0}
 
-        def timed_ite(f: int, g: int, h: int) -> int:
-            if state["depth"]:
-                return orig_ite(f, g, h)
-            state["n"] += 1
-            if state["n"] % sample_every:
+        def timed(orig, op_hist):
+            def wrapper(*args: int) -> int:
+                if state["depth"]:
+                    return orig(*args)
+                state["n"] += 1
+                if state["n"] % sample_every:
+                    state["depth"] = 1
+                    try:
+                        return orig(*args)
+                    finally:
+                        state["depth"] = 0
+                started = _time.perf_counter()
                 state["depth"] = 1
                 try:
-                    return orig_ite(f, g, h)
+                    return orig(*args)
                 finally:
                     state["depth"] = 0
-            started = _time.perf_counter()
-            state["depth"] = 1
-            try:
-                return orig_ite(f, g, h)
-            finally:
-                state["depth"] = 0
-                ite_hist.observe(_time.perf_counter() - started)
+                    op_hist.observe(_time.perf_counter() - started)
+            return wrapper
 
-        def timed_not(f: int) -> int:
-            if state["depth"]:
-                return orig_not(f)
-            state["n"] += 1
-            if state["n"] % sample_every:
-                state["depth"] = 1
-                try:
-                    return orig_not(f)
-                finally:
-                    state["depth"] = 0
-            started = _time.perf_counter()
-            state["depth"] = 1
-            try:
-                return orig_not(f)
-            finally:
-                state["depth"] = 0
-                not_hist.observe(_time.perf_counter() - started)
+        for name, attr in (("ite", "ite"), ("not", "not_"),
+                           ("and", "and_"), ("or", "or_"), ("xor", "xor")):
+            orig = getattr(BddManager, attr).__get__(self)
+            setattr(self, attr, timed(orig, hist.labels(op=name)))
 
-        self.ite = timed_ite  # type: ignore[method-assign]
-        self.not_ = timed_not  # type: ignore[method-assign]
+    def _drop_op_caches(self) -> None:
+        """Drop every computed table, folding lengths into miss bases.
+
+        Node ids are about to be (or may already be) invalidated by the
+        caller — GC compaction, reordering, or a checkpoint restore —
+        so cached entries keyed on old ids must not survive.
+        """
+        self._ite_miss_base += len(self._ite_cache)
+        self._not_miss_base += len(self._not_cache) // 2
+        self._and_miss_base += len(self._and_cache)
+        self._or_miss_base += len(self._or_cache)
+        self._xor_miss_base += len(self._xor_cache)
+        self._ite_cache = {}
+        self._not_cache = {}
+        self._and_cache = {}
+        self._or_cache = {}
+        self._xor_cache = {}
 
     def clear_caches(self) -> None:
         """Drop the operator caches (the unique table is kept)."""
-        self._ite_miss_base += len(self._ite_cache)
-        self._not_miss_base += len(self._not_cache) // 2
-        self._ite_cache.clear()
-        self._not_cache.clear()
+        self._drop_op_caches()
 
     def to_expr(self, f: int) -> str:
         """Render ``f`` as a nested ``ite(...)`` string for debugging."""
@@ -919,10 +1228,7 @@ class BddManager:
         # The computed tables are keyed by old ids; fold their lengths
         # into the miss bases (same bookkeeping as clear_caches) so the
         # derived miss counters stay monotonic.
-        self._ite_miss_base += len(self._ite_cache)
-        self._not_miss_base += len(self._not_cache) // 2
-        self._ite_cache = {}
-        self._not_cache = {}
+        self._drop_op_caches()
         self._var_bdds = [node_map[node] for node in self._var_bdds]
         for handle in handles:
             handle.node = node_map[handle.node]
@@ -1033,10 +1339,7 @@ class BddManager:
         self._low = scratch._low
         self._high = scratch._high
         self._unique = scratch._unique
-        self._ite_miss_base += len(self._ite_cache)
-        self._not_miss_base += len(self._not_cache) // 2
-        self._ite_cache = {}
-        self._not_cache = {}
+        self._drop_op_caches()
         self._var_names = [self._var_names[old] for old in order]
         self._var_bdds = scratch._var_bdds
         for handle in handles:

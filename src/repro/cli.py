@@ -66,6 +66,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         metavar="NAME=VALUE", help="preprocessor define")
     parser.add_argument("--stats", action="store_true",
                         help="print event/CPU statistics")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the hybrid concrete/symbolic fast "
+                             "paths (every operator builds BDDs bit by "
+                             "bit; results are bit-identical — this is "
+                             "the differential-testing / baseline-timing "
+                             "switch)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress $display output echo")
     mem = parser.add_argument_group("BDD memory management")
@@ -208,6 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         gc_threshold=args.gc_threshold,
         dyn_reorder=args.dyn_reorder,
         reorder_threshold=args.reorder_threshold,
+        no_fastpath=args.no_fastpath,
         obs=obs,
         budgets=budgets,
         checkpoint_every=args.checkpoint_every,
@@ -256,6 +263,11 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"bdd-nodes={sim.mgr.total_nodes} "
               f"bdd-peak={sim.mgr.peak_nodes}")
         cache = sim.mgr.cache_stats()
+        print(f"[stats] fastpath-word={cache['fastpath_word_ops']} "
+              f"fastpath-bits={cache['fastpath_bit_shortcuts']} "
+              f"fastpath-sym={cache['fastpath_symbolic_ops']} "
+              f"concrete-ratio={cache['fastpath_word_ratio']:.3f} "
+              f"apply-hit-rate={cache['apply_hit_rate']:.3f}")
         if args.gc_threshold is not None or args.dyn_reorder:
             print(f"[stats] gc-runs={cache['gc_runs']} "
                   f"gc-reclaimed={cache['gc_reclaimed']} "

@@ -43,6 +43,55 @@ class CExpr:
     eval: EvalFn
     support: FrozenSet[str] = frozenset()
     flexible: bool = False  # $random: takes any context width without inflating it
+    #: compile-time-known: the value never depends on kernel state, the
+    #: function-local env, the path condition, or simulation time.
+    #: Const expressions are folded once per context width (see
+    #: ``_fold_const``) instead of being re-evaluated per statement.
+    const: bool = False
+
+
+class _ScratchKernel:
+    """Minimal kernel stand-in for compile-time constant evaluation.
+
+    Const eval closures only ever touch ``kern.mgr``; giving them a
+    private scratch manager keeps folding independent of any simulation.
+    Constant expressions only combine terminal rails, so the scratch
+    arena never grows and the resulting bit tuples are valid in *any*
+    manager (terminal node ids are universal).
+    """
+
+    __slots__ = ("mgr",)
+
+    def __init__(self) -> None:
+        from repro.bdd import BddManager
+
+        self.mgr = BddManager()
+
+
+_FOLD_KERNEL: Optional[_ScratchKernel] = None
+
+
+def _fold_const(cexpr: CExpr) -> CExpr:
+    """Wrap a const expression with a per-width precomputed-bits cache."""
+    global _FOLD_KERNEL
+    if _FOLD_KERNEL is None:
+        _FOLD_KERNEL = _ScratchKernel()
+    scratch = _FOLD_KERNEL
+    inner = cexpr.eval
+    cache: Dict[int, FourVec] = {}
+
+    def ev(kern, env, ctrl, ctx_width):
+        folded = cache.get(ctx_width)
+        if folded is None:
+            folded = inner(scratch, None, TRUE, ctx_width)
+            cache[ctx_width] = folded
+        result = FourVec(kern.mgr, folded.bits, folded.signed)
+        result._summary = folded.concrete_summary()
+        return result
+
+    ev._const_folded = True
+    return CExpr(width=cexpr.width, signed=cexpr.signed, eval=ev,
+                 support=cexpr.support, flexible=cexpr.flexible, const=True)
 
 
 @dataclass
@@ -98,7 +147,10 @@ class ExprCompiler:
         method = getattr(self, f"_compile_{type(expr).__name__.lower()}", None)
         if method is None:
             raise CompileError(f"cannot compile expression {type(expr).__name__}")
-        return method(expr)
+        result = method(expr)
+        if result.const and not getattr(result.eval, "_const_folded", False):
+            result = _fold_const(result)
+        return result
 
     def compile_condition(self, expr: ast.Expr) -> CExpr:
         """Compile an expression used as a truth condition."""
@@ -148,7 +200,7 @@ class ExprCompiler:
             vec = FourVec.from_verilog_bits(kern.mgr, bits, signed)
             return vec.resize(ctx_width)
 
-        return CExpr(width=width, signed=signed, eval=ev)
+        return CExpr(width=width, signed=signed, eval=ev, const=True)
 
     def _compile_realnumber(self, expr: ast.RealNumber) -> CExpr:
         value = int(round(expr.value))
@@ -156,7 +208,7 @@ class ExprCompiler:
         def ev(kern, env, ctrl, ctx_width):
             return FourVec.from_int(kern.mgr, value, ctx_width)
 
-        return CExpr(width=32, signed=True, eval=ev)
+        return CExpr(width=32, signed=True, eval=ev, const=True)
 
     def _compile_stringliteral(self, expr: ast.StringLiteral) -> CExpr:
         data = expr.value.encode("latin-1", "replace")
@@ -166,7 +218,7 @@ class ExprCompiler:
         def ev(kern, env, ctrl, ctx_width):
             return FourVec.from_int(kern.mgr, value, ctx_width)
 
-        return CExpr(width=width, signed=False, eval=ev)
+        return CExpr(width=width, signed=False, eval=ev, const=True)
 
     def _compile_identifier(self, expr: ast.Identifier) -> CExpr:
         name = expr.parts[0]
@@ -185,7 +237,7 @@ class ExprCompiler:
                 def ev_param(kern, env, ctrl, ctx_width):
                     return FourVec.from_int(kern.mgr, value, ctx_width, signed=True)
 
-                return CExpr(width=32, signed=True, eval=ev_param)
+                return CExpr(width=32, signed=True, eval=ev_param, const=True)
         full, info = self._resolve(expr)
         if info.array is not None:
             raise CompileError(
@@ -291,7 +343,8 @@ class ExprCompiler:
                 vec = value if vec is None else vec.concat(value)
             return vec.resize(ctx_width)
 
-        return CExpr(width=width, signed=False, eval=ev, support=support)
+        return CExpr(width=width, signed=False, eval=ev, support=support,
+                     const=all(p.const for p in parts))
 
     def _compile_repl(self, expr: ast.Repl) -> CExpr:
         from repro.frontend.elaborate import const_eval
@@ -304,7 +357,8 @@ class ExprCompiler:
             inner = value.eval(kern, env, ctrl, value.width)
             return inner.replicate(count).resize(ctx_width)
 
-        return CExpr(width=width, signed=False, eval=ev, support=value.support)
+        return CExpr(width=width, signed=False, eval=ev, support=value.support,
+                     const=value.const)
 
     # ------------------------------------------------------------------
     # operators
@@ -328,7 +382,8 @@ class ExprCompiler:
                 return ops.negate(value).resize(ctx_width)
 
             return CExpr(width=operand.width, signed=operand.signed,
-                         eval=ev_neg, support=operand.support)
+                         eval=ev_neg, support=operand.support,
+                         const=operand.const)
         if op == "~":
             def ev_not(kern, env, ctrl, ctx_width):
                 opw = max(operand.width, ctx_width)
@@ -336,14 +391,15 @@ class ExprCompiler:
                 return ops.bitwise_not(value).resize(ctx_width)
 
             return CExpr(width=operand.width, signed=operand.signed,
-                         eval=ev_not, support=operand.support)
+                         eval=ev_not, support=operand.support,
+                         const=operand.const)
         if op == "!":
             def ev_lnot(kern, env, ctrl, ctx_width):
                 value = operand.eval(kern, env, ctrl, operand.width)
                 return ops.logical_not(value).resize(ctx_width)
 
             return CExpr(width=1, signed=False, eval=ev_lnot,
-                         support=operand.support)
+                         support=operand.support, const=operand.const)
         reduction = self._UNARY_REDUCTIONS.get(op)
         if reduction is not None:
             def ev_red(kern, env, ctrl, ctx_width):
@@ -351,7 +407,7 @@ class ExprCompiler:
                 return reduction(value).resize(ctx_width)
 
             return CExpr(width=1, signed=False, eval=ev_red,
-                         support=operand.support)
+                         support=operand.support, const=operand.const)
         raise CompileError(f"unsupported unary operator {op!r}")
 
     _ARITH_OPS = {
@@ -376,6 +432,7 @@ class ExprCompiler:
         right = self.compile(expr.right)
         op = expr.op
         support = left.support | right.support
+        const = left.const and right.const
         if op in self._ARITH_OPS:
             func = self._ARITH_OPS[op]
             width = max(left.width, right.width)
@@ -388,7 +445,7 @@ class ExprCompiler:
                 return func(lv, rv).resize(ctx_width)
 
             return CExpr(width=width, signed=signed, eval=ev_arith,
-                         support=support)
+                         support=support, const=const)
         if op in self._COMPARE_OPS:
             func = self._COMPARE_OPS[op]
             opw = max(left.width, right.width, 1)
@@ -398,7 +455,8 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, opw).as_signed(right.signed)
                 return func(lv, rv).resize(ctx_width)
 
-            return CExpr(width=1, signed=False, eval=ev_cmp, support=support)
+            return CExpr(width=1, signed=False, eval=ev_cmp, support=support,
+                         const=const)
         if op in self._LOGICAL_OPS:
             func = self._LOGICAL_OPS[op]
 
@@ -407,7 +465,8 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, right.width)
                 return func(lv, rv).resize(ctx_width)
 
-            return CExpr(width=1, signed=False, eval=ev_logic, support=support)
+            return CExpr(width=1, signed=False, eval=ev_logic, support=support,
+                         const=const)
         if op in self._SHIFT_OPS:
             func = self._SHIFT_OPS[op]
 
@@ -418,7 +477,7 @@ class ExprCompiler:
                 return func(lv, rv).resize(ctx_width)
 
             return CExpr(width=left.width, signed=left.signed, eval=ev_shift,
-                         support=support)
+                         support=support, const=const)
         raise CompileError(f"unsupported binary operator {op!r}")
 
     def _compile_ternary(self, expr: ast.Ternary) -> CExpr:
@@ -436,7 +495,8 @@ class ExprCompiler:
             fv = else_value.eval(kern, env, ctrl, opw)
             return ops.conditional(cv, tv, fv).resize(ctx_width)
 
-        return CExpr(width=width, signed=signed, eval=ev, support=support)
+        return CExpr(width=width, signed=signed, eval=ev, support=support,
+                     const=cond.const and then_value.const and else_value.const)
 
     # ------------------------------------------------------------------
     # calls
@@ -470,7 +530,7 @@ class ExprCompiler:
                 return value.as_signed(signed).resize(ctx_width)
 
             return CExpr(width=inner.width, signed=signed, eval=ev_cast,
-                         support=inner.support)
+                         support=inner.support, const=inner.const)
         raise CompileError(f"unsupported system function {name!r}")
 
     def _compile_functioncall(self, expr: ast.FunctionCall) -> CExpr:

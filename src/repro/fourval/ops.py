@@ -17,15 +17,37 @@ follows the standard's pessimism rules:
 Binary operators require pre-sized equal-width operands; the expression
 compiler (``repro.compile.expr``) implements the 1364 context-sizing
 rules and calls :meth:`FourVec.resize` before dispatching here.
+
+Two-tier evaluation (docs/PERFORMANCE.md)
+-----------------------------------------
+
+Most of a real RTL run is concrete — testbench counters, literals,
+resolved nets — so every operator first consults the vectors' cached
+concrete summaries (:meth:`FourVec.concrete_summary`):
+
+* **word level**: both operands fully concrete-known → one pure-int
+  computation, no BDD calls at all (``mgr._fp_word``);
+* **per-bit short-circuits**: mixed operands → constant bits collapse
+  without touching the manager (``0 & x = 0``, ``1 | x = 1``,
+  known shift amounts; ``mgr._fp_bits``);
+* **symbolic fallback**: the original per-bit BDD path
+  (``mgr._fp_sym``).
+
+Every fast-path result is bit-identical to the fallback path: constant
+rails short-circuit to the same terminal nodes inside the manager, so
+the shortcuts below are algebraic reductions of the generic
+constructions, not approximations.  Setting ``mgr.fastpath = False``
+(``SimOptions.no_fastpath`` / ``--no-fastpath``) disables both fast
+tiers for differential testing.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.bdd import FALSE, TRUE, BddManager
 from repro.errors import FourValueError
-from repro.fourval.vector import BitPair, FourVec
+from repro.fourval.vector import BIT_0, BIT_1, BIT_X, BitPair, FourVec
 
 
 def _check_same_width(x: FourVec, y: FourVec, op: str) -> None:
@@ -34,6 +56,33 @@ def _check_same_width(x: FourVec, y: FourVec, op: str) -> None:
             f"{op}: operand width mismatch {x.width} vs {y.width} "
             "(the expression compiler should have resized)"
         )
+
+
+def _fast1(x: FourVec) -> Optional[int]:
+    """``x`` as a raw unsigned int when the word-level tier may run."""
+    if not x.mgr.fastpath:
+        return None
+    return x.known_int()
+
+
+def _fast2(x: FourVec, y: FourVec) -> Optional[Tuple[int, int]]:
+    """Both operands as raw unsigned ints, or None (symbolic/disabled)."""
+    if not x.mgr.fastpath:
+        return None
+    vx = x.known_int()
+    if vx is None:
+        return None
+    vy = y.known_int()
+    if vy is None:
+        return None
+    return vx, vy
+
+
+def _to_signed(value: int, width: int) -> int:
+    """Reinterpret a raw unsigned word as two's complement."""
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
 
 
 def _known0(mgr: BddManager, bit: BitPair) -> int:
@@ -66,6 +115,12 @@ def _make_tristate(mgr: BddManager, is1: int, is0: int) -> BitPair:
 def bitwise_not(x: FourVec) -> FourVec:
     """``~x`` — 4-valued inversion (X/Z stay X)."""
     mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, ~value, x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     bits = [(mgr.or_(b, mgr.not_(a)), b) for a, b in x.bits]
     # Z must become X, not Z: force the a-rail high wherever b is set —
     # done above — and normalize b unchanged (Z and X share b=1; with
@@ -106,17 +161,95 @@ def _xor_bit(mgr: BddManager, bx: BitPair, by: BitPair) -> BitPair:
 
 def bitwise_and(x: FourVec, y: FourVec) -> FourVec:
     """``x & y``."""
-    return _bitwise_binary(x, y, _and_bit, "&")
+    _check_same_width(x, y, "&")
+    mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] & vals[1], x.width)
+    if not mgr.fastpath:
+        return _bitwise_binary(x, y, _and_bit, "&")
+    mgr._fp_sym += 1
+    # Mixed operands: constant-cofactor short-circuits.  Each branch is
+    # the algebraic reduction of _and_bit for that constant input, so
+    # the rails are identical BDD nodes.
+    bits: List[BitPair] = []
+    shortcuts = 0
+    for bx, by in zip(x.bits, y.bits):
+        if bx == BIT_0 or by == BIT_0:
+            bits.append(BIT_0)
+            shortcuts += 1
+        elif bx == BIT_1 and by[1] == FALSE:
+            bits.append(by)
+            shortcuts += 1
+        elif by == BIT_1 and bx[1] == FALSE:
+            bits.append(bx)
+            shortcuts += 1
+        else:
+            bits.append(_and_bit(mgr, bx, by))
+    mgr._fp_bits += shortcuts
+    return FourVec(mgr, bits)
 
 
 def bitwise_or(x: FourVec, y: FourVec) -> FourVec:
     """``x | y``."""
-    return _bitwise_binary(x, y, _or_bit, "|")
+    _check_same_width(x, y, "|")
+    mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] | vals[1], x.width)
+    if not mgr.fastpath:
+        return _bitwise_binary(x, y, _or_bit, "|")
+    mgr._fp_sym += 1
+    bits: List[BitPair] = []
+    shortcuts = 0
+    for bx, by in zip(x.bits, y.bits):
+        if bx == BIT_1 or by == BIT_1:
+            bits.append(BIT_1)
+            shortcuts += 1
+        elif bx == BIT_0 and by[1] == FALSE:
+            bits.append(by)
+            shortcuts += 1
+        elif by == BIT_0 and bx[1] == FALSE:
+            bits.append(bx)
+            shortcuts += 1
+        else:
+            bits.append(_or_bit(mgr, bx, by))
+    mgr._fp_bits += shortcuts
+    return FourVec(mgr, bits)
 
 
 def bitwise_xor(x: FourVec, y: FourVec) -> FourVec:
     """``x ^ y``."""
-    return _bitwise_binary(x, y, _xor_bit, "^")
+    _check_same_width(x, y, "^")
+    mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] ^ vals[1], x.width)
+    if not mgr.fastpath:
+        return _bitwise_binary(x, y, _xor_bit, "^")
+    mgr._fp_sym += 1
+    bits: List[BitPair] = []
+    shortcuts = 0
+    for bx, by in zip(x.bits, y.bits):
+        if bx == BIT_0 and by[1] == FALSE:
+            bits.append(by)
+            shortcuts += 1
+        elif by == BIT_0 and bx[1] == FALSE:
+            bits.append(bx)
+            shortcuts += 1
+        elif bx == BIT_1 and by[1] == FALSE:
+            bits.append((mgr.not_(by[0]), FALSE))
+            shortcuts += 1
+        elif by == BIT_1 and bx[1] == FALSE:
+            bits.append((mgr.not_(bx[0]), FALSE))
+            shortcuts += 1
+        else:
+            bits.append(_xor_bit(mgr, bx, by))
+    mgr._fp_bits += shortcuts
+    return FourVec(mgr, bits)
 
 
 def bitwise_xnor(x: FourVec, y: FourVec) -> FourVec:
@@ -132,6 +265,13 @@ def bitwise_xnor(x: FourVec, y: FourVec) -> FourVec:
 def reduce_and(x: FourVec) -> FourVec:
     """``&x`` — 1 iff all bits known 1, 0 if any bit known 0, else X."""
     mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(
+            mgr, 1 if value == (1 << x.width) - 1 else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     is1 = mgr.and_all(_known1(mgr, bit) for bit in x.bits)
     is0 = mgr.or_all(_known0(mgr, bit) for bit in x.bits)
     return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
@@ -140,6 +280,12 @@ def reduce_and(x: FourVec) -> FourVec:
 def reduce_or(x: FourVec) -> FourVec:
     """``|x``."""
     mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 1 if value else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     is1 = mgr.or_all(_known1(mgr, bit) for bit in x.bits)
     is0 = mgr.and_all(_known0(mgr, bit) for bit in x.bits)
     return FourVec(mgr, [_make_tristate(mgr, is1, is0)])
@@ -148,6 +294,12 @@ def reduce_or(x: FourVec) -> FourVec:
 def reduce_xor(x: FourVec) -> FourVec:
     """``^x`` — X if any bit is X/Z, else parity."""
     mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, bin(value).count("1") & 1, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     any_xz = x.has_xz()
     parity = FALSE
     for a, _ in x.bits:
@@ -191,13 +343,26 @@ def _truth_conditions(x: FourVec) -> Tuple[int, int]:
 
 def logical_not(x: FourVec) -> FourVec:
     """``!x``."""
+    mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 0 if value else 1, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     is_true, is_false = _truth_conditions(x)
-    return FourVec(x.mgr, [_make_tristate(x.mgr, is_false, is_true)])
+    return FourVec(mgr, [_make_tristate(mgr, is_false, is_true)])
 
 
 def logical_and(x: FourVec, y: FourVec) -> FourVec:
     """``x && y`` (short-circuit pessimism per 1364)."""
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 1 if vals[0] and vals[1] else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     tx, fx = _truth_conditions(x)
     ty, fy = _truth_conditions(y)
     is1 = mgr.and_(tx, ty)
@@ -208,6 +373,12 @@ def logical_and(x: FourVec, y: FourVec) -> FourVec:
 def logical_or(x: FourVec, y: FourVec) -> FourVec:
     """``x || y``."""
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 1 if vals[0] or vals[1] else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     tx, fx = _truth_conditions(x)
     ty, fy = _truth_conditions(y)
     is1 = mgr.or_(tx, ty)
@@ -224,6 +395,12 @@ def equal(x: FourVec, y: FourVec) -> FourVec:
     """``x == y`` — X when the comparison cannot be decided."""
     _check_same_width(x, y, "==")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 1 if vals[0] == vals[1] else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     definite_diff = FALSE
     all_known_equal = TRUE
     for bx, by in zip(x.bits, y.bits):
@@ -245,6 +422,12 @@ def case_equal(x: FourVec, y: FourVec) -> FourVec:
     """``x === y`` — literal 4-valued match, always a known result."""
     _check_same_width(x, y, "===")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, 1 if vals[0] == vals[1] else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     match = TRUE
     for bx, by in zip(x.bits, y.bits):
         match = mgr.and_(
@@ -275,6 +458,13 @@ def _wildcard_match(
 ) -> int:
     _check_same_width(expr, item, "case-match")
     mgr = expr.mgr
+    vals = _fast2(expr, item)
+    if vals is not None:
+        # Fully-known operands contain no Z/X, so no wildcard can fire.
+        mgr._fp_word += 1
+        return TRUE if vals[0] == vals[1] else FALSE
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     match = TRUE
     for be, bi in zip(expr.bits, item.bits):
         if x_wild:
@@ -314,6 +504,16 @@ def less_than(x: FourVec, y: FourVec) -> FourVec:
     _check_same_width(x, y, "<")
     mgr = x.mgr
     signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        vx, vy = vals
+        if signed:
+            vx = _to_signed(vx, x.width)
+            vy = _to_signed(vy, y.width)
+        return FourVec.from_int(mgr, 1 if vx < vy else 0, 1)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     if signed:
         x, y = _signed_flip(x), _signed_flip(y)
     known = mgr.and_(x.known(), y.known())
@@ -365,19 +565,33 @@ def add(x: FourVec, y: FourVec) -> FourVec:
     """``x + y`` (wrapping at the common width)."""
     _check_same_width(x, y, "+")
     mgr = x.mgr
+    signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] + vals[1], x.width, signed)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     xz = mgr.or_(x.has_xz(), y.has_xz())
     rails = _add_rails(mgr, x, y, FALSE)
-    return _poisoned(mgr, xz, rails, x.signed and y.signed)
+    return _poisoned(mgr, xz, rails, signed)
 
 
 def subtract(x: FourVec, y: FourVec) -> FourVec:
     """``x - y``."""
     _check_same_width(x, y, "-")
     mgr = x.mgr
+    signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] - vals[1], x.width, signed)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     xz = mgr.or_(x.has_xz(), y.has_xz())
     inverted = FourVec(mgr, [(mgr.not_(a), FALSE) for a, _ in y.bits])
     rails = _add_rails(mgr, x, inverted, TRUE)
-    return _poisoned(mgr, xz, rails, x.signed and y.signed)
+    return _poisoned(mgr, xz, rails, signed)
 
 
 def negate(x: FourVec) -> FourVec:
@@ -390,6 +604,13 @@ def multiply(x: FourVec, y: FourVec) -> FourVec:
     """``x * y`` truncated to the common width."""
     _check_same_width(x, y, "*")
     mgr = x.mgr
+    signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] * vals[1], x.width, signed)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     width = x.width
     xz = mgr.or_(x.has_xz(), y.has_xz())
     acc = [FALSE] * width
@@ -405,7 +626,7 @@ def multiply(x: FourVec, y: FourVec) -> FourVec:
                 mgr.and_(carry, mgr.xor(acc[i], partial)),
             )
             acc[i] = total
-    return _poisoned(mgr, xz, acc, x.signed and y.signed)
+    return _poisoned(mgr, xz, acc, signed)
 
 
 def _divmod_rails(
@@ -454,8 +675,24 @@ def divide(x: FourVec, y: FourVec) -> FourVec:
     """
     _check_same_width(x, y, "/")
     mgr = x.mgr
-    xz = _div_xz(mgr, x, y)
     signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        vx, vy = vals
+        if vy == 0:
+            return FourVec(mgr, (BIT_X,) * x.width, signed)
+        if signed:
+            sx = _to_signed(vx, x.width)
+            sy = _to_signed(vy, y.width)
+            quo = abs(sx) // abs(sy)
+            if (sx < 0) != (sy < 0):
+                quo = -quo
+            return FourVec.from_int(mgr, quo, x.width, True)
+        return FourVec.from_int(mgr, vx // vy, x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
+    xz = _div_xz(mgr, x, y)
     if signed:
         return _signed_div_or_mod(x, y, xz, want_mod=False)
     quo, _ = _divmod_rails(mgr, x, y)
@@ -466,8 +703,24 @@ def modulo(x: FourVec, y: FourVec) -> FourVec:
     """``x % y`` (result takes the sign of the first operand)."""
     _check_same_width(x, y, "%")
     mgr = x.mgr
-    xz = _div_xz(mgr, x, y)
     signed = x.signed and y.signed
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        vx, vy = vals
+        if vy == 0:
+            return FourVec(mgr, (BIT_X,) * x.width, signed)
+        if signed:
+            sx = _to_signed(vx, x.width)
+            sy = _to_signed(vy, y.width)
+            rem = abs(sx) % abs(sy)
+            if sx < 0:
+                rem = -rem
+            return FourVec.from_int(mgr, rem, x.width, True)
+        return FourVec.from_int(mgr, vx % vy, x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
+    xz = _div_xz(mgr, x, y)
     if signed:
         return _signed_div_or_mod(x, y, xz, want_mod=True)
     _, rem = _divmod_rails(mgr, x, y)
@@ -512,6 +765,15 @@ def power(x: FourVec, y: FourVec) -> FourVec:
     if y.width > 16 and not y.is_constant():
         raise FourValueError("symbolic exponent wider than 16 bits")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        # The generic path runs on the raw a-rails: base and exponent
+        # are both treated as unsigned words and the result is unsigned.
+        mgr._fp_word += 1
+        return FourVec.from_int(
+            mgr, pow(vals[0], vals[1], 1 << x.width), x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     xz = mgr.or_(x.has_xz(), y.has_xz())
     result = FourVec.from_int(mgr, 1, x.width)
     base = FourVec(mgr, [(a, FALSE) for a, _ in x.bits])
@@ -533,6 +795,45 @@ def power(x: FourVec, y: FourVec) -> FourVec:
 def _shift(x: FourVec, y: FourVec, direction: str) -> FourVec:
     mgr = x.mgr
     width = x.width
+    if mgr.fastpath:
+        amount = y.known_int()
+        if amount is not None:
+            value = x.known_int()
+            if value is not None:
+                # fully concrete: one int shift
+                mgr._fp_word += 1
+                if direction == "shl":
+                    result = value << amount if amount < width else 0
+                elif direction == "shr":
+                    result = value >> amount if amount < width else 0
+                else:  # ashr: replicate the original sign bit
+                    sign = value >> (width - 1) & 1
+                    if amount >= width:
+                        result = (1 << width) - 1 if sign else 0
+                    else:
+                        result = value >> amount
+                        if sign:
+                            result |= ((1 << width) - 1) ^ (
+                                (1 << (width - amount)) - 1)
+                return FourVec.from_int(mgr, result, width)
+            # known shift amount over a symbolic word: positionally
+            # rearrange the rails once instead of per-power-of-2 merges
+            # (the generic loop's ite(TRUE, s, r) selections compose to
+            # exactly this single shift, so the rails are identical).
+            mgr._fp_sym += 1
+            mgr._fp_bits += width
+            xz = x.has_xz()
+            rails = [a for a, _ in x.bits]
+            fill = x.bits[-1][0] if direction == "ashr" else FALSE
+            if amount >= width:
+                rails = [fill] * width
+            elif amount:
+                if direction == "shl":
+                    rails = [FALSE] * amount + rails[: width - amount]
+                else:
+                    rails = rails[amount:] + [fill] * amount
+            return _poisoned(mgr, xz, rails, False)
+        mgr._fp_sym += 1
     xz = mgr.or_(x.has_xz(), y.has_xz())
     rails = [a for a, _ in x.bits]
     fill = x.bits[-1][0] if direction == "ashr" else FALSE
@@ -579,6 +880,15 @@ def conditional(cond: FourVec, then_v: FourVec, else_v: FourVec) -> FourVec:
     """
     _check_same_width(then_v, else_v, "?:")
     mgr = cond.mgr
+    selector = _fast1(cond)
+    if selector is not None:
+        # A fully-known selector is definitely true or definitely
+        # false; the branches may stay symbolic.
+        mgr._fp_word += 1
+        chosen = then_v if selector else else_v
+        return chosen.as_signed(then_v.signed and else_v.signed)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     is_true, is_false = _truth_conditions(cond)
     unknown = mgr.nor(is_true, is_false)
     bits: List[BitPair] = []
@@ -607,6 +917,21 @@ def resolve_wire(x: FourVec, y: FourVec) -> FourVec:
     """
     _check_same_width(x, y, "wire-resolve")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        vx, vy = vals
+        if vx == vy:
+            return FourVec.from_int(mgr, vx, x.width)
+        bits = []
+        for i in range(x.width):
+            if (vx ^ vy) >> i & 1:
+                bits.append(BIT_X)
+            else:
+                bits.append(BIT_1 if vx >> i & 1 else BIT_0)
+        return FourVec(mgr, bits)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     bits: List[BitPair] = []
     for bx, by in zip(x.bits, y.bits):
         x_is_z = mgr.and_(mgr.not_(bx[0]), bx[1])
@@ -652,6 +977,12 @@ def resolve_wand(x: FourVec, y: FourVec) -> FourVec:
     """``wand`` net resolution — wired AND (1364 Table 9: 0 dominates)."""
     _check_same_width(x, y, "wand-resolve")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] & vals[1], x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     bits: List[BitPair] = []
     for bx, by in zip(x.bits, y.bits):
         x0, x1, xz, _ = _driver_states(mgr, bx)
@@ -668,6 +999,12 @@ def resolve_wor(x: FourVec, y: FourVec) -> FourVec:
     """``wor`` net resolution — wired OR (1 dominates)."""
     _check_same_width(x, y, "wor-resolve")
     mgr = x.mgr
+    vals = _fast2(x, y)
+    if vals is not None:
+        mgr._fp_word += 1
+        return FourVec.from_int(mgr, vals[0] | vals[1], x.width)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     bits: List[BitPair] = []
     for bx, by in zip(x.bits, y.bits):
         x0, x1, xz, _ = _driver_states(mgr, bx)
@@ -683,6 +1020,14 @@ def resolve_wor(x: FourVec, y: FourVec) -> FourVec:
 def pull_z(x: FourVec, pull_to_one: bool) -> FourVec:
     """``tri0``/``tri1`` pull: undriven (Z) bits read 0 or 1."""
     mgr = x.mgr
+    value = _fast1(x)
+    if value is not None:
+        # Fully-known: no Z bit to pull, the value passes through
+        # (stripped of any signedness, matching the generic result).
+        mgr._fp_word += 1
+        return x.as_signed(False)
+    if mgr.fastpath:
+        mgr._fp_sym += 1
     bits: List[BitPair] = []
     for a, b in x.bits:
         isz = mgr.and_(mgr.not_(a), b)
@@ -704,6 +1049,15 @@ def posedge_condition(old: FourVec, new: FourVec) -> int:
     Per 1364, posedge is any transition 0→1, 0→X/Z, X/Z→1.
     """
     mgr = old.mgr
+    if mgr.fastpath:
+        omask, oval = old.concrete_summary()
+        nmask, nval = new.concrete_summary()
+        if omask & 1 and nmask & 1:
+            # both bit-0s concrete-known: the only posedge transition
+            # left in the 1364 table is a plain 0 -> 1
+            mgr._fp_word += 1
+            return TRUE if not oval & 1 and nval & 1 else FALSE
+        mgr._fp_sym += 1
     o, n = old.bits[0], new.bits[0]
     o0 = _known0(mgr, o)
     o1 = _known1(mgr, o)
@@ -722,6 +1076,13 @@ def posedge_condition(old: FourVec, new: FourVec) -> int:
 def negedge_condition(old: FourVec, new: FourVec) -> int:
     """BDD: a negative edge occurred on bit 0 (1→0, 1→X/Z, X/Z→0)."""
     mgr = old.mgr
+    if mgr.fastpath:
+        omask, oval = old.concrete_summary()
+        nmask, nval = new.concrete_summary()
+        if omask & 1 and nmask & 1:
+            mgr._fp_word += 1
+            return TRUE if oval & 1 and not nval & 1 else FALSE
+        mgr._fp_sym += 1
     o, n = old.bits[0], new.bits[0]
     o1 = _known1(mgr, o)
     oxz = o[1]

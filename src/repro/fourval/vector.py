@@ -41,7 +41,7 @@ class FourVec:
             ``$signed`` casts are signed in 1364-1995).
     """
 
-    __slots__ = ("mgr", "bits", "signed")
+    __slots__ = ("mgr", "bits", "signed", "_summary")
 
     def __init__(
         self, mgr: BddManager, bits: Sequence[BitPair], signed: bool = False
@@ -51,6 +51,10 @@ class FourVec:
         self.mgr = mgr
         self.bits = tuple(bits)
         self.signed = signed
+        #: cached (known_mask, value) concrete summary; see
+        #: :meth:`concrete_summary`.  Lazily computed, incrementally
+        #: carried by the structural operations where possible.
+        self._summary: Optional[Tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -62,8 +66,20 @@ class FourVec:
     ) -> "FourVec":
         """Constant vector from a Python integer (two's complement wrap)."""
         value &= (1 << width) - 1
+        # FourVec is immutable and constant rails are terminal node ids
+        # (stable across GC/reorder), so identical constants can share
+        # one instance — the word-level fast path mints them constantly.
+        cache = mgr._const_vec_cache
+        key = (value, width, signed)
+        vec = cache.get(key)
+        if vec is not None:
+            return vec
         bits = [BIT_1 if (value >> i) & 1 else BIT_0 for i in range(width)]
-        return cls(mgr, bits, signed)
+        vec = cls(mgr, bits, signed)
+        vec._summary = ((1 << width) - 1, value)
+        if len(cache) < 16384:
+            cache[key] = vec
+        return vec
 
     @classmethod
     def from_verilog_bits(
@@ -143,6 +159,46 @@ class FourVec:
         """True when no bit can ever be X or Z."""
         return all(b == FALSE for _, b in self.bits)
 
+    def concrete_summary(self) -> Tuple[int, int]:
+        """``(known_mask, value)`` summary of the concrete-known bits.
+
+        Bit *i* of ``known_mask`` is set iff bit *i* is concrete-known —
+        a constant 0 or 1 on both rails (``b == FALSE`` and ``a`` a
+        terminal).  ``value`` holds the integer value of exactly those
+        bits (zero elsewhere).  The word-level fast path in
+        :mod:`repro.fourval.ops` dispatches on this summary.
+
+        Cached on first use; constructors and structural operations
+        carry it incrementally where they can, so steady-state concrete
+        traffic never rescans the rails.
+        """
+        summary = self._summary
+        if summary is None:
+            mask = 0
+            value = 0
+            pos = 1
+            for a, b in self.bits:
+                if b == FALSE and a <= TRUE:
+                    mask |= pos
+                    if a == TRUE:
+                        value |= pos
+                pos <<= 1
+            summary = (mask, value)
+            self._summary = summary
+        return summary
+
+    def known_int(self) -> Optional[int]:
+        """The raw unsigned integer value iff *every* bit is
+        concrete-known, else ``None``.  (Signedness is the caller's
+        concern — this is the fast-path dispatch test.)"""
+        summary = self._summary
+        if summary is None:
+            summary = self.concrete_summary()
+        mask, value = summary
+        if mask == (1 << len(self.bits)) - 1:
+            return value
+        return None
+
     def has_xz(self) -> int:
         """BDD condition: *some* bit of this vector is X or Z."""
         return self.mgr.or_all(b for _, b in self.bits)
@@ -157,6 +213,12 @@ class FourVec:
         Raises :class:`FourValueError` if any bit is symbolic or X/Z.
         Signed vectors convert via two's complement.
         """
+        summary = self._summary
+        if summary is not None and summary[0] == (1 << len(self.bits)) - 1:
+            value = summary[1]
+            if self.signed and value >> (self.width - 1):
+                value -= 1 << self.width
+            return value
         value = 0
         for i, (a, b) in enumerate(self.bits):
             if b != FALSE or a > TRUE:
@@ -194,7 +256,9 @@ class FourVec:
         """Same bits with the given signedness."""
         if signed == self.signed:
             return self
-        return FourVec(self.mgr, self.bits, signed)
+        result = FourVec(self.mgr, self.bits, signed)
+        result._summary = self._summary
+        return result
 
     def remap(self, lookup) -> "FourVec":
         """Rebuild with every rail id passed through ``lookup``.
@@ -203,10 +267,14 @@ class FourVec:
         after an arena compaction or in-place reorder, every held node
         id must be translated to its new value.
         """
-        return FourVec(
+        result = FourVec(
             self.mgr, [(lookup(a), lookup(b)) for a, b in self.bits],
             self.signed,
         )
+        # Terminal ids are stable across compaction/reorder, so the
+        # concrete summary survives the remap untouched.
+        result._summary = self._summary
+        return result
 
     def resize(self, width: int) -> "FourVec":
         """Truncate or extend to ``width``.
@@ -214,37 +282,76 @@ class FourVec:
         Extension is sign extension for signed vectors, zero extension
         otherwise — the 1364 context-sizing rule.
         """
-        if width == self.width:
+        own = len(self.bits)
+        if width == own:
             return self
-        if width < self.width:
-            return FourVec(self.mgr, self.bits[:width], self.signed)
+        if width < own:
+            result = FourVec(self.mgr, self.bits[:width], self.signed)
+            if self._summary is not None:
+                mask = (1 << width) - 1
+                result._summary = (self._summary[0] & mask,
+                                   self._summary[1] & mask)
+            return result
         fill = self.bits[-1] if self.signed else BIT_0
-        return FourVec(
-            self.mgr, self.bits + (fill,) * (width - self.width), self.signed
+        result = FourVec(
+            self.mgr, self.bits + (fill,) * (width - own), self.signed
         )
+        if self._summary is not None:
+            mask, value = self._summary
+            ext = ((1 << width) - 1) ^ ((1 << own) - 1)
+            if fill == BIT_0:
+                result._summary = (mask | ext, value)
+            elif mask >> (own - 1) & 1:
+                if value >> (own - 1) & 1:
+                    result._summary = (mask | ext, value | ext)
+                else:
+                    result._summary = (mask | ext, value)
+            else:
+                result._summary = (mask, value)
+        return result
 
     def slice(self, low: int, width: int) -> "FourVec":
         """Constant-index part select ``[low + width - 1 : low]``.
 
         Out-of-range bits read as X, matching 1364 semantics.
         """
-        bits: List[BitPair] = []
-        for i in range(low, low + width):
-            if 0 <= i < self.width:
-                bits.append(self.bits[i])
-            else:
-                bits.append(BIT_X)
-        return FourVec(self.mgr, bits)
+        own = len(self.bits)
+        if 0 <= low and low + width <= own:
+            bits: List[BitPair] = list(self.bits[low:low + width])
+        else:
+            bits = [self.bits[i] if 0 <= i < own else BIT_X
+                    for i in range(low, low + width)]
+        result = FourVec(self.mgr, bits)
+        if self._summary is not None and low >= 0:
+            mask = (1 << width) - 1
+            result._summary = ((self._summary[0] >> low) & mask,
+                               (self._summary[1] >> low) & mask)
+        return result
 
     def concat(self, other: "FourVec") -> "FourVec":
         """Concatenation ``{self, other}`` (``other`` is the LSB part)."""
-        return FourVec(self.mgr, other.bits + self.bits)
+        result = FourVec(self.mgr, other.bits + self.bits)
+        if self._summary is not None and other._summary is not None:
+            shift = other.width
+            result._summary = (
+                other._summary[0] | (self._summary[0] << shift),
+                other._summary[1] | (self._summary[1] << shift),
+            )
+        return result
 
     def replicate(self, count: int) -> "FourVec":
         """Replication ``{count{self}}``."""
         if count < 1:
             raise FourValueError(f"invalid replication count {count}")
-        return FourVec(self.mgr, self.bits * count)
+        result = FourVec(self.mgr, self.bits * count)
+        if self._summary is not None:
+            mask, value = self._summary
+            rmask = rvalue = 0
+            for i in range(count):
+                rmask |= mask << (i * self.width)
+                rvalue |= value << (i * self.width)
+            result._summary = (rmask, rvalue)
+        return result
 
     # ------------------------------------------------------------------
     # merge / change — the primitives the kernel is built from
@@ -283,6 +390,17 @@ class FourVec:
                 f"change width mismatch: {self.width} vs {other.width}"
             )
         mgr = self.mgr
+        if mgr.fastpath:
+            # Identical rails can never differ; two all-constant-rail
+            # vectors differ iff any pair mismatches.  Both cases are
+            # exactly what the generic xor/or chain reduces to.
+            if self.bits == other.bits:
+                return FALSE
+            for (a1, b1), (a2, b2) in zip(self.bits, other.bits):
+                if a1 > TRUE or b1 > TRUE or a2 > TRUE or b2 > TRUE:
+                    break  # a symbolic rail: fall through to the BDDs
+            else:
+                return TRUE  # bits differ and all rails are terminals
         diffs = []
         for (a1, b1), (a2, b2) in zip(self.bits, other.bits):
             diffs.append(mgr.or_(mgr.xor(a1, a2), mgr.xor(b1, b2)))
@@ -308,4 +426,10 @@ class FourVec:
         An all-X value is not true (the else branch runs).
         """
         mgr = self.mgr
+        if mgr.fastpath:
+            mask, value = self.concrete_summary()
+            if value:           # a concrete-known 1 bit: always true
+                return TRUE
+            if mask == (1 << len(self.bits)) - 1:
+                return FALSE    # fully known, all zero: never true
         return mgr.or_all(mgr.and_(a, mgr.not_(b)) for a, b in self.bits)

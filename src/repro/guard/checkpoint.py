@@ -495,8 +495,14 @@ def _rebuild(Kernel, program, options, payload, _Assertion, _TriggerState,
     }
     mgr._ite_cache = {}
     mgr._not_cache = {}
+    mgr._and_cache = {}
+    mgr._or_cache = {}
+    mgr._xor_cache = {}
     mgr._ite_hits = mgr._not_hits = 0
     mgr._ite_miss_base = mgr._not_miss_base = 0
+    mgr._and_hits = mgr._or_hits = mgr._xor_hits = 0
+    mgr._and_miss_base = mgr._or_miss_base = mgr._xor_miss_base = 0
+    mgr._fp_word = mgr._fp_bits = mgr._fp_sym = 0
     mgr._var_names = list(image["var_names"])
     mgr._var_bdds = list(image["var_bdds"])
     mgr._concretized = {int(k): bool(v)

@@ -99,17 +99,31 @@ def format_profile(document: dict, top: int = 10,
 def _format_bdd_line(bdd: dict) -> str:
     ite_h, ite_m = bdd.get("ite_hits", 0), bdd.get("ite_misses", 0)
     not_h, not_m = bdd.get("not_hits", 0), bdd.get("not_misses", 0)
+    apply_h = bdd.get("apply_hits", 0)
+    apply_m = bdd.get("apply_misses", 0)
 
     def rate(hits: int, misses: int) -> str:
         total = hits + misses
         return f"{100.0 * hits / total:.1f}%" if total else "n/a"
 
-    return (
+    line = (
         f"bdd: ite-cache hit-rate {rate(ite_h, ite_m)} "
-        f"({ite_h}/{ite_h + ite_m}), not-cache {rate(not_h, not_m)}, "
+        f"({ite_h}/{ite_h + ite_m}), apply-cache {rate(apply_h, apply_m)}, "
+        f"not-cache {rate(not_h, not_m)}, "
         f"nodes={bdd.get('nodes', 0)} (peak {bdd.get('peak_nodes', 0)}), "
         f"vars={bdd.get('var_count', 0)}"
     )
+    fp_word = bdd.get("fastpath_word_ops", 0)
+    fp_bits = bdd.get("fastpath_bit_shortcuts", 0)
+    fp_sym = bdd.get("fastpath_symbolic_ops", 0)
+    if fp_word or fp_bits or fp_sym:
+        total = fp_word + fp_sym
+        ratio = f"{100.0 * fp_word / total:.1f}%" if total else "n/a"
+        line += (
+            f"\nfastpath: {fp_word} word-level ops ({ratio} concrete), "
+            f"{fp_bits} per-bit shortcuts, {fp_sym} symbolic fallbacks"
+        )
+    return line
 
 
 # ---------------------------------------------------------------------

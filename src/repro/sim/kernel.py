@@ -119,6 +119,12 @@ class SimOptions:
     #: Optional :class:`repro.guard.faults.FaultInjector` — a
     #: deterministic chaos plan whose faults fire at safe points.
     faults: Optional[object] = None
+    #: Disable the hybrid concrete/symbolic fast paths: every operator
+    #: runs the generic per-bit BDD construction.  Results are
+    #: bit-identical either way; the flag exists for differential
+    #: testing and for measuring the fast-path speedup (Table 1's
+    #: ``FULL`` vs ``FULL/nofp`` cells, ``symsim --no-fastpath``).
+    no_fastpath: bool = False
     #: Defer SIGINT to the next safe point: the first Ctrl-C finishes
     #: the current time step, writes a checkpoint when a
     #: ``checkpoint_dir`` is configured, and returns an ``interrupted``
@@ -192,6 +198,7 @@ class Kernel:
         self.design = program.design
         self.options = options or SimOptions()
         self.mgr = mgr or BddManager()
+        self.mgr.fastpath = not self.options.no_fastpath
         self.mgr.gc_threshold = self.options.gc_threshold
         self.mgr.dyn_reorder = self.options.dyn_reorder
         self.mgr.sift_threshold = self.options.reorder_threshold
@@ -574,6 +581,23 @@ class Kernel:
              stats.instructions),
             ("sim.symbols_injected", "symbolic BDD variables injected",
              stats.symbols_injected),
+        ):
+            metrics.gauge(name, help_).set(value)
+        mgr = self.mgr
+        fp_total = mgr.fastpath_word_ops + mgr.fastpath_symbolic_ops
+        for name, help_, value in (
+            ("sim.fastpath.word_ops",
+             "operators evaluated word-level on concrete operands",
+             mgr.fastpath_word_ops),
+            ("sim.fastpath.bit_shortcuts",
+             "per-bit constant-cofactor short-circuits on mixed operands",
+             mgr.fastpath_bit_shortcuts),
+            ("sim.fastpath.symbolic_ops",
+             "operators that fell back to the generic BDD construction",
+             mgr.fastpath_symbolic_ops),
+            ("sim.fastpath.concrete_ratio",
+             "word_ops / (word_ops + symbolic_ops)",
+             mgr.fastpath_word_ops / fp_total if fp_total else 0.0),
         ):
             metrics.gauge(name, help_).set(value)
 
