@@ -14,7 +14,7 @@ Quick start::
 
     import repro
 
-    sim = repro.SymbolicSimulator.from_source('''
+    sim = repro.open_sim('''
         module tb;
           reg [1:0] a; reg [3:0] b;
           initial begin
@@ -26,20 +26,33 @@ Quick start::
         endmodule
     ''')
     result = sim.run()
+    assert result.status is repro.SimStatus.ASSERT_FAILED
     for violation in result.violations:
         print(violation)                     # concrete error trace
         sim.resimulate(violation)            # conventional replay
+
+Many runs at once go through :mod:`repro.batch`: describe each as a
+:class:`RunRequest` and fan them across a process pool with
+:func:`run_batch` (see docs/BATCH.md).
+
+The supported surface is ``repro.__all__``; every exception the
+package raises inherits :class:`repro.errors.ReproError`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
+from repro import errors
+from repro.batch import (
+    BatchResult, RunOutcome, RunRequest, load_manifest, run_batch,
+)
 from repro.bdd import BddManager
 from repro.compile import compile_design, Program
 from repro.compile.instructions import AccumulationMode
 from repro.errors import (
-    AssertionViolation, BddError, CheckpointError, CompileError,
+    AssertionViolation, BatchError, BddError, CheckpointError, CompileError,
     ElaborationError, FourValueError, ReproError, ResimulationError,
     SimulationAborted, SimulationError, SimulationHang, SymbolicDelayError,
     VerilogSyntaxError,
@@ -54,25 +67,85 @@ from repro.obs import (
     HotSpotProfiler, MetricsRegistry, Observability, Tracer,
 )
 from repro.sim import (
-    ErrorTrace, Kernel, SimOptions, SimResult, Violation,
+    ErrorTrace, Kernel, SimOptions, SimResult, SimStatus, Violation,
 )
 from repro.sim.resim import resimulate, resimulate_violation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: The supported public surface.  Anything importable but absent here
+#: is an implementation detail and may change without notice.
 __all__ = [
-    "SymbolicSimulator", "SimOptions", "SimResult", "AccumulationMode",
+    # entry points
+    "open_sim", "SymbolicSimulator",
+    # batch engine
+    "RunRequest", "RunOutcome", "BatchResult", "run_batch", "load_manifest",
+    # core types
+    "SimOptions", "SimResult", "SimStatus", "AccumulationMode",
     "FourVec", "BddManager", "ErrorTrace", "Violation",
+    # observability
     "Observability", "MetricsRegistry", "Tracer", "HotSpotProfiler",
+    # robustness
     "ResourceBudgets", "BudgetReport", "Fault", "FaultInjector",
     "save_checkpoint", "load_checkpoint",
+    # pipeline pieces
     "parse_source", "elaborate", "compile_design", "resimulate",
     "resimulate_violation",
+    # exceptions (all inherit ReproError; `errors` is the module)
+    "errors",
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
     "SimulationError", "SimulationHang", "SimulationAborted",
-    "SymbolicDelayError", "CheckpointError",
+    "SymbolicDelayError", "CheckpointError", "BatchError",
     "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
 ]
+
+
+def open_sim(
+    source: Optional[str] = None,
+    *,
+    path: Optional[str] = None,
+    top: Optional[str] = None,
+    options: Optional[SimOptions] = None,
+    defines: Optional[Dict[str, str]] = None,
+    resume: Optional[str] = None,
+) -> "SymbolicSimulator":
+    """The one entry point: source in, ready-to-run simulator out.
+
+    Give exactly one of ``source`` (Verilog text, also the positional
+    argument) or ``path`` (a file on disk).  ``resume`` names a
+    checkpoint file: the design is recompiled, verified against the
+    checkpoint's structural fingerprint, and the returned simulator
+    continues exactly where the checkpointed run stopped — with
+    ``options=None`` the checkpoint's semantic options are reused; a
+    given ``options`` must match them semantically but may change
+    operational knobs (GC, observability, budgets).
+
+    Replaces the ``SymbolicSimulator.from_source`` / ``from_file`` /
+    ``resume_source`` / ``resume_file`` class methods (still present
+    as deprecated shims).
+    """
+    if (source is None) == (path is None):
+        raise CompileError("open_sim takes exactly one of source= or path=")
+    if path is not None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    modules = parse_source(source, defines=defines)
+    design = elaborate(modules, top=top)
+    program = compile_design(design)
+    if resume is None:
+        return SymbolicSimulator(program, options=options)
+    kernel = load_checkpoint(program, resume, options=options)
+    sim = SymbolicSimulator.__new__(SymbolicSimulator)
+    sim.program = program
+    sim.options = kernel.options
+    sim.kernel = kernel
+    return sim
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"SymbolicSimulator.{old}() is deprecated; use repro.open_sim()",
+        DeprecationWarning, stacklevel=3)
 
 
 class SymbolicSimulator:
@@ -80,7 +153,9 @@ class SymbolicSimulator:
 
     Wraps the full pipeline (preprocess → parse → elaborate → compile →
     kernel) and keeps the compiled :class:`Program` so error traces can
-    be resimulated against the identical design.
+    be resimulated against the identical design.  Build instances with
+    :func:`open_sim` (or :meth:`repro.batch.RunRequest.open`); the
+    ``from_*``/``resume_*`` class methods are deprecated shims.
     """
 
     def __init__(self, program: Program,
@@ -89,7 +164,7 @@ class SymbolicSimulator:
         self.options = options or SimOptions()
         self.kernel = Kernel(program, options=self.options)
 
-    # ------------------------------------------------------------------
+    # -- deprecated constructors (pre-1.1 API) -------------------------
 
     @classmethod
     def from_source(
@@ -99,11 +174,9 @@ class SymbolicSimulator:
         options: Optional[SimOptions] = None,
         defines: Optional[Dict[str, str]] = None,
     ) -> "SymbolicSimulator":
-        """Build a simulator from Verilog source text."""
-        modules = parse_source(source, defines=defines)
-        design = elaborate(modules, top=top)
-        program = compile_design(design)
-        return cls(program, options=options)
+        """Deprecated — use ``repro.open_sim(source)``."""
+        _deprecated("from_source")
+        return open_sim(source, top=top, options=options, defines=defines)
 
     @classmethod
     def from_file(
@@ -113,10 +186,9 @@ class SymbolicSimulator:
         options: Optional[SimOptions] = None,
         defines: Optional[Dict[str, str]] = None,
     ) -> "SymbolicSimulator":
-        """Build a simulator from a Verilog file on disk."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_source(handle.read(), top=top, options=options,
-                                   defines=defines)
+        """Deprecated — use ``repro.open_sim(path=path)``."""
+        _deprecated("from_file")
+        return open_sim(path=path, top=top, options=options, defines=defines)
 
     @classmethod
     def resume_source(
@@ -127,24 +199,10 @@ class SymbolicSimulator:
         options: Optional[SimOptions] = None,
         defines: Optional[Dict[str, str]] = None,
     ) -> "SymbolicSimulator":
-        """Rebuild a checkpointed simulation from the same source text.
-
-        The source is recompiled and verified against the checkpoint's
-        design fingerprint; the returned simulator continues exactly
-        where the checkpointed run stopped (see ``docs/ROBUSTNESS.md``).
-        With ``options=None`` the checkpoint's semantic options are
-        reused; a given ``options`` must match them semantically but may
-        change operational knobs (GC, observability, budgets).
-        """
-        modules = parse_source(source, defines=defines)
-        design = elaborate(modules, top=top)
-        program = compile_design(design)
-        kernel = load_checkpoint(program, checkpoint_path, options=options)
-        sim = cls.__new__(cls)
-        sim.program = program
-        sim.options = kernel.options
-        sim.kernel = kernel
-        return sim
+        """Deprecated — use ``repro.open_sim(source, resume=...)``."""
+        _deprecated("resume_source")
+        return open_sim(source, top=top, options=options, defines=defines,
+                        resume=checkpoint_path)
 
     @classmethod
     def resume_file(
@@ -155,10 +213,10 @@ class SymbolicSimulator:
         options: Optional[SimOptions] = None,
         defines: Optional[Dict[str, str]] = None,
     ) -> "SymbolicSimulator":
-        """Rebuild a checkpointed simulation from a Verilog file."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.resume_source(handle.read(), checkpoint_path, top=top,
-                                     options=options, defines=defines)
+        """Deprecated — use ``repro.open_sim(path=path, resume=...)``."""
+        _deprecated("resume_file")
+        return open_sim(path=path, top=top, options=options, defines=defines,
+                        resume=checkpoint_path)
 
     # ------------------------------------------------------------------
 

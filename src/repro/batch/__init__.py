@@ -1,0 +1,32 @@
+"""``repro.batch`` — parallel batch simulation over a process pool.
+
+One vocabulary for "run many simulations": describe each run as a
+frozen :class:`RunRequest`, hand the list to :func:`run_batch`, get a
+:class:`BatchResult` of per-run :class:`RunOutcome` rows back.  The
+engine compiles every unique design exactly once, ships pickled
+programs (not source) to the workers, survives individual run
+failures, streams completions to a callback, and merges per-worker
+trace shards into one Chrome trace.  See docs/BATCH.md.
+
+Quick start::
+
+    from repro.batch import RunRequest, run_batch
+
+    runs = [RunRequest(name=f"seed{s}", source=SRC,
+                       options=repro.SimOptions(concrete_random=s))
+            for s in range(32)]
+    batch = run_batch(runs, workers=4,
+                      on_result=lambda o: print(o.name, o.status.value))
+    assert batch.ok
+"""
+
+from repro.batch.engine import (
+    BATCH_SCHEMA, BatchResult, RunOutcome, run_batch,
+)
+from repro.batch.manifest import load_manifest
+from repro.batch.request import RunRequest
+
+__all__ = [
+    "RunRequest", "RunOutcome", "BatchResult", "run_batch",
+    "load_manifest", "BATCH_SCHEMA",
+]

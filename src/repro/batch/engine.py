@@ -1,0 +1,317 @@
+"""The batch engine — fan :class:`RunRequest`\\ s across a worker pool.
+
+Controller-side flow:
+
+1. **Compile once.**  Every unique ``(source, top, defines)`` among the
+   requests is parsed/elaborated/compiled exactly once, in the
+   controller.  Workers receive the *pickled program* (a pre-compile
+   design image that recompiles deterministically on unpickle — see
+   ``Program.__reduce__``), never source text, so the front end runs
+   once per design regardless of pool width or run count.
+2. **Fan out.**  A ``ProcessPoolExecutor`` runs each request in a
+   worker; workers hold a per-process program cache, their own trace
+   shard, per-run checkpoint directories and the request's guard
+   budgets.  One run aborting, hanging or crashing never kills the
+   batch — failures come back as :class:`RunOutcome` rows.
+3. **Stream + aggregate.**  Outcomes stream to an ``on_result``
+   callback as they complete; after the pool drains, worker trace
+   shards merge into one Chrome trace with a lane per worker, and an
+   aggregated :class:`~repro.obs.MetricsRegistry` summarises the batch
+   (``batch.*`` families, per-run labeled children).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.batch.request import RunRequest
+from repro.batch.worker import _run_job, _worker_init
+from repro.errors import BatchError
+from repro.obs import MetricsRegistry, merge_shards
+from repro.sim.kernel import SimStatus
+
+#: Schema tag of :meth:`BatchResult.to_dict` payloads.
+BATCH_SCHEMA = "repro.batch.result/1"
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one request — success or any flavour of failure."""
+
+    name: str
+    status: SimStatus
+    #: ``SimResult.to_dict()`` payload (present for OK / ASSERT_FAILED
+    #: runs and for aborts that salvaged a partial result).
+    result: Optional[dict] = None
+    #: Human-readable failure description for non-OK statuses.
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    worker_pid: Optional[int] = None
+    #: Path of the per-run VCD when the request asked for one.
+    vcd_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is SimStatus.OK
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status.value,
+            "ok": self.ok,
+            "error": self.error,
+            "wall_seconds": self.wall_seconds,
+            "worker_pid": self.worker_pid,
+            "vcd_path": self.vcd_path,
+            "result": self.result,
+        }
+
+
+@dataclass
+class BatchResult:
+    """Everything a drained batch produced, in request order."""
+
+    outcomes: List[RunOutcome]
+    out_dir: str
+    workers: int
+    wall_seconds: float
+    designs_compiled: int
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def ok(self) -> bool:
+        """True when every run finished with :attr:`SimStatus.OK`."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def counts(self) -> Dict[str, int]:
+        """Run count per status value (only statuses that occurred)."""
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status.value] = \
+                counts.get(outcome.status.value, 0) + 1
+        return counts
+
+    def __getitem__(self, name: str) -> RunOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(name)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self) -> str:
+        """One-paragraph human summary (the CLI's closing lines)."""
+        counts = ", ".join(f"{status}={count}"
+                           for status, count in sorted(self.counts().items()))
+        lines = [
+            f"batch: {len(self.outcomes)} runs on {self.workers} workers "
+            f"in {self.wall_seconds:.2f}s ({counts}; "
+            f"{self.designs_compiled} designs compiled once)"
+        ]
+        for outcome in self.outcomes:
+            mark = "ok " if outcome.ok else outcome.status.value
+            line = (f"  [{mark:>13}] {outcome.name} "
+                    f"({outcome.wall_seconds:.2f}s)")
+            if outcome.error:
+                line += f" — {outcome.error}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BATCH_SCHEMA,
+            "ok": self.ok,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "designs_compiled": self.designs_compiled,
+            "counts": self.counts(),
+            "out_dir": self.out_dir,
+            "trace_path": self.trace_path,
+            "metrics_path": self.metrics_path,
+            "runs": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _validate(requests: Sequence[RunRequest]) -> None:
+    if not requests:
+        raise BatchError("batch needs at least one RunRequest")
+    seen = set()
+    for request in requests:
+        if not isinstance(request, RunRequest):
+            raise BatchError(
+                f"expected a RunRequest, got {type(request).__name__}")
+        if request.name in seen:
+            raise BatchError(f"duplicate run name {request.name!r} — run "
+                             "names key batch artifacts and must be unique")
+        seen.add(request.name)
+        if request.options.obs is not None:
+            raise BatchError(
+                f"run {request.name!r} carries an obs bundle; observability "
+                "instruments hold open files and cannot cross process "
+                "boundaries — use run_batch(trace=...) instead")
+
+
+def _compile_catalog(
+    requests: Sequence[RunRequest],
+) -> Tuple[Dict[str, bytes], Dict[str, str]]:
+    """Compile each unique design once.
+
+    Returns ``(catalog, by_run)``: the fingerprint-keyed pickled
+    programs shipped to workers, and each run name's fingerprint.
+    """
+    from repro.compile import compile_design
+    from repro.frontend import elaborate, parse_source
+    from repro.guard.checkpoint import design_fingerprint
+
+    catalog: Dict[str, bytes] = {}
+    by_key: Dict[tuple, str] = {}
+    by_run: Dict[str, str] = {}
+    for request in requests:
+        key = request.design_key()
+        fingerprint = by_key.get(key)
+        if fingerprint is None:
+            source, top, defines = key
+            modules = parse_source(source, defines=dict(defines) or None)
+            program = compile_design(elaborate(modules, top=top))
+            fingerprint = design_fingerprint(program)
+            by_key[key] = fingerprint
+            catalog[fingerprint] = pickle.dumps(program)
+        by_run[request.name] = fingerprint
+    return catalog, by_run
+
+
+def _aggregate_metrics(result: BatchResult) -> MetricsRegistry:
+    """Fold per-run payloads into the batch's ``batch.*`` families."""
+    registry = result.metrics
+    registry.gauge("batch.workers", "pool width").set(result.workers)
+    registry.gauge("batch.wall_seconds",
+                   "controller wall time for the whole batch") \
+        .set(result.wall_seconds)
+    registry.counter("batch.designs_compiled",
+                     "unique designs compiled (each exactly once)") \
+        .inc(result.designs_compiled)
+    runs = registry.counter("batch.runs", "runs by outcome",
+                            labels=("status",))
+    wall = registry.gauge("batch.run_wall_seconds",
+                          "per-run wall time in its worker",
+                          labels=("run",))
+    events = registry.counter("batch.run_events_processed",
+                              "kernel events processed per run",
+                              labels=("run",))
+    nodes = registry.gauge("batch.run_bdd_nodes",
+                           "final BDD arena size per run", labels=("run",))
+    sim_time = registry.gauge("batch.run_sim_time",
+                              "final simulation time per run",
+                              labels=("run",))
+    for outcome in result.outcomes:
+        runs.labels(status=outcome.status.value).inc()
+        wall.labels(run=outcome.name).set(outcome.wall_seconds)
+        if outcome.result is not None:
+            metrics = outcome.result.get("metrics", {})
+            events.labels(run=outcome.name).inc(
+                metrics.get("events_processed", 0))
+            nodes.labels(run=outcome.name).set(
+                metrics.get("bdd", {}).get("nodes", 0))
+            sim_time.labels(run=outcome.name).set(
+                outcome.result.get("time", 0))
+    return registry
+
+
+def run_batch(
+    requests: Sequence[RunRequest],
+    workers: int = 1,
+    out_dir: Optional[str] = None,
+    on_result: Optional[Callable[[RunOutcome], None]] = None,
+    trace: bool = True,
+    write_metrics: bool = True,
+) -> BatchResult:
+    """Run every request on a pool of ``workers`` processes.
+
+    ``on_result`` (if given) is called in the controller with each
+    :class:`RunOutcome` as it completes — completion order, not request
+    order; the returned :class:`BatchResult` restores request order.
+    ``trace=True`` gives each worker a JSONL shard and merges them into
+    ``<out_dir>/trace.json`` with one Chrome lane per worker.
+    Individual run failures never raise; :class:`BatchError` covers
+    controller-side problems only (bad requests, pool startup).
+    """
+    _validate(requests)
+    if workers < 1:
+        raise BatchError(f"workers must be >= 1, got {workers}")
+    if out_dir is None:
+        out_dir = tempfile.mkdtemp(prefix="repro-batch-")
+    else:
+        os.makedirs(out_dir, exist_ok=True)
+
+    wall_start = time.perf_counter()
+    catalog, by_run = _compile_catalog(requests)
+
+    outcomes: Dict[str, RunOutcome] = {}
+    shards: Dict[int, Tuple[str, float]] = {}
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(catalog, out_dir, trace),
+        )
+    except Exception as exc:  # pool start is a controller-side failure
+        raise BatchError(f"could not start worker pool: {exc}") from exc
+    with executor:
+        pending = {
+            executor.submit(_run_job, request, by_run[request.name]): request
+            for request in requests
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                request = pending.pop(future)
+                try:
+                    raw = future.result()
+                    outcome = RunOutcome(
+                        name=raw["name"],
+                        status=SimStatus(raw["status"]),
+                        result=raw["result"],
+                        error=raw["error"],
+                        wall_seconds=raw["wall_seconds"],
+                        worker_pid=raw["worker_pid"],
+                        vcd_path=raw["vcd_path"],
+                    )
+                    if raw["shard_path"] is not None:
+                        shards[raw["worker_pid"]] = (
+                            raw["shard_path"], raw["t0_unix_us"])
+                except Exception as exc:  # worker died (OOM kill, ...)
+                    outcome = RunOutcome(
+                        name=request.name, status=SimStatus.ABORTED,
+                        error=f"worker lost: {exc}")
+                outcomes[outcome.name] = outcome
+                if on_result is not None:
+                    on_result(outcome)
+
+    result = BatchResult(
+        outcomes=[outcomes[request.name] for request in requests],
+        out_dir=out_dir,
+        workers=workers,
+        wall_seconds=time.perf_counter() - wall_start,
+        designs_compiled=len(catalog),
+    )
+    if shards:
+        result.trace_path = os.path.join(out_dir, "trace.json")
+        merge_shards(shards, result.trace_path)
+    _aggregate_metrics(result)
+    if write_metrics:
+        result.metrics_path = os.path.join(out_dir, "metrics.json")
+        result.metrics.write_json(result.metrics_path)
+    return result

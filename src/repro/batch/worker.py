@@ -1,0 +1,146 @@
+"""Worker-process side of the batch engine.
+
+Each pool worker is initialised once with the batch's *program
+catalog* — ``{design fingerprint: pickled Program}`` — and an output
+directory.  Programs are unpickled lazily, at most once per worker per
+design (unpickling recompiles the design; see
+:meth:`repro.compile.compiler.Program.__reduce__`), so a batch of a
+thousand runs over three designs costs each worker at most three
+compilations.
+
+Per-process state lives in the module-level ``_STATE`` dict, set by
+the pool initializer.  This is the one sanctioned module-global in the
+package: it is *per-process* by construction (each worker is its own
+process), written exactly once before any job runs, and is the
+standard ``multiprocessing`` idiom for shipping large read-only state
+past the per-task pickling cost.
+
+Every worker writes its own JSONL trace shard
+(``workers/w<pid>.jsonl``) with a ``run:<name>`` span bracketing each
+simulation; the controller merges the shards into one Chrome trace
+with per-worker lanes (:mod:`repro.obs.merge`).  Job results travel
+back as plain dicts — a :class:`~repro.sim.kernel.SimResult` holds the
+kernel and cannot cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro.obs import Observability, Tracer
+from repro.sim.kernel import SimStatus
+
+#: Per-process worker state, set once by :func:`_worker_init`.
+_STATE: Dict[str, object] = {}
+
+
+def _worker_init(catalog: Dict[str, bytes], out_dir: str,
+                 trace: bool) -> None:
+    """Pool initializer — runs once in each worker process."""
+    _STATE.clear()
+    _STATE["catalog"] = catalog
+    _STATE["programs"] = {}
+    _STATE["out_dir"] = out_dir
+    _STATE["tracer"] = None
+    _STATE["shard_path"] = None
+    _STATE["t0_unix_us"] = None
+    if trace:
+        shard_dir = os.path.join(out_dir, "workers")
+        os.makedirs(shard_dir, exist_ok=True)
+        shard_path = os.path.join(shard_dir, f"w{os.getpid()}.jsonl")
+        _STATE["t0_unix_us"] = time.time() * 1e6
+        _STATE["tracer"] = Tracer(jsonl_path=shard_path)
+        _STATE["shard_path"] = shard_path
+
+
+def _program(fingerprint: str):
+    """The worker's compiled program for ``fingerprint`` (lazy, cached)."""
+    programs: Dict[str, object] = _STATE["programs"]  # type: ignore[assignment]
+    program = programs.get(fingerprint)
+    if program is None:
+        image = _STATE["catalog"][fingerprint]  # type: ignore[index]
+        tracer = _STATE["tracer"]
+        if tracer is not None:
+            start = tracer.now_us()
+            program = pickle.loads(image)
+            tracer.complete(f"compile:{fingerprint[:12]}", "batch",
+                            start, tracer.now_us() - start)
+        else:
+            program = pickle.loads(image)
+        programs[fingerprint] = program
+    return program
+
+
+def _run_job(request, fingerprint: str) -> dict:
+    """Execute one :class:`~repro.batch.request.RunRequest`.
+
+    Never raises: every outcome — including a crashed simulation — is
+    folded into the returned dict so one failing run cannot take down
+    the batch (the pool would otherwise tear the worker down and
+    poison in-flight siblings).
+    """
+    from repro.errors import SimulationAborted, SimulationHang
+    from repro.sim.kernel import Kernel
+
+    tracer: Optional[Tracer] = _STATE["tracer"]  # type: ignore[assignment]
+    run_dir = os.path.join(str(_STATE["out_dir"]), "runs", request.name)
+    os.makedirs(run_dir, exist_ok=True)
+
+    vcd_path = os.path.join(run_dir, "wave.vcd") if request.vcd \
+        else request.options.vcd_path
+    options = dataclasses.replace(
+        request.options,
+        obs=Observability(tracer=tracer) if tracer is not None else None,
+        vcd_path=vcd_path,
+        checkpoint_dir=request.options.checkpoint_dir
+        or os.path.join(run_dir, "ckpt"),
+        # SIGINT belongs to the controller; a worker must die promptly
+        # so the pool can unwind.
+        defer_interrupt=False,
+    )
+
+    if tracer is not None:
+        tracer.begin(f"run:{request.name}", "batch", lane=0)
+    wall_start = time.perf_counter()
+    outcome = {
+        "name": request.name,
+        "worker_pid": os.getpid(),
+        "shard_path": _STATE["shard_path"],
+        "t0_unix_us": _STATE["t0_unix_us"],
+        "vcd_path": vcd_path if request.vcd else None,
+        "error": None,
+        "result": None,
+    }
+    result = None
+    try:
+        kern = Kernel(_program(fingerprint), options=options)
+        result = kern.run(until=request.until)
+        outcome["status"] = result.status.value
+    except SimulationHang as exc:
+        outcome["status"] = SimStatus.HANG.value
+        outcome["error"] = str(exc)
+    except SimulationAborted as exc:
+        outcome["status"] = SimStatus.ABORTED.value
+        outcome["error"] = str(exc)
+        result = exc.partial_result
+    except Exception as exc:  # noqa: BLE001 — fold, never poison the pool
+        outcome["status"] = SimStatus.ABORTED.value
+        outcome["error"] = "".join(
+            traceback.format_exception_only(type(exc), exc)).strip()
+    finally:
+        outcome["wall_seconds"] = time.perf_counter() - wall_start
+        if result is not None:
+            result.kernel._close_vcd()
+            outcome["result"] = result.to_dict()
+        if tracer is not None:
+            tracer.end(f"run:{request.name}", "batch", lane=0,
+                       status=outcome["status"])
+            # crash hygiene: a later hard-killed worker still leaves a
+            # readable shard for every completed run
+            tracer.flush()
+    return outcome

@@ -22,8 +22,16 @@ Robustness (see docs/ROBUSTNESS.md)::
     symsim design.v --checkpoint-every 50 --checkpoint-dir ckpt/
     symsim design.v --resume ckpt/latest.ckpt --checkpoint-dir ckpt/
 
+Batch simulation (see docs/BATCH.md)::
+
+    symsim batch jobs.json --workers 4 --out-dir out/
+    symsim batch jobs.json --workers 2 --no-trace --quiet
+
 Exit codes: 0 clean, 1 violations found, 2 error, 3 resimulation
 failure, 4 aborted by the resource guard, 130 interrupted (Ctrl-C).
+``symsim batch`` folds per-run outcomes: 0 when every run is ok, 1
+when any run had assertion violations, 4 when any run aborted or
+hung, 2 for a bad manifest or pool failure.
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from typing import List, Optional
 
 from repro import (
     AccumulationMode, Observability, ReproError, SimOptions,
-    SimulationAborted, SymbolicSimulator,
+    SimulationAborted, open_sim,
 )
 
 
@@ -167,11 +175,93 @@ def report_main(argv: List[str]) -> int:
     return 0
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim batch",
+        description="Run a manifest of simulations on a worker pool "
+                    "(see docs/BATCH.md for the manifest format)",
+    )
+    parser.add_argument("manifest", help="jobs manifest (JSON)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--out-dir", metavar="DIR", default=None,
+                        help="batch output directory: per-run artifacts, "
+                             "merged trace, metrics (default: a fresh "
+                             "temp dir)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip per-worker trace shards and the merged "
+                             "Chrome trace")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="also copy the merged Chrome trace here")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="also copy the aggregated metrics JSON here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-run completion stream")
+    return parser
+
+
+def batch_main(argv: List[str]) -> int:
+    from repro.batch import load_manifest, run_batch
+    from repro.errors import BatchError
+    from repro.sim import SimStatus
+
+    args = build_batch_parser().parse_args(argv)
+
+    def stream(outcome):
+        if args.quiet:
+            return
+        tag = outcome.status.value
+        line = f"[{tag:>13}] {outcome.name} ({outcome.wall_seconds:.2f}s)"
+        if outcome.error:
+            line += f" — {outcome.error}"
+        print(line, flush=True)
+
+    try:
+        requests = load_manifest(args.manifest)
+        batch = run_batch(
+            requests,
+            workers=args.workers,
+            out_dir=args.out_dir,
+            on_result=stream,
+            trace=not args.no_trace,
+        )
+    except (BatchError, ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("batch interrupted", file=sys.stderr)
+        return 130
+    print(batch.summary())
+    if batch.trace_path is not None:
+        print(f"[obs] merged chrome trace: {batch.trace_path}")
+    if batch.metrics_path is not None:
+        print(f"[obs] aggregated metrics: {batch.metrics_path}")
+    for src, dst in ((batch.trace_path, args.trace_out),
+                     (batch.metrics_path, args.metrics_out)):
+        if dst is not None and src is not None:
+            import shutil
+
+            try:
+                shutil.copyfile(src, dst)
+            except OSError as exc:
+                print(f"error: cannot write {dst}: {exc}", file=sys.stderr)
+                return 2
+            print(f"[obs] copied to {dst}")
+    statuses = {outcome.status for outcome in batch}
+    if SimStatus.ABORTED in statuses or SimStatus.HANG in statuses:
+        return 4
+    if SimStatus.ASSERT_FAILED in statuses:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return report_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
     defines = {}
     for item in args.define:
@@ -222,13 +312,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     aborted = None
     try:
-        if args.resume is not None:
-            sim = SymbolicSimulator.resume_file(
-                args.source, args.resume, top=args.top, options=options,
-                defines=defines)
-        else:
-            sim = SymbolicSimulator.from_file(
-                args.source, top=args.top, options=options, defines=defines)
+        sim = open_sim(path=args.source, top=args.top, options=options,
+                       defines=defines, resume=args.resume)
         if args.bdd_latency:
             sim.mgr.instrument_latency(obs.metrics)
         result = sim.run(until=args.until)

@@ -94,6 +94,20 @@ class Program:
         self.assertion_sites: Dict[str, tuple] = {}
         self.monitor_sites: Dict[str, list] = {}
         self._shadow_counter = 0
+        # Pickle of the *pre-compile* elaborated design, set by
+        # compile_design.  Compiled instructions are closures and can
+        # never cross a process boundary; instead a pickled Program
+        # ships this pristine design image and recompiles on load
+        # (compilation is deterministic, asserted by the batch tests).
+        self._design_image: Optional[bytes] = None
+
+    def __reduce__(self):
+        if self._design_image is None:
+            raise CompileError(
+                "this Program was not built by compile_design and "
+                "carries no design image; it cannot be pickled"
+            )
+        return (_rebuild_program, (self._design_image,))
 
     def new_callsite(self, kind: str, where: str, line: int) -> CallSite:
         site = CallSite(index=len(self.callsites), kind=kind, where=where,
@@ -115,6 +129,13 @@ class Program:
 
 def compile_design(design: Design) -> Program:
     """Compile every process and continuous assign of ``design``."""
+    # Snapshot the design *before* compilation mutates it (shadow nets,
+    # uniquified block locals): recompiling this image reproduces the
+    # identical program, which makes the Program itself picklable — the
+    # batch engine's compile-once/ship-everywhere artifact.
+    import pickle as _pickle
+
+    image = _pickle.dumps(design)
     program = Program(design)
     for scoped in design.processes:
         compiler = _ProcessCompiler(program, scoped)
@@ -125,7 +146,15 @@ def compile_design(design: Design) -> Program:
         )
     for index, proc in enumerate(program.processes):
         proc.index = index
+    program._design_image = image
     return program
+
+
+def _rebuild_program(design_image: bytes) -> Program:
+    """Unpickle hook: recompile a Program from its pristine design."""
+    import pickle as _pickle
+
+    return compile_design(_pickle.loads(design_image))
 
 
 # ----------------------------------------------------------------------

@@ -68,15 +68,15 @@ class _ScratchKernel:
         self.mgr = BddManager()
 
 
-_FOLD_KERNEL: Optional[_ScratchKernel] = None
-
-
 def _fold_const(cexpr: CExpr) -> CExpr:
-    """Wrap a const expression with a per-width precomputed-bits cache."""
-    global _FOLD_KERNEL
-    if _FOLD_KERNEL is None:
-        _FOLD_KERNEL = _ScratchKernel()
-    scratch = _FOLD_KERNEL
+    """Wrap a const expression with a per-width precomputed-bits cache.
+
+    Each folded expression owns its private scratch kernel (no shared
+    module-level state): the scratch arena never grows past the two
+    terminals, so the per-expression cost is a few empty dicts, and two
+    designs compiling or simulating in one process share nothing.
+    """
+    scratch = _ScratchKernel()
     inner = cexpr.eval
     cache: Dict[int, FourVec] = {}
 

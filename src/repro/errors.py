@@ -121,3 +121,15 @@ class AssertionViolation(SimulationError):
 
 class ResimulationError(SimulationError):
     """Concrete resimulation diverged from the recorded error trace."""
+
+
+class BatchError(ReproError):
+    """The batch engine rejected a request or manifest.
+
+    Covers malformed job manifests, duplicate run names, requests that
+    carry per-process objects (an ``obs`` bundle) across the worker
+    boundary, and batches whose worker pool could not be started.
+    Failures of *individual runs* are never exceptions — they come back
+    as :class:`repro.batch.RunOutcome` entries with a non-``OK`` status
+    so one bad run cannot kill the batch.
+    """

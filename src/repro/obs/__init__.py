@@ -15,6 +15,9 @@ when observability is off.  See docs/OBSERVABILITY.md for schemas.
 """
 
 from repro.obs.context import Observability
+from repro.obs.merge import (
+    merge_shards, read_jsonl_records, shard_to_chrome_events,
+)
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, Series,
 )
@@ -24,4 +27,5 @@ from repro.obs.tracer import Tracer
 __all__ = [
     "Observability", "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "Series", "HotSpotProfiler", "SiteStats", "event_label", "Tracer",
+    "merge_shards", "read_jsonl_records", "shard_to_chrome_events",
 ]

@@ -1,0 +1,105 @@
+"""Merging per-worker trace shards into one Chrome trace.
+
+The batch engine gives every worker process its own JSONL trace shard
+(the ``repro.obs.trace/1`` records the kernel already emits, plus
+``run:<name>`` spans bracketing each simulation).  After the batch
+drains, :func:`merge_shards` folds the shards into a single Chrome
+``trace_event`` document in which **each worker is one process lane**:
+the worker's pid becomes the Chrome ``pid``, the record's lane stays
+the ``tid``, and ``process_name`` metadata labels the lanes so
+Perfetto renders an at-a-glance picture of pool utilisation — which
+worker ran which design, where the stragglers are, how compilation
+amortised.
+
+Shard timestamps are microseconds since *that worker's* tracer was
+constructed; each shard therefore carries a wall-clock anchor
+(``t0_unix_us``) so the merger can place all workers on one absolute
+axis.  Anchors travel in the :class:`~repro.batch.engine.RunOutcome`
+records rather than in the shard files, keeping the shard format
+exactly the kernel's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+_PHASES = {"begin": "B", "end": "E", "complete": "X",
+           "instant": "i", "counter": "C"}
+
+
+def read_jsonl_records(path: str) -> List[dict]:
+    """Load one JSONL trace shard (malformed lines are skipped —
+    a worker killed mid-write truncates its last line)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def shard_to_chrome_events(records: Iterable[dict], pid: int,
+                           offset_us: float = 0.0) -> List[dict]:
+    """Render one shard's records as Chrome events under process ``pid``."""
+    events = []
+    for record in records:
+        phase = _PHASES.get(record.get("ev"))
+        if phase is None:
+            continue
+        event = {
+            "name": record["name"], "cat": record["cat"], "ph": phase,
+            "ts": round(record["ts_us"] + offset_us, 3),
+            "pid": pid, "tid": record.get("lane", 0),
+        }
+        if "dur_us" in record:
+            event["dur"] = record["dur_us"]
+        if phase == "i":
+            event["s"] = "t"
+        if "args" in record:
+            event["args"] = record["args"]
+        events.append(event)
+    return events
+
+
+def merge_shards(
+    shards: Dict[int, Tuple[str, float]],
+    out_path: str,
+    labels: Optional[Dict[int, str]] = None,
+) -> int:
+    """Merge worker shards into one Chrome trace; returns event count.
+
+    ``shards`` maps a worker pid to ``(jsonl_path, t0_unix_us)`` — the
+    shard file and the wall-clock microsecond at which that worker's
+    tracer clock started.  The earliest anchor becomes the merged
+    trace's time zero, so lane offsets reflect real pool timing.
+    ``labels`` optionally overrides the per-worker lane names.
+    """
+    anchors = [t0 for _, t0 in shards.values()]
+    base = min(anchors) if anchors else 0.0
+    events: List[dict] = []
+    for pid in sorted(shards):
+        path, t0 = shards[pid]
+        label = (labels or {}).get(pid, f"worker {pid}")
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+        if not os.path.exists(path):
+            continue
+        events.extend(
+            shard_to_chrome_events(read_jsonl_records(path), pid,
+                                   offset_us=t0 - base)
+        )
+    document = {"schema": "repro.obs.trace/1", "displayTimeUnit": "ms",
+                "traceEvents": events}
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(events)

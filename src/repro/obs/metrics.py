@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
+
 SCHEMA = "repro.obs.metrics/1"
 
 #: Default histogram buckets — wide geometric range that covers both
@@ -37,8 +39,14 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
-class MetricError(ValueError):
-    """Misuse of the metrics API (duplicate names, bad labels)."""
+class MetricError(ReproError, ValueError):
+    """Misuse of the metrics API (duplicate names, bad labels).
+
+    Subclasses both :class:`~repro.errors.ReproError` (the package-wide
+    contract: everything we raise is catchable as one type) and
+    ``ValueError`` (the historical base, kept for callers that filter
+    on it).
+    """
 
 
 class Counter:

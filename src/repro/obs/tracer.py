@@ -136,6 +136,15 @@ class Tracer:
 
     # -- lifecycle -----------------------------------------------------
 
+    def flush(self) -> None:
+        """Push buffered records to the file sinks (crash hygiene: the
+        batch workers flush between runs so a dying worker leaves a
+        readable shard behind)."""
+        if self._jsonl is not None:
+            self._jsonl.flush()
+        if self._chrome is not None:
+            self._chrome.flush()
+
     def close(self) -> None:
         """Finalize sinks; further emits are ignored."""
         if self._closed:

@@ -6,12 +6,14 @@ store, the kernel that executes compiled processes, error-trace
 extraction (Section 5) and concrete resimulation.
 """
 
-from repro.sim.kernel import Kernel, SimOptions, SimResult
+from repro.sim.kernel import (
+    Kernel, RESULT_SCHEMA, SimOptions, SimResult, SimStatus,
+)
 from repro.sim.scheduler import Scheduler, Event
 from repro.sim.trace import ErrorTrace, Violation
 from repro.compile.instructions import AccumulationMode
 
 __all__ = [
-    "Kernel", "SimOptions", "SimResult", "Scheduler", "Event",
-    "ErrorTrace", "Violation", "AccumulationMode",
+    "Kernel", "SimOptions", "SimResult", "SimStatus", "RESULT_SCHEMA",
+    "Scheduler", "Event", "ErrorTrace", "Violation", "AccumulationMode",
 ]

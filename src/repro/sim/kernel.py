@@ -25,6 +25,7 @@ from __future__ import annotations
 import time as _time
 from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bdd import FALSE, TRUE, BddManager
@@ -134,6 +135,26 @@ class SimOptions:
     defer_interrupt: bool = True
 
 
+class SimStatus(str, Enum):
+    """Stable outcome classification shared by the CLI, the batch
+    engine and any caller that aggregates :class:`SimResult` objects.
+
+    ``HANG`` never appears on a returned :class:`SimResult` — a hang
+    raises :class:`~repro.errors.SimulationHang` — but the batch
+    engine folds caught hangs into the same enum so one report shape
+    covers every run.
+    """
+
+    OK = "ok"
+    ASSERT_FAILED = "assert_failed"
+    ABORTED = "aborted"
+    HANG = "hang"
+
+
+#: Schema tag of :meth:`SimResult.to_dict` payloads.
+RESULT_SCHEMA = "repro.sim.result/1"
+
+
 @dataclass
 class SimResult:
     """Outcome of a :meth:`Kernel.run` call."""
@@ -148,10 +169,91 @@ class SimResult:
     #: True when the run was stopped by a deferred SIGINT at a safe
     #: point instead of running to completion.
     interrupted: bool = False
+    #: True when this is the partial result attached to a
+    #: :class:`~repro.errors.SimulationAborted` (resource guard abort).
+    aborted: bool = False
 
     def value(self, name: str) -> FourVec:
         """Current value of a net by full hierarchical name."""
         return self.kernel.state.value(name)
+
+    @property
+    def status(self) -> SimStatus:
+        """The run's :class:`SimStatus` (stable, documented in README)."""
+        if self.aborted:
+            return SimStatus.ABORTED
+        if self.violations:
+            return SimStatus.ASSERT_FAILED
+        return SimStatus.OK
+
+    def error_trace(self):
+        """The first violation's :class:`~repro.sim.trace.ErrorTrace`
+        (``None`` for a clean run) — the resimulation input."""
+        return self.violations[0].trace if self.violations else None
+
+    def metrics(self) -> dict:
+        """Flat, JSON-able counters for this run.
+
+        Every value is deterministic for a deterministic simulation —
+        wall-clock quantities (CPU seconds, GC/reorder seconds) are
+        deliberately excluded so two runs of the same program compare
+        equal byte for byte (the batch determinism guarantee).
+        """
+        stats = self.stats
+        payload = {
+            "events_processed": stats.events_processed,
+            "events_scheduled": stats.events_scheduled,
+            "events_merged": stats.events_merged,
+            "process_events": stats.process_events,
+            "nba_events": stats.nba_events,
+            "assign_events": stats.assign_events,
+            "instructions": stats.instructions,
+            "symbols_injected": stats.symbols_injected,
+        }
+        payload["bdd"] = {
+            key: value for key, value in sorted(stats.bdd.items())
+            if not key.endswith("_seconds")
+        }
+        return payload
+
+    def to_dict(self) -> dict:
+        """Stable JSON-able payload (``repro.sim.result/1``).
+
+        One shape for everything that reports on a run: the CLI, batch
+        aggregation, and user scripting.  Deterministic for a
+        deterministic simulation (see :meth:`metrics`).
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "status": self.status.value,
+            "time": self.time,
+            "finished": self.finished,
+            "stopped": self.stopped,
+            "interrupted": self.interrupted,
+            "aborted": self.aborted,
+            "output": list(self.output),
+            "violations": [
+                {
+                    "kind": violation.kind,
+                    "where": violation.where,
+                    "message": violation.message,
+                    "time": violation.time,
+                    "trace": [
+                        {
+                            "callsite_index": entry.callsite_index,
+                            "where": entry.where,
+                            "seq": entry.seq,
+                            "time": entry.time,
+                            "executed": entry.executed,
+                            "value": entry.value,
+                        }
+                        for entry in violation.trace.entries
+                    ],
+                }
+                for violation in self.violations
+            ],
+            "metrics": self.metrics(),
+        }
 
 
 @dataclass
@@ -338,6 +440,7 @@ class Kernel:
             interrupted=self._interrupted,
         )
         if abort is not None:
+            result.aborted = True
             abort.partial_result = result
             raise abort
         return result

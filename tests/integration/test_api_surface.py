@@ -1,0 +1,136 @@
+"""The supported public surface: ``repro.__all__``, the documented
+quickstart, the exception contract, and the deprecation shims."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def _quickstart_code() -> str:
+    """The quickstart block from ``repro.__doc__``, verbatim."""
+    doc = repro.__doc__
+    _, _, rest = doc.partition("Quick start::")
+    lines = []
+    for line in rest.splitlines()[1:]:
+        if line and not line.startswith(" "):
+            break  # next docstring paragraph
+        lines.append(line)
+    code = textwrap.dedent("\n".join(lines)).strip()
+    assert code.startswith("import repro")
+    return code
+
+
+def test_quickstart_runs_verbatim(capsys):
+    exec(compile(_quickstart_code(), "<quickstart>", "exec"), {})
+    # the quickstart prints the violation's concrete error trace
+    assert "$assert" in capsys.readouterr().out
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+
+def test_every_public_exception_inherits_repro_error():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, repro.ReproError), name
+
+
+def test_errors_module_is_the_exception_namespace():
+    assert repro.errors is errors
+    exported = [name for name in dir(errors)
+                if isinstance(getattr(errors, name), type)
+                and issubclass(getattr(errors, name), Exception)]
+    for name in exported:
+        assert issubclass(getattr(errors, name), errors.ReproError), name
+    # the obs metric error opts into the contract too
+    from repro.obs.metrics import MetricError
+
+    assert issubclass(MetricError, errors.ReproError)
+    assert issubclass(MetricError, ValueError)  # historical base kept
+
+
+TRIVIAL = "module t; initial $finish; endmodule"
+
+
+def test_open_sim_requires_exactly_one_input(tmp_path):
+    with pytest.raises(repro.CompileError, match="exactly one"):
+        repro.open_sim()
+    with pytest.raises(repro.CompileError, match="exactly one"):
+        repro.open_sim(TRIVIAL, path="x.v")
+    design = tmp_path / "t.v"
+    design.write_text(TRIVIAL)
+    assert repro.open_sim(path=str(design)).run().finished
+    assert repro.open_sim(TRIVIAL).run().finished
+
+
+def test_open_sim_resume_roundtrip(tmp_path):
+    source = """
+    module tb;
+      reg [7:0] n;
+      initial begin
+        n = 1;
+        repeat (6) #10 n = n + n;
+      end
+    endmodule
+    """
+    sim = repro.open_sim(source)
+    sim.run(until=25)
+    ckpt = str(tmp_path / "mid.ckpt")
+    repro.save_checkpoint(sim.kernel, ckpt)
+    resumed = repro.open_sim(source, resume=ckpt)
+    final = resumed.run()
+    solo = repro.open_sim(source)
+    expect = solo.run()
+    assert final.time == expect.time
+    assert resumed.value("n").to_verilog_bits() == \
+        solo.value("n").to_verilog_bits()
+
+
+STEPPED = """
+module t;
+  reg [3:0] k;
+  initial begin
+    k = 0;
+    repeat (4) #10 k = k + 1;
+    $finish;
+  end
+endmodule
+"""
+
+
+@pytest.mark.parametrize("shim", [
+    "from_source", "from_file", "resume_source", "resume_file",
+])
+def test_shims_warn_and_work(tmp_path, shim):
+    design = tmp_path / "t.v"
+    design.write_text(STEPPED)
+    ckpt = str(tmp_path / "t.ckpt")
+    sim = repro.open_sim(STEPPED)
+    sim.run(until=15)
+    repro.save_checkpoint(sim.kernel, ckpt)
+    calls = {
+        "from_source": lambda: repro.SymbolicSimulator.from_source(STEPPED),
+        "from_file": lambda: repro.SymbolicSimulator.from_file(str(design)),
+        "resume_source": lambda: repro.SymbolicSimulator.resume_source(
+            STEPPED, ckpt),
+        "resume_file": lambda: repro.SymbolicSimulator.resume_file(
+            str(design), ckpt),
+    }
+    with pytest.deprecated_call(match="open_sim"):
+        built = calls[shim]()
+    result = built.run()
+    assert result.finished
+    assert built.value("k").to_int() == 4
+
+
+def test_request_open_matches_open_sim():
+    request = repro.RunRequest(name="one", source=TRIVIAL)
+    assert request.open().run().finished
