@@ -35,6 +35,7 @@ from repro.batch.request import RunRequest
 from repro.batch.worker import _run_job, _worker_init
 from repro.errors import BatchError
 from repro.obs import MetricsRegistry, merge_shards
+from repro.obs.live import DEFAULT_EVERY, RunHealth, assess_health, scan_status
 from repro.sim.kernel import SimStatus
 
 #: Schema tag of :meth:`BatchResult.to_dict` payloads.
@@ -86,6 +87,12 @@ class BatchResult:
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Directory of per-run heartbeat status files (``symsim top`` tails
+    #: it); None when heartbeats were disabled.
+    status_dir: Optional[str] = None
+    #: Run names the stall watcher flagged mid-batch (a stalled run may
+    #: still finish — this records the observation, not a verdict).
+    stalled_runs: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -141,6 +148,8 @@ class BatchResult:
             "out_dir": self.out_dir,
             "trace_path": self.trace_path,
             "metrics_path": self.metrics_path,
+            "status_dir": self.status_dir,
+            "stalled_runs": list(self.stalled_runs),
             "runs": [outcome.to_dict() for outcome in self.outcomes],
         }
 
@@ -162,6 +171,11 @@ def _validate(requests: Sequence[RunRequest]) -> None:
                 f"run {request.name!r} carries an obs bundle; observability "
                 "instruments hold open files and cannot cross process "
                 "boundaries — use run_batch(trace=...) instead")
+        if request.options.heartbeat_callback is not None:
+            raise BatchError(
+                f"run {request.name!r} sets heartbeat_callback; callables "
+                "cannot cross process boundaries — batch runs heartbeat to "
+                "per-run status files under <out_dir>/status/ instead")
 
 
 def _compile_catalog(
@@ -203,6 +217,9 @@ def _aggregate_metrics(result: BatchResult) -> MetricsRegistry:
     registry.counter("batch.designs_compiled",
                      "unique designs compiled (each exactly once)") \
         .inc(result.designs_compiled)
+    registry.counter("batch.stalled_runs",
+                     "runs flagged by the stall watcher mid-batch") \
+        .inc(len(result.stalled_runs))
     runs = registry.counter("batch.runs", "runs by outcome",
                             labels=("status",))
     wall = registry.gauge("batch.run_wall_seconds",
@@ -230,6 +247,35 @@ def _aggregate_metrics(result: BatchResult) -> MetricsRegistry:
     return registry
 
 
+def _watch_stalls(
+    status_dir: str,
+    in_flight: Sequence[str],
+    stalled_seen: set,
+    stall_after: float,
+    on_stall: Optional[Callable[[RunHealth], None]],
+) -> None:
+    """One poll of the status directory; fires ``on_stall`` once per run.
+
+    A run is stalled when its latest heartbeat still says ``running``
+    but is older than ``stall_after`` seconds — the worker is wedged in
+    one giant step, thrashing in the BDD, or dead without a terminal
+    record.  This is the observability half of hang isolation: the
+    in-kernel guard (``ResourceBudgets.hang_*``) kills a wedged run
+    from the inside; the watcher spots it from the outside and tells
+    the controller *which* run to blame before the pool drains.
+    """
+    pending_names = set(in_flight)
+    for health in assess_health(scan_status([status_dir]),
+                                stall_after=stall_after):
+        if not health.stalled or health.name in stalled_seen:
+            continue
+        if health.name not in pending_names:
+            continue  # already reaped; terminal record just lagged
+        stalled_seen.add(health.name)
+        if on_stall is not None:
+            on_stall(health)
+
+
 def run_batch(
     requests: Sequence[RunRequest],
     workers: int = 1,
@@ -237,6 +283,9 @@ def run_batch(
     on_result: Optional[Callable[[RunOutcome], None]] = None,
     trace: bool = True,
     write_metrics: bool = True,
+    heartbeat_every: Optional[int] = DEFAULT_EVERY,
+    stall_after: Optional[float] = None,
+    on_stall: Optional[Callable[[RunHealth], None]] = None,
 ) -> BatchResult:
     """Run every request on a pool of ``workers`` processes.
 
@@ -245,37 +294,59 @@ def run_batch(
     order; the returned :class:`BatchResult` restores request order.
     ``trace=True`` gives each worker a JSONL shard and merges them into
     ``<out_dir>/trace.json`` with one Chrome lane per worker.
+    ``heartbeat_every`` makes each run emit a live status file to
+    ``<out_dir>/status/<name>.json`` every N safe points (``symsim
+    top`` tails these; pass ``None``/0 to disable).  ``stall_after``
+    (seconds) turns on the stall watcher: while the pool drains, runs
+    whose heartbeat goes quiet are reported once each through
+    ``on_stall`` and in :attr:`BatchResult.stalled_runs`.
     Individual run failures never raise; :class:`BatchError` covers
     controller-side problems only (bad requests, pool startup).
     """
     _validate(requests)
     if workers < 1:
         raise BatchError(f"workers must be >= 1, got {workers}")
+    if stall_after is not None and not heartbeat_every:
+        raise BatchError("stall_after needs heartbeats — "
+                         "set heartbeat_every")
     if out_dir is None:
         out_dir = tempfile.mkdtemp(prefix="repro-batch-")
     else:
         os.makedirs(out_dir, exist_ok=True)
+    status_dir = os.path.join(out_dir, "status") if heartbeat_every else None
 
     wall_start = time.perf_counter()
     catalog, by_run = _compile_catalog(requests)
 
     outcomes: Dict[str, RunOutcome] = {}
     shards: Dict[int, Tuple[str, float]] = {}
+    stalled_seen: set = set()
     try:
         executor = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(catalog, out_dir, trace),
+            initargs=(catalog, out_dir, trace, heartbeat_every or None),
         )
     except Exception as exc:  # pool start is a controller-side failure
         raise BatchError(f"could not start worker pool: {exc}") from exc
+    # Polling only happens when someone is watching for stalls; the
+    # no-watcher path keeps the original block-until-done wait.
+    poll = min(stall_after / 2.0, 2.0) if stall_after is not None else None
     with executor:
         pending = {
             executor.submit(_run_job, request, by_run[request.name]): request
             for request in requests
         }
         while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            done, _ = wait(pending, timeout=poll,
+                           return_when=FIRST_COMPLETED)
+            if not done and status_dir is not None \
+                    and stall_after is not None:
+                _watch_stalls(
+                    status_dir,
+                    [request.name for request in pending.values()],
+                    stalled_seen, stall_after, on_stall)
+                continue
             for future in done:
                 request = pending.pop(future)
                 try:
@@ -306,6 +377,8 @@ def run_batch(
         workers=workers,
         wall_seconds=time.perf_counter() - wall_start,
         designs_compiled=len(catalog),
+        status_dir=status_dir,
+        stalled_runs=sorted(stalled_seen),
     )
     if shards:
         result.trace_path = os.path.join(out_dir, "trace.json")

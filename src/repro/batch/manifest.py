@@ -53,6 +53,7 @@ _OPTION_KEYS = {
     "dyn_reorder": "dyn_reorder",
     "no_fastpath": "no_fastpath",
     "checkpoint_every": "checkpoint_every",
+    "heartbeat_every": "heartbeat_every",
     "budget": "budgets",
 }
 

@@ -33,6 +33,7 @@ import traceback
 from typing import Dict, Optional
 
 from repro.obs import Observability, Tracer
+from repro.obs import live as _live
 from repro.sim.kernel import SimStatus
 
 #: Per-process worker state, set once by :func:`_worker_init`.
@@ -40,7 +41,7 @@ _STATE: Dict[str, object] = {}
 
 
 def _worker_init(catalog: Dict[str, bytes], out_dir: str,
-                 trace: bool) -> None:
+                 trace: bool, heartbeat_every: Optional[int] = None) -> None:
     """Pool initializer — runs once in each worker process."""
     _STATE.clear()
     _STATE["catalog"] = catalog
@@ -49,6 +50,7 @@ def _worker_init(catalog: Dict[str, bytes], out_dir: str,
     _STATE["tracer"] = None
     _STATE["shard_path"] = None
     _STATE["t0_unix_us"] = None
+    _STATE["heartbeat_every"] = heartbeat_every
     if trace:
         shard_dir = os.path.join(out_dir, "workers")
         os.makedirs(shard_dir, exist_ok=True)
@@ -91,6 +93,15 @@ def _run_job(request, fingerprint: str) -> dict:
     run_dir = os.path.join(str(_STATE["out_dir"]), "runs", request.name)
     os.makedirs(run_dir, exist_ok=True)
 
+    # Per-run heartbeat status file: the controller's stall watcher and
+    # `symsim top` both poll <out_dir>/status/<name>.json.
+    heartbeat_every = _STATE.get("heartbeat_every")
+    status_path = request.options.heartbeat_path
+    if heartbeat_every and status_path is None:
+        status_dir = os.path.join(str(_STATE["out_dir"]), "status")
+        os.makedirs(status_dir, exist_ok=True)
+        status_path = os.path.join(status_dir, f"{request.name}.json")
+
     vcd_path = os.path.join(run_dir, "wave.vcd") if request.vcd \
         else request.options.vcd_path
     options = dataclasses.replace(
@@ -99,6 +110,10 @@ def _run_job(request, fingerprint: str) -> dict:
         vcd_path=vcd_path,
         checkpoint_dir=request.options.checkpoint_dir
         or os.path.join(run_dir, "ckpt"),
+        heartbeat_path=status_path if heartbeat_every else
+        request.options.heartbeat_path,
+        heartbeat_every=request.options.heartbeat_every or heartbeat_every,
+        heartbeat_name=request.options.heartbeat_name or request.name,
         # SIGINT belongs to the controller; a worker must die promptly
         # so the pool can unwind.
         defer_interrupt=False,
@@ -113,6 +128,7 @@ def _run_job(request, fingerprint: str) -> dict:
         "shard_path": _STATE["shard_path"],
         "t0_unix_us": _STATE["t0_unix_us"],
         "vcd_path": vcd_path if request.vcd else None,
+        "status_path": status_path,
         "error": None,
         "result": None,
     }
@@ -134,6 +150,14 @@ def _run_job(request, fingerprint: str) -> dict:
             traceback.format_exception_only(type(exc), exc)).strip()
     finally:
         outcome["wall_seconds"] = time.perf_counter() - wall_start
+        if status_path is not None:
+            # Stamp the terminal status even when the kernel never
+            # reached its own final heartbeat (hang, crash) so the
+            # controller's stall watcher and `symsim top` see the run
+            # finish rather than flat-line.
+            _live.finalize_status(
+                status_path, options.heartbeat_name or request.name,
+                outcome["status"], error=outcome["error"])
         if result is not None:
             result.kernel._close_vcd()
             outcome["result"] = result.to_dict()

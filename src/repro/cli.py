@@ -16,6 +16,15 @@ Observability (see docs/OBSERVABILITY.md)::
     symsim design.v --profile-out p.json --metrics-out m.json
     symsim report p.json                 # pretty-print a saved document
 
+Live telemetry (see docs/OBSERVABILITY.md)::
+
+    symsim design.v --heartbeat status.json --until 100000
+    symsim top out/status/               # refreshing table of live runs
+    symsim top status.json --once        # one plain table (scripts/CI)
+    symsim status out/status/ --json     # raw heartbeat records
+    symsim serve-metrics --port 9099 --status out/status/
+    symsim bench compare OLD.json NEW.json --max-regress 10%
+
 Robustness (see docs/ROBUSTNESS.md)::
 
     symsim design.v --budget-nodes 100000 --budget-seconds 3600
@@ -113,6 +122,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     obs.add_argument("--bdd-latency", action="store_true",
                      help="sample BDD operator latency histograms into "
                           "the metrics registry (implies metrics)")
+    obs.add_argument("--heartbeat", metavar="PATH", default=None,
+                     help="write a live status record here at end-of-step "
+                          "safe points (tail it with 'symsim top')")
+    obs.add_argument("--heartbeat-every", type=int, default=None,
+                     metavar="N",
+                     help="safe points between heartbeats (default 25; "
+                          "implies --heartbeat-style telemetry even "
+                          "without a status file)")
     guard = parser.add_argument_group(
         "robustness (budgets / checkpoint / resume)")
     guard.add_argument("--budget-seconds", type=float, default=None,
@@ -197,6 +214,18 @@ def build_batch_parser() -> argparse.ArgumentParser:
                         help="also copy the aggregated metrics JSON here")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-run completion stream")
+    parser.add_argument("--no-heartbeat", action="store_true",
+                        help="skip the per-run live status files under "
+                             "<out-dir>/status/")
+    parser.add_argument("--heartbeat-every", type=int, default=None,
+                        metavar="N",
+                        help="safe points between worker heartbeats "
+                             "(default 25)")
+    parser.add_argument("--stall-after", type=float, default=None,
+                        metavar="S",
+                        help="flag a run whose heartbeat is older than S "
+                             "seconds while it still claims to be running "
+                             "(stall watcher; needs heartbeats)")
     return parser
 
 
@@ -216,6 +245,14 @@ def batch_main(argv: List[str]) -> int:
             line += f" — {outcome.error}"
         print(line, flush=True)
 
+    def stalled(health):
+        print(f"[stall] {health.name}: still 'running' but heartbeat is "
+              f"{health.age_seconds:.0f}s old", file=sys.stderr)
+
+    from repro.obs.live import DEFAULT_EVERY
+
+    heartbeat_every = None if args.no_heartbeat \
+        else (args.heartbeat_every or DEFAULT_EVERY)
     try:
         requests = load_manifest(args.manifest)
         batch = run_batch(
@@ -224,6 +261,9 @@ def batch_main(argv: List[str]) -> int:
             out_dir=args.out_dir,
             on_result=stream,
             trace=not args.no_trace,
+            heartbeat_every=heartbeat_every,
+            stall_after=args.stall_after,
+            on_stall=stalled if args.stall_after is not None else None,
         )
     except (BatchError, ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -236,6 +276,11 @@ def batch_main(argv: List[str]) -> int:
         print(f"[obs] merged chrome trace: {batch.trace_path}")
     if batch.metrics_path is not None:
         print(f"[obs] aggregated metrics: {batch.metrics_path}")
+    if batch.status_dir is not None:
+        print(f"[obs] live status files: {batch.status_dir} "
+              "(tail with 'symsim top')")
+    if batch.stalled_runs:
+        print(f"[obs] stalled mid-batch: {', '.join(batch.stalled_runs)}")
     for src, dst in ((batch.trace_path, args.trace_out),
                      (batch.metrics_path, args.metrics_out)):
         if dst is not None and src is not None:
@@ -255,13 +300,168 @@ def batch_main(argv: List[str]) -> int:
     return 0
 
 
+def build_top_parser(prog: str = "symsim top") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Live table over heartbeat status files (files, "
+                    "directories, or globs)",
+    )
+    parser.add_argument("paths", nargs="+",
+                        help="status files / directories / globs "
+                             "(e.g. a batch's <out-dir>/status/)")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="refresh period in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one table and exit (scripts, CI)")
+    parser.add_argument("--stall-after", type=float, default=None,
+                        metavar="S",
+                        help="age after which a 'running' heartbeat is "
+                             "flagged STALL (default 30)")
+    return parser
+
+
+def top_main(argv: List[str]) -> int:
+    from repro.obs.live import DEFAULT_STALL_AFTER
+    from repro.obs.top import run_top
+
+    args = build_top_parser().parse_args(argv)
+    try:
+        return run_top(args.paths, interval=args.interval, once=args.once,
+                       stall_after=args.stall_after or DEFAULT_STALL_AFTER)
+    except KeyboardInterrupt:
+        return 0
+
+
+def status_main(argv: List[str]) -> int:
+    from repro.obs.live import DEFAULT_STALL_AFTER, scan_status
+    from repro.obs.top import format_top
+
+    parser = build_top_parser(prog="symsim status")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the raw heartbeat records as a JSON "
+                             "array instead of a table")
+    args = parser.parse_args(argv)
+    records = scan_status(args.paths)
+    if args.as_json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(format_top(records,
+                         stall_after=args.stall_after or DEFAULT_STALL_AFTER))
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim serve-metrics",
+        description="Serve saved metrics and live heartbeat files as an "
+                    "OpenMetrics scrape endpoint (GET /metrics; also "
+                    "/status and /healthz)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9099,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 9099)")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="a --metrics-out snapshot to re-read and "
+                             "expose on every scrape")
+    parser.add_argument("--status", action="append", default=[],
+                        metavar="PATH",
+                        help="heartbeat status file/directory/glob to fold "
+                             "into symsim.run.* families (repeatable)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one scrape body to stdout and exit "
+                             "without binding a socket")
+    return parser
+
+
+def serve_metrics_main(argv: List[str]) -> int:
+    from repro.obs.metrics import MetricError
+    from repro.obs.serve import MetricsServer, build_scrape_source
+
+    args = build_serve_parser().parse_args(argv)
+    if args.metrics_json is None and not args.status:
+        print("error: nothing to serve — give --metrics-json and/or "
+              "--status", file=sys.stderr)
+        return 2
+    source = build_scrape_source(metrics_json=args.metrics_json,
+                                 status_paths=args.status)
+    if args.once:
+        try:
+            sys.stdout.write(source())
+        except (OSError, ValueError, MetricError) as exc:
+            print(f"error: cannot render scrape: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    try:
+        server = MetricsServer(source, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    server.watch_status(args.status)
+    print(f"serving OpenMetrics on {server.url} (Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._httpd.server_close()
+    return 0
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim bench compare",
+        description="Perf-regression gate over BENCH_*.json trajectories: "
+                    "compare each benchmark's latest entry and fail on "
+                    "regressions beyond the tolerance",
+    )
+    parser.add_argument("old", help="baseline trajectory (JSON array)")
+    parser.add_argument("new", help="candidate trajectory (JSON array)")
+    parser.add_argument("--max-regress", default="10%", metavar="TOL",
+                        help="allowed regression per cell, e.g. '10%%' "
+                             "or '0.1' (default 10%%)")
+    return parser
+
+
+def bench_main(argv: List[str]) -> int:
+    from repro.obs.gate import (
+        GateError, compare_trajectories, parse_tolerance,
+    )
+
+    if not argv or argv[0] != "compare":
+        print("usage: symsim bench compare OLD.json NEW.json "
+              "[--max-regress TOL]", file=sys.stderr)
+        return 2
+    args = build_bench_parser().parse_args(argv[1:])
+    try:
+        report = compare_trajectories(
+            args.old, args.new,
+            max_regress=parse_tolerance(args.max_regress))
+    except (GateError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+_SUBCOMMANDS = {
+    "report": report_main,
+    "batch": batch_main,
+    "top": top_main,
+    "status": status_main,
+    "serve-metrics": serve_metrics_main,
+    "bench": bench_main,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "report":
-        return report_main(argv[1:])
-    if argv and argv[0] == "batch":
-        return batch_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = build_arg_parser().parse_args(argv)
     defines = {}
     for item in args.define:
@@ -309,6 +509,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         budgets=budgets,
         checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir,
+        heartbeat_path=args.heartbeat,
+        heartbeat_every=args.heartbeat_every,
     )
     aborted = None
     try:
@@ -347,6 +549,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[stats] cpu={sim.kernel.cpu_seconds:.3f}s "
               f"bdd-nodes={sim.mgr.total_nodes} "
               f"bdd-peak={sim.mgr.peak_nodes}")
+        heartbeat = getattr(sim.kernel, "_heartbeat", None)
+        if heartbeat is not None:
+            sink = heartbeat.path or "(in-process only)"
+            print(f"[stats] heartbeats={heartbeat.beats} "
+                  f"every={heartbeat.every} safe-points sink={sink}")
         cache = sim.mgr.cache_stats()
         print(f"[stats] fastpath-word={cache['fastpath_word_ops']} "
               f"fastpath-bits={cache['fastpath_bit_shortcuts']} "
@@ -371,6 +578,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[obs] chrome trace written to {args.trace_out}")
     if args.trace_jsonl is not None:
         print(f"[obs] trace JSONL written to {args.trace_jsonl}")
+    if args.heartbeat is not None:
+        print(f"[obs] heartbeat status: {args.heartbeat}")
     if want_profile:
         document = sim.kernel.profile_document()
         if args.profile_out is not None:

@@ -15,17 +15,33 @@ when observability is off.  See docs/OBSERVABILITY.md for schemas.
 """
 
 from repro.obs.context import Observability
+from repro.obs.gate import (
+    GateError, GateReport, compare_trajectories, load_trajectory,
+)
+from repro.obs.live import (
+    Heartbeat, RunHealth, assess_health, deterministic_view, read_status,
+    scan_status, write_status,
+)
 from repro.obs.merge import (
-    merge_shards, read_jsonl_records, shard_to_chrome_events,
+    ShardWarning, merge_shards, read_jsonl_records, shard_to_chrome_events,
 )
 from repro.obs.metrics import (
-    Counter, Gauge, Histogram, MetricsRegistry, Series,
+    Counter, Gauge, Histogram, MetricsRegistry, Series, render_openmetrics,
 )
 from repro.obs.profiler import HotSpotProfiler, SiteStats, event_label
+from repro.obs.serve import MetricsServer, registry_from_status
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Observability", "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "Series", "HotSpotProfiler", "SiteStats", "event_label", "Tracer",
     "merge_shards", "read_jsonl_records", "shard_to_chrome_events",
+    "ShardWarning",
+    # live telemetry (docs/OBSERVABILITY.md, `symsim top`)
+    "Heartbeat", "RunHealth", "assess_health", "deterministic_view",
+    "read_status", "scan_status", "write_status",
+    # OpenMetrics export + scrape endpoint
+    "render_openmetrics", "MetricsServer", "registry_from_status",
+    # perf-regression gate (`symsim bench compare`)
+    "GateError", "GateReport", "compare_trajectories", "load_trajectory",
 ]

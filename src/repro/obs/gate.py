@@ -1,0 +1,219 @@
+"""The perf-regression gate — ``symsim bench compare``.
+
+Benchmark results in this repo are *trajectories*: every recorded run
+appends an entry to a ``BENCH_*.json`` file (``bench_fastpath.py`` →
+``BENCH_fastpath.json``, ``bench_batch.py`` → ``BENCH_batch.json``), so
+a claimed speedup is a time series, not a single lucky number.  This
+module makes the trajectory *binding*: ``symsim bench compare OLD.json
+NEW.json --max-regress 10%`` flattens the latest entry per bench on
+each side into numeric cells, pairs them up, and exits nonzero when
+any cell moved the *wrong way* by more than the tolerance.  CI runs it
+as the ``bench-gate`` lane so a speedup landed by one PR cannot
+silently rot in the next.
+
+Which way is "wrong" is inferred from the cell name: cells naming
+rates and speedups (``*speedup*``, ``*ratio*``, ``*per_second*``, ...)
+must not *fall*; cells naming costs (``*seconds*``, ``*wall*``,
+``*nodes*``, ``*rss*``, ...) must not *rise*.  Cells with no
+recognizable direction — and bookkeeping keys like ``recorded`` or
+``floors`` — are reported as skipped rather than silently judged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+
+class GateError(ReproError):
+    """A trajectory file could not be loaded or compared."""
+
+
+#: Entry keys that are bookkeeping, never performance cells.
+_BOOKKEEPING = frozenset({
+    "recorded", "bench", "gate", "floors", "effective_cores",
+})
+
+#: Substrings marking a cell where *larger is better*.
+_HIGHER_IS_BETTER = (
+    "speedup", "ratio", "per_second", "throughput", "rate", "hits",
+)
+#: Substrings marking a cell where *smaller is better*.  Checked after
+#: the higher-is-better list so e.g. ``events_per_second`` never
+#: matches ``second``.
+_LOWER_IS_BETTER = (
+    "seconds", "wall", "overhead", "nodes", "rss", "bytes", "_ms",
+    "_us", "misses",
+)
+
+
+def direction(key: str) -> int:
+    """+1 when larger is better, -1 when smaller is, 0 when unknown."""
+    lowered = key.lower()
+    if any(mark in lowered for mark in _HIGHER_IS_BETTER):
+        return 1
+    if any(mark in lowered for mark in _LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def load_trajectory(path: str) -> List[dict]:
+    """Load one ``BENCH_*.json`` file (a JSON array of entries)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise GateError(f"cannot read trajectory {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise GateError(
+            f"trajectory {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(document, list) \
+            or not all(isinstance(entry, dict) for entry in document):
+        raise GateError(
+            f"trajectory {path!r} must be a JSON array of entries")
+    if not document:
+        raise GateError(f"trajectory {path!r} is empty")
+    return document
+
+
+def latest_cells(trajectory: List[dict]) -> Dict[str, float]:
+    """Numeric cells of the latest entry per bench, flattened.
+
+    Cell names are ``<bench>/<dotted.key>``; nested dicts flatten with
+    ``.`` (``wall_seconds: {"4": ...}`` → ``batch/wall_seconds.4``).
+    Later entries for the same bench win — the trajectory's newest
+    measurement is the one under comparison.
+    """
+    latest: Dict[str, dict] = {}
+    for index, entry in enumerate(trajectory):
+        latest[str(entry.get("bench", f"entry{index}"))] = entry
+    cells: Dict[str, float] = {}
+    for bench, entry in latest.items():
+        for key, value in _flatten(entry):
+            cells[f"{bench}/{key}"] = value
+    return cells
+
+
+def _flatten(entry: dict, prefix: str = "") -> List[Tuple[str, float]]:
+    leaves: List[Tuple[str, float]] = []
+    for key, value in entry.items():
+        if not prefix and key in _BOOKKEEPING:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            leaves.append((name, float(value)))
+        elif isinstance(value, dict):
+            leaves.extend(_flatten(value, prefix=f"{name}."))
+        # lists/strings are not performance cells
+    return leaves
+
+
+@dataclass
+class CellDelta:
+    """One compared cell: old vs new and the verdict."""
+
+    cell: str
+    old: float
+    new: float
+    #: +1 larger-is-better, -1 smaller-is-better.
+    direction: int
+    #: Signed relative change, ``(new - old) / old``.
+    delta: float
+    regressed: bool
+
+    def describe(self) -> str:
+        arrow = {1: "higher=better", -1: "lower=better"}[self.direction]
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (f"{self.cell:<44s} {self.old:>10.4g} -> {self.new:>10.4g} "
+                f"({self.delta * 100.0:+7.1f}%, {arrow}) {verdict}")
+
+
+@dataclass
+class GateReport:
+    """Outcome of one trajectory comparison."""
+
+    cells: List[CellDelta] = field(default_factory=list)
+    #: Cell names present on only one side, or with no inferable
+    #: direction, or with a zero baseline — listed, never judged.
+    skipped: List[str] = field(default_factory=list)
+    max_regress: float = 0.10
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [cell for cell in self.cells if cell.regressed]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"bench gate: {len(self.cells)} cells compared, "
+            f"tolerance {self.max_regress * 100.0:g}%"
+        ]
+        lines.extend(cell.describe() for cell in self.cells)
+        for reason in self.skipped:
+            lines.append(f"{'(skipped)':<44s} {reason}")
+        if self.passed:
+            lines.append("PASS: no cell regressed beyond tolerance")
+        else:
+            lines.append(
+                f"FAIL: {len(self.regressions)} cell(s) regressed "
+                f"beyond {self.max_regress * 100.0:g}%")
+        return "\n".join(lines)
+
+
+def compare_cells(old: Dict[str, float], new: Dict[str, float],
+                  max_regress: float = 0.10) -> GateReport:
+    """Pair up cells and judge each delta against the tolerance."""
+    report = GateReport(max_regress=max_regress)
+    for cell in sorted(set(old) | set(new)):
+        if cell not in old:
+            report.skipped.append(f"{cell}: only in NEW")
+            continue
+        if cell not in new:
+            report.skipped.append(f"{cell}: only in OLD")
+            continue
+        sense = direction(cell)
+        if sense == 0:
+            report.skipped.append(f"{cell}: no inferable direction")
+            continue
+        if old[cell] == 0:
+            report.skipped.append(f"{cell}: zero baseline")
+            continue
+        delta = (new[cell] - old[cell]) / abs(old[cell])
+        regressed = (-delta if sense > 0 else delta) > max_regress
+        report.cells.append(CellDelta(
+            cell=cell, old=old[cell], new=new[cell], direction=sense,
+            delta=delta, regressed=regressed,
+        ))
+    return report
+
+
+def compare_trajectories(old_path: str, new_path: str,
+                         max_regress: float = 0.10) -> GateReport:
+    """Load two trajectory files and gate NEW against OLD."""
+    old = latest_cells(load_trajectory(old_path))
+    new = latest_cells(load_trajectory(new_path))
+    return compare_cells(old, new, max_regress=max_regress)
+
+
+def parse_tolerance(text: str) -> float:
+    """``"10%"`` → 0.10; ``"0.1"`` → 0.1.  Raises :class:`GateError`."""
+    raw = text.strip()
+    try:
+        if raw.endswith("%"):
+            value = float(raw[:-1]) / 100.0
+        else:
+            value = float(raw)
+    except ValueError:
+        raise GateError(f"bad tolerance {text!r} (want '10%' or '0.1')") \
+            from None
+    if not 0.0 <= value < 10.0:
+        raise GateError(f"tolerance {text!r} out of range")
+    return value

@@ -1,0 +1,334 @@
+"""Live telemetry — heartbeat status records for running simulations.
+
+Post-mortem observability (traces, metrics, profiles) tells you what a
+run *did*; a heartbeat tells you what it is doing *now*.  At end-of-step
+safe points — the same hook the resource guard uses — the kernel
+periodically serializes a compact status record:
+
+* progress: simulation time, the ``until`` bound, processed events;
+* cost: live BDD nodes, peak nodes, injected symbols, process RSS;
+* rates: events/second and an ETA estimate toward the time bound;
+* health: guard-budget headroom (fraction of each budget remaining)
+  and the run status (``running`` → a terminal status).
+
+Records go to a *status file* (atomically replaced, so readers never
+see a torn write) and/or an in-process callback.  ``symsim top`` tails
+one or many status files; ``symsim serve-metrics`` re-exports them as
+an OpenMetrics scrape; the batch engine gives every worker run its own
+status file and watches the set for stalls.
+
+Determinism contract: every field that depends on the wall clock or
+the host (timestamps, rates, RSS, ETA, pid, headroom) lives in
+:data:`WALL_FIELDS`; :func:`deterministic_view` strips them, and two
+runs of the same deterministic simulation produce byte-identical
+deterministic views (asserted by tests/unit/test_obs_live.py).
+
+The schema is ``repro.obs.heartbeat/1``, documented in
+docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+SCHEMA = "repro.obs.heartbeat/1"
+
+#: Default end-of-step safe-point period between heartbeats.  Chosen so
+#: the Table-1 workloads beat a few times per second while the write
+#: cost stays well under the <3% overhead envelope.
+DEFAULT_EVERY = 25
+
+#: Record fields that depend on the wall clock or the host — excluded
+#: from :func:`deterministic_view` so heartbeat payloads of identical
+#: runs compare equal.
+WALL_FIELDS = frozenset({
+    "ts_unix", "pid", "wall_seconds", "events_per_second", "rss_mb",
+    "eta_seconds", "headroom",
+})
+
+#: Terminal statuses a record may carry (``running`` is the only
+#: non-terminal one).
+TERMINAL_STATUSES = frozenset({
+    "ok", "assert_failed", "aborted", "hang", "interrupted", "crashed",
+})
+
+
+def deterministic_view(record: dict) -> dict:
+    """The record minus every wall-clock/host-dependent field.
+
+    Hash/compare this — never the raw record — when asserting that two
+    runs of the same simulation report identical progress.
+    """
+    return {key: value for key, value in record.items()
+            if key not in WALL_FIELDS}
+
+
+def write_status(path: str, record: dict) -> None:
+    """Atomically replace ``path`` with one JSON object.
+
+    Writes a sibling temp file and ``os.replace``\\ s it in, so a
+    concurrent reader (``symsim top``, the batch stall watcher) always
+    sees either the previous record or the new one — never a torn line.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, separators=(",", ":"))
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def read_status(path: str) -> Optional[dict]:
+    """Load one status file; ``None`` when missing/empty/malformed.
+
+    Live files are replaced atomically, but a reader must still survive
+    files that are mid-creation or not heartbeat records at all.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(record, dict) or record.get("schema") != SCHEMA:
+        return None
+    return record
+
+
+def scan_status(paths: Iterable[str]) -> List[dict]:
+    """Collect status records from files, directories and globs.
+
+    Directories are scanned (non-recursively) for ``*.json`` files;
+    glob patterns expand; unreadable or non-heartbeat files are
+    silently skipped.  Records come back sorted by run name so the
+    ``symsim top`` table is stable between refreshes.
+    """
+    import glob as _glob
+
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(sorted(
+                os.path.join(path, entry) for entry in os.listdir(path)
+                if entry.endswith(".json")))
+        elif any(ch in path for ch in "*?["):
+            files.extend(sorted(_glob.glob(path)))
+        else:
+            files.append(path)
+    records = []
+    for file_path in files:
+        record = read_status(file_path)
+        if record is not None:
+            records.append(record)
+    records.sort(key=lambda r: str(r.get("name", "")))
+    return records
+
+
+def finalize_status(path: str, name: str, status: str,
+                    error: Optional[str] = None) -> None:
+    """Stamp a terminal ``status`` onto a run's status file.
+
+    Used by the batch worker after a run ends *however* it ended —
+    including crash paths the kernel never got to flush — so a status
+    file is never left saying ``running`` for a dead run.  Extends the
+    last heartbeat when one exists; otherwise writes a minimal record.
+    """
+    record = read_status(path) or {
+        "schema": SCHEMA, "name": name, "seq": 0, "sim_time": 0,
+        "until": None, "events_processed": 0, "live_nodes": 0,
+        "peak_nodes": 0, "symbols_injected": 0, "violations": 0,
+    }
+    record["status"] = status
+    if error is not None:
+        record["error"] = error
+    record["ts_unix"] = time.time()
+    record["pid"] = os.getpid()
+    write_status(path, record)
+
+
+# ---------------------------------------------------------------------
+# the emitter the kernel drives
+# ---------------------------------------------------------------------
+
+class Heartbeat:
+    """Serializes kernel status at end-of-step safe points.
+
+    Constructed by the kernel when any of the
+    :class:`~repro.sim.kernel.SimOptions` heartbeat fields is set.  A
+    beat is cheap — one small dict, one atomic file replace — and fires
+    every ``every`` safe points plus once more at run end with the
+    terminal status, so the status file always converges to the truth.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 callback: Optional[Callable[[dict], None]] = None,
+                 every: int = DEFAULT_EVERY,
+                 name: Optional[str] = None) -> None:
+        if every <= 0:
+            raise ValueError(f"heartbeat interval must be positive, "
+                             f"got {every}")
+        self.path = path
+        self.callback = callback
+        self.every = every
+        self.name = name
+        #: Most recent record (also kept when no sink is configured —
+        #: the in-process inspection/testing hook).
+        self.last: Optional[dict] = None
+        #: Total records emitted.
+        self.beats = 0
+        self._safe_points = 0
+        self._wall_start: Optional[float] = None
+        self._until: Optional[int] = None
+
+    def on_run_start(self, kern, until: Optional[int]) -> None:
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
+        self._until = until
+
+    def on_safe_point(self, kern) -> None:
+        self._safe_points += 1
+        if self._safe_points % self.every == 0:
+            self.beat(kern, "running")
+
+    def on_run_end(self, kern, status: str) -> None:
+        self.beat(kern, status)
+
+    # ------------------------------------------------------------------
+
+    def beat(self, kern, status: str) -> dict:
+        """Build, record, and deliver one status record."""
+        record = self._record(kern, status)
+        self.last = record
+        self.beats += 1
+        if self.path is not None:
+            write_status(self.path, record)
+        if self.callback is not None:
+            self.callback(record)
+        return record
+
+    def _record(self, kern, status: str) -> dict:
+        wall = (time.perf_counter() - self._wall_start
+                if self._wall_start is not None else 0.0)
+        events = kern.stats.events_processed
+        record = {
+            "schema": SCHEMA,
+            "name": self.name or kern.design.top,
+            "status": status,
+            "seq": self.beats,
+            "sim_time": kern.now,
+            "until": self._until,
+            "events_processed": events,
+            "live_nodes": kern.mgr.total_nodes,
+            "peak_nodes": kern.mgr.peak_nodes,
+            "symbols_injected": kern.stats.symbols_injected,
+            "violations": len(kern.violations),
+            # -- wall-clock/host section (see WALL_FIELDS) -------------
+            "ts_unix": time.time(),
+            "pid": os.getpid(),
+            "wall_seconds": round(wall, 3),
+            "events_per_second": round(events / wall, 1) if wall > 0 else 0.0,
+            "rss_mb": self._rss_mb(),
+            "eta_seconds": self._eta(kern.now, wall),
+            "headroom": self._headroom(kern),
+        }
+        return record
+
+    @staticmethod
+    def _rss_mb() -> Optional[float]:
+        from repro.guard.budgets import process_rss_mb
+
+        rss = process_rss_mb()
+        return round(rss, 1) if rss is not None else None
+
+    def _eta(self, sim_time: int, wall: float) -> Optional[float]:
+        """Seconds to the ``until`` bound at the observed sim-time rate."""
+        if self._until is None or wall <= 0 or sim_time <= 0:
+            return None
+        remaining = self._until - sim_time
+        if remaining <= 0:
+            return 0.0
+        return round(remaining * wall / sim_time, 1)
+
+    def _headroom(self, kern) -> Optional[Dict[str, float]]:
+        """Fraction of each configured guard budget still unspent."""
+        guard = getattr(kern, "_guard", None)
+        if guard is None or guard.budgets is None:
+            return None
+        budgets = guard.budgets
+        headroom: Dict[str, float] = {}
+
+        def frac(remaining: float, limit: float) -> float:
+            return round(min(max(remaining / limit, 0.0), 1.0), 3)
+
+        if budgets.wall_seconds is not None and guard._deadline is not None:
+            headroom["wall_seconds"] = frac(
+                guard._deadline - time.perf_counter(), budgets.wall_seconds)
+        if budgets.max_live_nodes is not None:
+            headroom["max_live_nodes"] = frac(
+                budgets.max_live_nodes - kern.mgr.total_nodes,
+                budgets.max_live_nodes)
+        if budgets.max_rss_mb is not None:
+            rss = self._rss_mb()
+            if rss is not None:
+                headroom["max_rss_mb"] = frac(
+                    budgets.max_rss_mb - rss, budgets.max_rss_mb)
+        if budgets.max_events is not None:
+            headroom["max_events"] = frac(
+                budgets.max_events - kern.stats.events_processed,
+                budgets.max_events)
+        return headroom or None
+
+
+# ---------------------------------------------------------------------
+# health assessment — the batch stall watcher and `symsim top`
+# ---------------------------------------------------------------------
+
+#: Default heartbeat age (seconds) after which a run still claiming to
+#: be ``running`` is flagged as stalled.
+DEFAULT_STALL_AFTER = 30.0
+
+
+@dataclass
+class RunHealth:
+    """One run's liveness, judged from its latest status record."""
+
+    name: str
+    status: str
+    #: Seconds since the record was written (None without a timestamp).
+    age_seconds: Optional[float]
+    #: True when the run claims ``running`` but its heartbeat is older
+    #: than the stall threshold — the worker is wedged, mid-step-bound,
+    #: or dead without a terminal record.
+    stalled: bool
+    record: dict
+
+
+def assess_health(records: Iterable[dict],
+                  now_unix: Optional[float] = None,
+                  stall_after: float = DEFAULT_STALL_AFTER,
+                  ) -> List[RunHealth]:
+    """Judge each record's liveness at time ``now_unix``.
+
+    Pure function of its inputs (pass ``now_unix`` explicitly in tests)
+    — this is the unit the batch engine's stall detection and ``symsim
+    top``'s staleness column share.
+    """
+    if now_unix is None:
+        now_unix = time.time()
+    health = []
+    for record in records:
+        ts = record.get("ts_unix")
+        age = max(now_unix - ts, 0.0) if isinstance(ts, (int, float)) \
+            else None
+        status = str(record.get("status", "?"))
+        stalled = (status == "running" and age is not None
+                   and age > stall_after)
+        health.append(RunHealth(
+            name=str(record.get("name", "?")), status=status,
+            age_seconds=age, stalled=stalled, record=record,
+        ))
+    return health

@@ -23,39 +23,85 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 _PHASES = {"begin": "B", "end": "E", "complete": "X",
            "instant": "i", "counter": "C"}
 
 
+class ShardWarning(UserWarning):
+    """A trace shard was empty, truncated, or partially unreadable.
+
+    Emitted (never raised) while merging: a worker killed mid-write —
+    OOM reaper, SIGKILL in the chaos lane — legitimately leaves a
+    truncated or empty shard behind, and one bad shard must not cost
+    the batch its merged trace.
+    """
+
+
 def read_jsonl_records(path: str) -> List[dict]:
-    """Load one JSONL trace shard (malformed lines are skipped —
-    a worker killed mid-write truncates its last line)."""
+    """Load one JSONL trace shard, skipping anything unusable.
+
+    A worker killed mid-write truncates its last line; a worker killed
+    before its first flush leaves an empty file.  Malformed lines and
+    non-object records are dropped with a :class:`ShardWarning`
+    summarising the damage — the merge always completes with whatever
+    survived.
+    """
     records = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                continue
+    dropped = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    dropped += 1
+                    continue
+                if not isinstance(record, dict):
+                    dropped += 1
+                    continue
+                records.append(record)
+    except OSError as exc:
+        warnings.warn(f"trace shard {path!r} unreadable, skipped: {exc}",
+                      ShardWarning, stacklevel=2)
+        return []
+    if dropped:
+        warnings.warn(
+            f"trace shard {path!r}: skipped {dropped} malformed line(s) "
+            "(worker likely killed mid-write)", ShardWarning, stacklevel=2)
+    elif not records:
+        warnings.warn(f"trace shard {path!r} is empty, skipped",
+                      ShardWarning, stacklevel=2)
     return records
 
 
 def shard_to_chrome_events(records: Iterable[dict], pid: int,
                            offset_us: float = 0.0) -> List[dict]:
-    """Render one shard's records as Chrome events under process ``pid``."""
+    """Render one shard's records as Chrome events under process ``pid``.
+
+    Records missing required fields (a truncated shard may parse as
+    JSON yet lack ``name``/``ts_us``) are skipped, not raised on.
+    """
     events = []
+    dropped = 0
     for record in records:
         phase = _PHASES.get(record.get("ev"))
         if phase is None:
             continue
+        name, cat, ts_us = (record.get("name"), record.get("cat"),
+                            record.get("ts_us"))
+        if name is None or cat is None \
+                or not isinstance(ts_us, (int, float)):
+            dropped += 1
+            continue
         event = {
-            "name": record["name"], "cat": record["cat"], "ph": phase,
-            "ts": round(record["ts_us"] + offset_us, 3),
+            "name": name, "cat": cat, "ph": phase,
+            "ts": round(ts_us + offset_us, 3),
             "pid": pid, "tid": record.get("lane", 0),
         }
         if "dur_us" in record:
@@ -65,6 +111,10 @@ def shard_to_chrome_events(records: Iterable[dict], pid: int,
         if "args" in record:
             event["args"] = record["args"]
         events.append(event)
+    if dropped:
+        warnings.warn(
+            f"trace shard for worker {pid}: skipped {dropped} record(s) "
+            "missing required fields", ShardWarning, stacklevel=2)
     return events
 
 
@@ -92,6 +142,9 @@ def merge_shards(
             "args": {"name": label},
         })
         if not os.path.exists(path):
+            warnings.warn(f"trace shard {path!r} missing (worker {pid} "
+                          "never flushed), skipped", ShardWarning,
+                          stacklevel=2)
             continue
         events.extend(
             shard_to_chrome_events(read_jsonl_records(path), pid,

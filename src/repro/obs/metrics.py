@@ -346,3 +346,119 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json(indent=2))
             handle.write("\n")
+
+    def to_openmetrics(self) -> str:
+        """This registry as an OpenMetrics / Prometheus text exposition."""
+        return render_openmetrics(self.snapshot())
+
+
+# ---------------------------------------------------------------------
+# OpenMetrics / Prometheus text exposition
+# ---------------------------------------------------------------------
+
+#: Content type of an OpenMetrics scrape response.
+OPENMETRICS_CONTENT_TYPE = \
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def _om_name(name: str) -> str:
+    """Sanitize a dotted metric name (``sim.time`` → ``sim_time``)."""
+    sanitized = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_"
+        for ch in name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _om_help_escape(text: str) -> str:
+    """Escape HELP text — only ``\\`` and newline per the spec."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _om_escape(text: str) -> str:
+    """Escape a label value (quotes too, unlike HELP text)."""
+    return _om_help_escape(text).replace('"', '\\"')
+
+
+def _om_labels(labels: dict, extra: Optional[List[tuple]] = None) -> str:
+    pairs = [(key, str(value)) for key, value in sorted(labels.items())]
+    pairs.extend(extra or [])
+    if not pairs:
+        return ""
+    inner = ",".join(f'{_om_name(key)}="{_om_escape(value)}"'
+                     for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _om_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_openmetrics(snapshot: dict) -> str:
+    """Render a ``repro.obs.metrics/1`` snapshot as OpenMetrics text.
+
+    Works on the *snapshot dict*, not the live registry, so the same
+    renderer serves an in-process registry
+    (:meth:`MetricsRegistry.to_openmetrics`), a ``--metrics-out`` JSON
+    file, and the synthetic registries ``symsim serve-metrics`` builds
+    from heartbeat status files.  Counters gain the ``_total`` suffix,
+    histograms expose cumulative ``_bucket``/``_count``/``_sum``
+    samples, and a series collapses to a gauge carrying its latest
+    sample (the full trajectory stays in the JSON export).  The stream
+    ends with the mandatory ``# EOF`` marker.
+    """
+    if not isinstance(snapshot, dict) \
+            or not isinstance(snapshot.get("metrics"), list):
+        raise MetricError(
+            "not a metrics snapshot (expected an object with a "
+            "'metrics' array)")
+    by_name: Dict[str, List[dict]] = {}
+    for metric in snapshot["metrics"]:
+        by_name.setdefault(metric["name"], []).append(metric)
+    lines: List[str] = []
+    for name in sorted(by_name):
+        children = by_name[name]
+        om_name = _om_name(name)
+        type_ = children[0]["type"]
+        om_type = {"counter": "counter", "gauge": "gauge",
+                   "histogram": "histogram", "series": "gauge"}[type_]
+        lines.append(f"# TYPE {om_name} {om_type}")
+        help_ = children[0].get("help")
+        if help_:
+            lines.append(f"# HELP {om_name} {_om_help_escape(help_)}")
+        for child in children:
+            labels = child.get("labels") or {}
+            value = child["value"]
+            if type_ == "counter":
+                lines.append(f"{om_name}_total{_om_labels(labels)} "
+                             f"{_om_value(value)}")
+            elif type_ == "gauge":
+                lines.append(f"{om_name}{_om_labels(labels)} "
+                             f"{_om_value(value)}")
+            elif type_ == "series":
+                last = value[-1] if value else None
+                lines.append(f"{om_name}{_om_labels(labels)} "
+                             f"{_om_value(last[1] if last else None)}")
+            else:  # histogram
+                running = 0
+                for bucket in value["buckets"]:
+                    running += bucket["count"]
+                    le = "+Inf" if bucket["le"] == "+inf" \
+                        else _om_value(bucket["le"])
+                    lines.append(
+                        f"{om_name}_bucket"
+                        f"{_om_labels(labels, extra=[('le', le)])} "
+                        f"{running}")
+                lines.append(f"{om_name}_count{_om_labels(labels)} "
+                             f"{value['count']}")
+                lines.append(f"{om_name}_sum{_om_labels(labels)} "
+                             f"{_om_value(value['sum'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -17,17 +17,41 @@ from repro.obs import profiler as _profiler
 
 
 def load_document(path: str) -> dict:
-    """Load a saved observability document, sniffing its schema."""
+    """Load a saved observability document, sniffing its schema.
+
+    Raises ``OSError`` for unreadable files and ``ValueError`` for
+    files that are empty, malformed, or not observability documents —
+    the CLI folds both into one clear one-line message (never a
+    traceback).
+    """
     with open(path, "r", encoding="utf-8") as handle:
         first = handle.read(1)
         handle.seek(0)
+        if not first:
+            raise ValueError("file is empty")
         if first == "{":
             try:
-                return json.load(handle)
+                document = json.load(handle)
             except json.JSONDecodeError:
                 handle.seek(0)
+            else:
+                if not isinstance(document, dict):
+                    raise ValueError(
+                        "not an observability document (top-level JSON "
+                        f"is {type(document).__name__}, expected object)")
+                return document
+        elif first == "[":
+            raise ValueError(
+                "not an observability document (top-level JSON is a "
+                "list; did you point at a BENCH_*.json trajectory? "
+                "use 'symsim bench compare' for those)")
         # JSONL trace stream: summarize into a synthetic document
-        records = [json.loads(line) for line in handle if line.strip()]
+        try:
+            records = [json.loads(line) for line in handle if line.strip()]
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"neither JSON nor JSONL: {exc}") from exc
+    if not all(isinstance(record, dict) for record in records):
+        raise ValueError("JSONL stream contains non-object records")
     return {"schema": "jsonl-trace", "records": records}
 
 

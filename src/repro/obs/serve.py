@@ -1,0 +1,203 @@
+"""``symsim serve-metrics`` — a stdlib OpenMetrics scrape endpoint.
+
+Serves three routes from a background-threaded ``http.server``:
+
+* ``GET /metrics``  — the OpenMetrics text exposition (Prometheus
+  scrapes this; content type per the OpenMetrics spec);
+* ``GET /status``   — the raw heartbeat records as a JSON array;
+* ``GET /healthz``  — ``ok`` (liveness probe).
+
+The server is *source-driven*: it holds a callable returning the
+metric snapshots + status records to expose and re-evaluates it per
+request, so a scrape always reflects the files on disk at scrape time
+— point it at a live run's ``--metrics-out``/``--heartbeat`` files (or
+a batch ``status/`` directory) and watch the run converge from your
+dashboard.  No third-party dependency; this is the groundwork for the
+``repro.serve`` front door on the roadmap.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Iterable, List, Optional
+
+from repro.obs.live import scan_status
+from repro.obs.metrics import (
+    MetricsRegistry, OPENMETRICS_CONTENT_TYPE, render_openmetrics,
+)
+
+
+def registry_from_status(records: Iterable[dict]) -> MetricsRegistry:
+    """Fold heartbeat records into ``symsim.run.*`` metric families.
+
+    Each run becomes a labeled child (``run="<name>"``), so one scrape
+    of a batch status directory yields per-run progress/cost series a
+    Prometheus query can aggregate or alert on.
+    """
+    registry = MetricsRegistry()
+    info = registry.gauge("symsim.run.info",
+                          "1 per known run, status as a label",
+                          labels=("run", "status"))
+    gauges = {
+        "sim_time": registry.gauge(
+            "symsim.run.sim_time", "current simulation time",
+            labels=("run",)),
+        "events_processed": registry.gauge(
+            "symsim.run.events_processed", "kernel events processed",
+            labels=("run",)),
+        "events_per_second": registry.gauge(
+            "symsim.run.events_per_second",
+            "cumulative event rate over the run's wall clock",
+            labels=("run",)),
+        "live_nodes": registry.gauge(
+            "symsim.run.bdd_live_nodes", "live BDD arena nodes",
+            labels=("run",)),
+        "rss_mb": registry.gauge(
+            "symsim.run.rss_mb", "worker resident set size (MiB)",
+            labels=("run",)),
+        "wall_seconds": registry.gauge(
+            "symsim.run.wall_seconds", "run wall-clock seconds",
+            labels=("run",)),
+        "eta_seconds": registry.gauge(
+            "symsim.run.eta_seconds",
+            "estimated seconds to the time bound", labels=("run",)),
+    }
+    headroom = registry.gauge(
+        "symsim.run.budget_headroom",
+        "fraction of a guard budget remaining",
+        labels=("run", "budget"))
+    for record in records:
+        name = str(record.get("name", "?"))
+        info.labels(run=name, status=str(record.get("status", "?"))).set(1)
+        for field, gauge in gauges.items():
+            value = record.get(field)
+            if isinstance(value, (int, float)):
+                gauge.labels(run=name).set(value)
+        for budget, frac in (record.get("headroom") or {}).items():
+            headroom.labels(run=name, budget=budget).set(frac)
+    return registry
+
+
+def build_scrape_source(
+    metrics_json: Optional[str] = None,
+    status_paths: Iterable[str] = (),
+    registry: Optional[MetricsRegistry] = None,
+) -> Callable[[], str]:
+    """A callable rendering the current OpenMetrics exposition.
+
+    Combines, in order: a live in-process ``registry`` (the embedded
+    use), a saved ``--metrics-out`` JSON snapshot re-read per scrape,
+    and heartbeat status files folded into ``symsim.run.*`` families.
+    """
+    status_paths = list(status_paths)
+
+    def render() -> str:
+        parts: List[str] = []
+        if registry is not None:
+            parts.append(registry.to_openmetrics())
+        if metrics_json is not None:
+            with open(metrics_json, "r", encoding="utf-8") as handle:
+                parts.append(render_openmetrics(json.load(handle)))
+        if status_paths:
+            parts.append(
+                registry_from_status(scan_status(status_paths))
+                .to_openmetrics())
+        if not parts:
+            parts.append(MetricsRegistry().to_openmetrics())
+        # one exposition: strip the per-part EOF, re-add one at the end
+        body = "".join(part[:-len("# EOF\n")] for part in parts)
+        return body + "# EOF\n"
+
+    return render
+
+
+class MetricsServer:
+    """Threaded HTTP server around a scrape-source callable.
+
+    ``port=0`` binds an ephemeral port (tests, parallel CI lanes);
+    read :attr:`port` after construction.  ``start()`` serves from a
+    daemon thread; ``serve_forever()`` blocks (the CLI path).
+    """
+
+    def __init__(self, source: Callable[[], str],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                if self.path in ("/metrics", "/"):
+                    try:
+                        body = source().encode("utf-8")
+                    except Exception as exc:  # surface, don't kill serve
+                        self.send_error(500, explain=str(exc))
+                        return
+                    self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+                elif self.path == "/status":
+                    body = json.dumps(server.status_records()).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                elif self.path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+                else:
+                    self.send_error(404)
+
+            def _reply(self, code: int, ctype: str, body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+        self._source = source
+        self._status_paths: List[str] = []
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    def watch_status(self, paths: Iterable[str]) -> None:
+        """Also expose these heartbeat files on ``/status``."""
+        self._status_paths = list(paths)
+
+    def status_records(self) -> List[dict]:
+        return scan_status(self._status_paths)
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="symsim-metrics",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._thread is not None:
+            # shutdown() must only run against a live serve_forever loop
+            # (it deadlocks otherwise), i.e. after start().
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,151 @@
+"""``symsim top`` — a live table over heartbeat status files.
+
+Tails one or many status files (files, directories, or globs — see
+:func:`repro.obs.live.scan_status`) and renders a refreshing table of
+runs: progress, event rate, BDD cost, RSS, guard headroom, ETA and
+heartbeat age.  On a TTY the screen redraws in place; piped output
+falls back to printing one plain table per refresh (and ``--once``
+prints exactly one, which is also what scripts and tests want).
+
+``symsim status --json`` shares the same scan and emits the raw
+records instead, for scripting.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Iterable, List, Optional
+
+from repro.obs.live import (
+    DEFAULT_STALL_AFTER, RunHealth, assess_health, scan_status,
+)
+
+#: Status → short table tag.  Anything unknown renders verbatim.
+_STATUS_TAGS = {
+    "running": "run",
+    "ok": "ok",
+    "assert_failed": "FAIL",
+    "aborted": "ABRT",
+    "hang": "HANG",
+    "interrupted": "INT",
+    "crashed": "CRSH",
+}
+
+
+def _fmt_count(value) -> str:
+    """Humanize large counters (1234567 → '1.2M')."""
+    if not isinstance(value, (int, float)):
+        return "-"
+    value = float(value)
+    for bound, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= bound:
+            return f"{value / bound:.1f}{suffix}"
+    return f"{value:g}"
+
+
+def _fmt_seconds(value) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def _fmt_headroom(headroom) -> str:
+    """The *tightest* remaining budget fraction, e.g. 'nodes 12%'."""
+    if not isinstance(headroom, dict) or not headroom:
+        return "-"
+    key, frac = min(headroom.items(), key=lambda item: item[1])
+    label = {"wall_seconds": "wall", "max_live_nodes": "nodes",
+             "max_rss_mb": "rss", "max_events": "events"}.get(key, key)
+    return f"{label} {frac * 100.0:.0f}%"
+
+
+def _progress(record: dict) -> str:
+    until = record.get("until")
+    sim_time = record.get("sim_time", 0)
+    if isinstance(until, (int, float)) and until:
+        return f"{sim_time}/{until:g}"
+    return f"{sim_time}"
+
+
+def format_top(records: Iterable[dict],
+               now_unix: Optional[float] = None,
+               stall_after: float = DEFAULT_STALL_AFTER) -> str:
+    """Render one refresh of the run table (pure — tests call this)."""
+    health = assess_health(records, now_unix=now_unix,
+                           stall_after=stall_after)
+    columns = (f"{'RUN':<20s} {'STAT':<5s} {'TIME':>12s} {'EVENTS':>8s} "
+               f"{'EV/S':>8s} {'NODES':>8s} {'RSS':>7s} {'HEADROOM':>11s} "
+               f"{'ETA':>6s} {'AGE':>6s}")
+    lines = [columns]
+    running = stalled = 0
+    for row in health:
+        record = row.record
+        tag = _STATUS_TAGS.get(row.status, row.status)
+        if row.stalled:
+            tag = "STALL"
+            stalled += 1
+        elif row.status == "running":
+            running += 1
+        rss = record.get("rss_mb")
+        lines.append(
+            f"{row.name:<20.20s} {tag:<5s} {_progress(record):>12s} "
+            f"{_fmt_count(record.get('events_processed')):>8s} "
+            f"{_fmt_count(record.get('events_per_second')):>8s} "
+            f"{_fmt_count(record.get('live_nodes')):>8s} "
+            f"{rss and f'{rss:.0f}M' or '-':>7s} "
+            f"{_fmt_headroom(record.get('headroom')):>11s} "
+            f"{_fmt_seconds(record.get('eta_seconds')):>6s} "
+            f"{_fmt_seconds(row.age_seconds):>6s}"
+        )
+    if len(lines) == 1:
+        lines.append("(no heartbeat records found)")
+    done = len(health) - running - stalled
+    lines.append(f"{len(health)} runs: {running} running, {done} done, "
+                 f"{stalled} stalled (heartbeat older than "
+                 f"{stall_after:g}s)")
+    return "\n".join(lines)
+
+
+def stalled_runs(records: Iterable[dict],
+                 now_unix: Optional[float] = None,
+                 stall_after: float = DEFAULT_STALL_AFTER,
+                 ) -> List[RunHealth]:
+    """Just the stalled rows — the batch engine's watcher helper."""
+    return [row for row in assess_health(records, now_unix=now_unix,
+                                         stall_after=stall_after)
+            if row.stalled]
+
+
+def run_top(paths: List[str], interval: float = 2.0, once: bool = False,
+            stall_after: float = DEFAULT_STALL_AFTER,
+            stream=None) -> int:
+    """The ``symsim top`` loop; returns a process exit code.
+
+    ``--once`` (or a non-TTY stream with ``interval <= 0``) prints a
+    single table.  The loop exits 0 on Ctrl-C or when every watched
+    run has reached a terminal status.
+    """
+    if stream is None:
+        stream = sys.stdout
+    is_tty = getattr(stream, "isatty", lambda: False)()
+    while True:
+        records = scan_status(paths)
+        table = format_top(records, stall_after=stall_after)
+        if is_tty and not once:
+            stream.write("\x1b[2J\x1b[H")  # clear + home
+        stream.write(table + "\n")
+        stream.flush()
+        if once:
+            return 0
+        health = assess_health(records, stall_after=stall_after)
+        if health and all(row.status != "running" for row in health):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -126,6 +126,23 @@ class SimOptions:
     #: testing and for measuring the fast-path speedup (Table 1's
     #: ``FULL`` vs ``FULL/nofp`` cells, ``symsim --no-fastpath``).
     no_fastpath: bool = False
+    #: Write a live heartbeat status record to this file (atomically
+    #: replaced) every ``heartbeat_every`` end-of-step safe points and
+    #: once more at run end — the ``repro.obs.heartbeat/1`` records
+    #: behind ``symsim top`` / ``symsim serve-metrics``.
+    heartbeat_path: Optional[str] = None
+    #: End-of-step safe points between heartbeats (default
+    #: :data:`repro.obs.live.DEFAULT_EVERY` when a heartbeat sink is
+    #: configured; setting only this field enables in-process
+    #: heartbeats with no file sink).
+    heartbeat_every: Optional[int] = None
+    #: In-process heartbeat consumer: called with each status record
+    #: dict.  Not picklable — single-process use only (the batch
+    #: engine rejects requests carrying one).
+    heartbeat_callback: Optional[Callable[[dict], None]] = None
+    #: Run name stamped into heartbeat records (defaults to the design
+    #: top; the batch engine stamps the request name).
+    heartbeat_name: Optional[str] = None
     #: Defer SIGINT to the next safe point: the first Ctrl-C finishes
     #: the current time step, writes a checkpoint when a
     #: ``checkpoint_dir`` is configured, and returns an ``interrupted``
@@ -382,6 +399,18 @@ class Kernel:
                 faults=self.options.faults,
                 obs=self.obs,
             )
+        self._heartbeat = None
+        if (self.options.heartbeat_path is not None
+                or self.options.heartbeat_every is not None
+                or self.options.heartbeat_callback is not None):
+            from repro.obs.live import DEFAULT_EVERY, Heartbeat
+
+            self._heartbeat = Heartbeat(
+                path=self.options.heartbeat_path,
+                callback=self.options.heartbeat_callback,
+                every=self.options.heartbeat_every or DEFAULT_EVERY,
+                name=self.options.heartbeat_name,
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -406,6 +435,8 @@ class Kernel:
         restore_sigint = self._arm_sigint()
         if self._guard is not None:
             self._guard.on_run_start(self)
+        if self._heartbeat is not None:
+            self._heartbeat.on_run_start(self, until)
         abort = None
         try:
             self._event_loop(until)
@@ -441,9 +472,26 @@ class Kernel:
         )
         if abort is not None:
             result.aborted = True
+        if self._heartbeat is not None:
+            self._heartbeat.on_run_end(self, self._heartbeat_status(result))
+        if abort is not None:
             abort.partial_result = result
             raise abort
         return result
+
+    def _heartbeat_status(self, result: SimResult) -> str:
+        """The heartbeat status string for a finished ``run()`` call."""
+        if result.aborted:
+            return SimStatus.ABORTED.value
+        if result.interrupted:
+            return "interrupted"
+        if result.violations:
+            return SimStatus.ASSERT_FAILED.value
+        if not result.finished and self.sched.peek_time() is not None:
+            # paused at an `until` bound with work still queued — the
+            # run is expected to continue
+            return "running"
+        return SimStatus.OK.value
 
     def _arm_sigint(self) -> Optional[Callable]:
         """Defer Ctrl-C to the next safe point (main thread only).
@@ -534,6 +582,8 @@ class Kernel:
                     # Budgets / mitigation ladder / periodic checkpoints
                     # / injected faults all act here, at the safe point.
                     self._guard.on_safe_point(self)
+                if self._heartbeat is not None:
+                    self._heartbeat.on_safe_point(self)
                 if self._sigint_flag[0]:
                     self._sigint_flag[0] = False
                     self._interrupted = True

@@ -1,0 +1,147 @@
+"""The perf-regression gate: direction inference, trajectory
+flattening, tolerance handling, and the pass/fail verdict the
+``bench-gate`` CI lane relies on."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.gate import (
+    GateError, compare_cells, compare_trajectories, direction,
+    latest_cells, load_trajectory, parse_tolerance,
+)
+
+
+class TestDirection:
+    def test_higher_is_better_cells(self):
+        for key in ("smoke_speedup", "fastpath/smoke_concrete_ratio",
+                    "events_per_second", "throughput", "apply_hits"):
+            assert direction(key) == 1, key
+
+    def test_lower_is_better_cells(self):
+        for key in ("wall_seconds.4", "overhead_pct", "peak_nodes",
+                    "rss_mb", "apply_misses", "latency_ms"):
+            assert direction(key) == -1, key
+
+    def test_rates_beat_the_seconds_substring(self):
+        # "events_per_second" contains "second" — the rate reading wins
+        assert direction("batch/events_per_second") == 1
+
+    def test_unknown_direction(self):
+        assert direction("mystery_number") == 0
+
+
+class TestTrajectories:
+    def _write(self, tmp_path, name, entries):
+        path = tmp_path / name
+        path.write_text(json.dumps(entries))
+        return str(path)
+
+    def test_load_rejects_missing_bad_and_empty(self, tmp_path):
+        with pytest.raises(GateError):
+            load_trajectory(str(tmp_path / "nope.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(GateError):
+            load_trajectory(str(bad))
+        with pytest.raises(GateError):
+            load_trajectory(self._write(tmp_path, "empty.json", []))
+        with pytest.raises(GateError):
+            load_trajectory(self._write(tmp_path, "obj.json",
+                                        [{"a": 1}, "junk"]))
+
+    def test_latest_entry_per_bench_wins(self):
+        cells = latest_cells([
+            {"bench": "fastpath", "smoke_speedup": 1.0},
+            {"bench": "fastpath", "smoke_speedup": 2.5},
+            {"bench": "batch", "wall_seconds": {"4": 8.0}},
+        ])
+        assert cells["fastpath/smoke_speedup"] == 2.5
+        assert cells["batch/wall_seconds.4"] == 8.0
+
+    def test_bookkeeping_and_nonnumeric_skipped(self):
+        cells = latest_cells([{
+            "bench": "b", "recorded": "2026-01-01", "gate": True,
+            "floors": {"x": 1}, "effective_cores": 8,
+            "notes": ["a"], "speedup": 2.0,
+        }])
+        assert cells == {"b/speedup": 2.0}
+
+
+class TestCompare:
+    def test_identical_cells_pass(self):
+        cells = {"b/speedup": 2.0, "b/wall_seconds": 5.0}
+        report = compare_cells(cells, dict(cells), max_regress=0.10)
+        assert report.passed
+        assert len(report.cells) == 2
+        assert "PASS" in report.describe()
+
+    def test_twenty_percent_slowdown_fails_ten_percent_gate(self):
+        old = {"b/wall_seconds": 5.0, "b/speedup": 2.0}
+        new = {"b/wall_seconds": 6.0, "b/speedup": 2.0 / 1.2}
+        report = compare_cells(old, new, max_regress=0.10)
+        assert not report.passed
+        assert {c.cell for c in report.regressions} == \
+            {"b/wall_seconds", "b/speedup"}
+        assert "FAIL" in report.describe()
+
+    def test_improvement_always_passes(self):
+        old = {"b/wall_seconds": 5.0, "b/speedup": 2.0}
+        new = {"b/wall_seconds": 2.0, "b/speedup": 9.0}
+        assert compare_cells(old, new, max_regress=0.0).passed
+
+    def test_within_tolerance_passes(self):
+        report = compare_cells({"b/wall_seconds": 100.0},
+                               {"b/wall_seconds": 109.0},
+                               max_regress=0.10)
+        assert report.passed
+
+    def test_one_sided_unknown_and_zero_baseline_skipped(self):
+        report = compare_cells(
+            {"b/only_old_seconds": 1.0, "b/mystery": 3.0,
+             "b/zero_nodes": 0.0},
+            {"b/only_new_seconds": 1.0, "b/mystery": 9.0,
+             "b/zero_nodes": 50.0})
+        assert report.passed
+        assert not report.cells
+        assert len(report.skipped) == 4
+
+    def test_compare_trajectories_end_to_end(self, tmp_path):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps([
+            {"bench": "b", "wall_seconds": {"1": 10.0}, "speedup": 3.0}]))
+        new.write_text(json.dumps([
+            {"bench": "b", "wall_seconds": {"1": 12.5}, "speedup": 3.0}]))
+        report = compare_trajectories(str(old), str(new), max_regress=0.10)
+        assert not report.passed
+        assert report.regressions[0].cell == "b/wall_seconds.1"
+
+    def test_committed_baselines_self_compare_clean(self):
+        """The CI lane's sanity half: baselines gate themselves."""
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), os.pardir,
+                            os.pardir)
+        for name in ("BENCH_fastpath.json", "BENCH_batch.json"):
+            path = os.path.join(root, name)
+            if not os.path.exists(path):
+                pytest.skip(f"{name} not committed")
+            report = compare_trajectories(path, path, max_regress=0.10)
+            assert report.passed, report.describe()
+            assert report.cells, f"{name} produced no comparable cells"
+
+
+class TestParseTolerance:
+    def test_percent_and_fraction(self):
+        assert parse_tolerance("10%") == pytest.approx(0.10)
+        assert parse_tolerance(" 2.5% ") == pytest.approx(0.025)
+        assert parse_tolerance("0.1") == pytest.approx(0.1)
+        assert parse_tolerance("0") == 0.0
+
+    def test_garbage_and_out_of_range_rejected(self):
+        for text in ("ten", "%", "-5%", "1000%", "10.0.0"):
+            with pytest.raises(GateError):
+                parse_tolerance(text)

@@ -1,0 +1,266 @@
+"""Unit tests for live telemetry: heartbeat records, status files,
+health assessment, and the ``symsim top`` renderer.
+
+The determinism contract is the load-bearing assertion here: two runs
+of the same simulation must produce byte-identical
+``deterministic_view``\\ s, so CI can hash heartbeat payloads without
+tripping over wall clocks, pids, or host RSS.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.obs.live import (
+    DEFAULT_STALL_AFTER, SCHEMA, WALL_FIELDS, Heartbeat, assess_health,
+    deterministic_view, finalize_status, read_status, scan_status,
+    write_status,
+)
+from repro.obs.top import format_top, stalled_runs
+
+
+class _Stats:
+    def __init__(self, events=0, symbols=0):
+        self.events_processed = events
+        self.symbols_injected = symbols
+
+
+class _Mgr:
+    def __init__(self, nodes=0, peak=0):
+        self.total_nodes = nodes
+        self.peak_nodes = peak
+
+
+class _Design:
+    top = "tb"
+
+
+class _FakeKernel:
+    """Just the attribute surface Heartbeat._record reads."""
+
+    def __init__(self, now=0, events=0, nodes=0, peak=0, symbols=0):
+        self.now = now
+        self.stats = _Stats(events, symbols)
+        self.mgr = _Mgr(nodes, peak)
+        self.violations = []
+        self.design = _Design()
+
+
+def _drive(heartbeat, steps=10):
+    """Advance a fake kernel through ``steps`` safe points."""
+    kern = _FakeKernel()
+    heartbeat.on_run_start(kern, until=1000)
+    for step in range(1, steps + 1):
+        kern.now = step * 10
+        kern.stats.events_processed = step * 7
+        kern.mgr.total_nodes = step * 100
+        kern.mgr.peak_nodes = step * 100
+        heartbeat.on_safe_point(kern)
+    heartbeat.on_run_end(kern, "ok")
+    return kern
+
+
+# ---------------------------------------------------------------------------
+# record content + determinism
+
+
+class TestHeartbeatRecords:
+    def test_beats_every_n_safe_points_plus_final(self):
+        beats = []
+        hb = Heartbeat(callback=beats.append, every=3)
+        _drive(hb, steps=10)
+        # safe points 3, 6, 9 plus the terminal beat
+        assert len(beats) == 4
+        assert [b["status"] for b in beats] == \
+            ["running", "running", "running", "ok"]
+        assert beats[-1]["sim_time"] == 100
+
+    def test_record_has_schema_and_wall_fields(self):
+        beats = []
+        hb = Heartbeat(callback=beats.append, every=1, name="r1")
+        _drive(hb, steps=1)
+        record = beats[0]
+        assert record["schema"] == SCHEMA
+        assert record["name"] == "r1"
+        assert WALL_FIELDS <= set(record)
+        assert record["until"] == 1000
+
+    def test_name_falls_back_to_design_top(self):
+        beats = []
+        hb = Heartbeat(callback=beats.append, every=1)
+        _drive(hb, steps=1)
+        assert beats[0]["name"] == "tb"
+
+    def test_deterministic_view_strips_exactly_wall_fields(self):
+        beats = []
+        hb = Heartbeat(callback=beats.append, every=1)
+        _drive(hb, steps=1)
+        view = deterministic_view(beats[0])
+        assert not (WALL_FIELDS & set(view))
+        assert set(beats[0]) - set(view) == WALL_FIELDS & set(beats[0])
+
+    def test_identical_drives_hash_identically(self):
+        def payload_hash():
+            beats = []
+            hb = Heartbeat(callback=beats.append, every=2, name="same")
+            _drive(hb, steps=8)
+            views = [deterministic_view(b) for b in beats]
+            return hashlib.sha256(
+                json.dumps(views, sort_keys=True).encode()).hexdigest()
+
+        assert payload_hash() == payload_hash()
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Heartbeat(every=0)
+
+    def test_last_kept_without_any_sink(self):
+        hb = Heartbeat(every=1)
+        _drive(hb, steps=2)
+        assert hb.last is not None
+        assert hb.last["status"] == "ok"
+        assert hb.beats == 3
+
+
+# ---------------------------------------------------------------------------
+# status files
+
+
+class TestStatusFiles:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        record = {"schema": SCHEMA, "name": "r", "status": "running"}
+        write_status(path, record)
+        assert read_status(path) == record
+        # no stray temp file left behind
+        assert sorted(os.listdir(tmp_path)) == ["run.json"]
+
+    def test_read_missing_and_malformed(self, tmp_path):
+        assert read_status(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_status(str(bad)) is None
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"schema": "something/else"}))
+        assert read_status(str(other)) is None
+
+    def test_scan_directory_sorts_by_name(self, tmp_path):
+        for name in ("b", "a", "c"):
+            write_status(str(tmp_path / f"{name}.json"),
+                         {"schema": SCHEMA, "name": name,
+                          "status": "running"})
+        (tmp_path / "junk.json").write_text("garbage")
+        records = scan_status([str(tmp_path)])
+        assert [r["name"] for r in records] == ["a", "b", "c"]
+
+    def test_scan_glob_and_file(self, tmp_path):
+        write_status(str(tmp_path / "x.json"),
+                     {"schema": SCHEMA, "name": "x", "status": "ok"})
+        assert len(scan_status([str(tmp_path / "*.json")])) == 1
+        assert len(scan_status([str(tmp_path / "x.json")])) == 1
+
+    def test_heartbeat_writes_status_file(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        hb = Heartbeat(path=path, every=5, name="filed")
+        _drive(hb, steps=5)
+        record = read_status(path)
+        assert record["name"] == "filed"
+        assert record["status"] == "ok"
+
+    def test_finalize_extends_last_heartbeat(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        hb = Heartbeat(path=path, every=1, name="r")
+        kern = _FakeKernel(now=50, events=10)
+        hb.on_run_start(kern, until=None)
+        hb.on_safe_point(kern)
+        finalize_status(path, "r", "hang", error="no progress")
+        record = read_status(path)
+        assert record["status"] == "hang"
+        assert record["error"] == "no progress"
+        assert record["sim_time"] == 50  # progress kept from last beat
+
+    def test_finalize_without_prior_record(self, tmp_path):
+        path = str(tmp_path / "never.json")
+        finalize_status(path, "crashy", "crashed", error="boom")
+        record = read_status(path)
+        assert record["name"] == "crashy"
+        assert record["status"] == "crashed"
+        assert record["sim_time"] == 0
+
+
+# ---------------------------------------------------------------------------
+# health / stall detection
+
+
+def _rec(name, status, ts):
+    return {"schema": SCHEMA, "name": name, "status": status,
+            "ts_unix": ts}
+
+
+class TestAssessHealth:
+    def test_fresh_running_is_not_stalled(self):
+        health = assess_health([_rec("a", "running", 1000.0)],
+                               now_unix=1005.0, stall_after=30.0)
+        assert not health[0].stalled
+        assert health[0].age_seconds == pytest.approx(5.0)
+
+    def test_old_running_is_stalled(self):
+        health = assess_health([_rec("a", "running", 1000.0)],
+                               now_unix=1031.0, stall_after=30.0)
+        assert health[0].stalled
+
+    def test_terminal_status_never_stalls(self):
+        for status in ("ok", "aborted", "hang", "crashed"):
+            health = assess_health([_rec("a", status, 0.0)],
+                                   now_unix=1e9, stall_after=1.0)
+            assert not health[0].stalled, status
+
+    def test_missing_timestamp_gives_no_age_no_stall(self):
+        health = assess_health([{"schema": SCHEMA, "name": "a",
+                                 "status": "running"}], now_unix=1.0)
+        assert health[0].age_seconds is None
+        assert not health[0].stalled
+
+    def test_default_threshold(self):
+        assert DEFAULT_STALL_AFTER == 30.0
+
+    def test_stalled_runs_helper_filters(self):
+        records = [_rec("ok-run", "ok", 0.0),
+                   _rec("stuck", "running", 0.0)]
+        stalled = stalled_runs(records, now_unix=100.0, stall_after=30.0)
+        assert [row.name for row in stalled] == ["stuck"]
+
+
+# ---------------------------------------------------------------------------
+# the `symsim top` table
+
+
+class TestFormatTop:
+    def test_renders_rows_and_summary(self):
+        records = [
+            {"schema": SCHEMA, "name": "alpha", "status": "running",
+             "ts_unix": 999.0, "sim_time": 40, "until": 100,
+             "events_processed": 1234567, "events_per_second": 2500.0,
+             "live_nodes": 4200, "rss_mb": 55.0,
+             "headroom": {"max_live_nodes": 0.12}, "eta_seconds": 12.0},
+            _rec("done", "ok", 999.0),
+        ]
+        table = format_top(records, now_unix=1000.0, stall_after=30.0)
+        assert "alpha" in table and "40/100" in table
+        assert "1.2M" in table  # humanized counter
+        assert "nodes 12%" in table
+        assert "2 runs: 1 running, 1 done, 0 stalled" in table
+
+    def test_stalled_row_tagged(self):
+        table = format_top([_rec("stuck", "running", 0.0)],
+                           now_unix=100.0, stall_after=30.0)
+        assert "STALL" in table
+        assert "1 stalled" in table
+
+    def test_empty_scan_message(self):
+        assert "(no heartbeat records found)" in \
+            format_top([], now_unix=0.0)

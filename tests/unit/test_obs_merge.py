@@ -1,0 +1,92 @@
+"""Shard-merge robustness: empty, truncated, and partially garbage
+trace shards must warn and be skipped — never crash the merge or
+poison the merged trace (satellite of the live-telemetry PR; the
+chaos lane kills workers mid-write on purpose)."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.obs.merge import (
+    ShardWarning, merge_shards, read_jsonl_records, shard_to_chrome_events,
+)
+
+
+def _record(name="ev", ts=1.0, **extra):
+    return {"ev": "instant", "name": name, "cat": "sim", "ts_us": ts,
+            **extra}
+
+
+class TestReadJsonlRecords:
+    def test_empty_shard_warns_and_returns_nothing(self, tmp_path):
+        shard = tmp_path / "w1.jsonl"
+        shard.write_text("")
+        with pytest.warns(ShardWarning, match="empty"):
+            assert read_jsonl_records(str(shard)) == []
+
+    def test_truncated_last_line_dropped_with_warning(self, tmp_path):
+        shard = tmp_path / "w1.jsonl"
+        good = _record()
+        shard.write_text(json.dumps(good) + "\n" + '{"ev": "instant", "na')
+        with pytest.warns(ShardWarning, match="malformed"):
+            records = read_jsonl_records(str(shard))
+        assert records == [good]
+
+    def test_non_object_lines_dropped(self, tmp_path):
+        shard = tmp_path / "w1.jsonl"
+        shard.write_text('[1, 2]\n"just a string"\n'
+                         + json.dumps(_record()) + "\n")
+        with pytest.warns(ShardWarning):
+            records = read_jsonl_records(str(shard))
+        assert len(records) == 1
+
+    def test_missing_file_warns_not_raises(self, tmp_path):
+        with pytest.warns(ShardWarning, match="unreadable"):
+            assert read_jsonl_records(str(tmp_path / "gone.jsonl")) == []
+
+    def test_clean_shard_is_silent(self, tmp_path):
+        shard = tmp_path / "w1.jsonl"
+        shard.write_text(json.dumps(_record()) + "\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert len(read_jsonl_records(str(shard))) == 1
+
+
+class TestShardToChromeEvents:
+    def test_records_missing_fields_skipped_with_warning(self):
+        records = [_record(), {"ev": "instant", "cat": "sim"},
+                   {"ev": "instant", "name": "x", "cat": "c",
+                    "ts_us": "not-a-number"}]
+        with pytest.warns(ShardWarning, match="missing required"):
+            events = shard_to_chrome_events(records, pid=7)
+        assert len(events) == 1
+        assert events[0]["pid"] == 7
+
+    def test_unknown_phase_silently_ignored(self):
+        events = shard_to_chrome_events([{"ev": "schema-header"}], pid=1)
+        assert events == []
+
+
+class TestMergeShards:
+    def test_merge_survives_damaged_and_missing_shards(self, tmp_path):
+        good = tmp_path / "w1.jsonl"
+        good.write_text(json.dumps(_record()) + "\n")
+        empty = tmp_path / "w2.jsonl"
+        empty.write_text("")
+        out = tmp_path / "trace.json"
+        shards = {
+            1: (str(good), 0.0),
+            2: (str(empty), 0.0),
+            3: (str(tmp_path / "never-written.jsonl"), 0.0),
+        }
+        with pytest.warns(ShardWarning):
+            count = merge_shards(shards, str(out))
+        document = json.loads(out.read_text())
+        # 3 process_name metadata entries + 1 surviving event
+        assert count == 4
+        names = [e["name"] for e in document["traceEvents"]]
+        assert names.count("process_name") == 3
+        assert "ev" in names

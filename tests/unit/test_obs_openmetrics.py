@@ -1,0 +1,158 @@
+"""OpenMetrics rendering: golden exposition, spec details, and the
+scrape-source composition used by ``symsim serve-metrics``.
+
+The golden file (tests/golden/metrics.om) freezes the full text format
+— ``_total`` suffixes, cumulative buckets, escaping, the ``# EOF``
+terminator — so an accidental format drift fails loudly instead of
+silently breaking every Prometheus scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.live import SCHEMA as HEARTBEAT_SCHEMA
+from repro.obs.metrics import (
+    OPENMETRICS_CONTENT_TYPE, MetricError, MetricsRegistry,
+    render_openmetrics,
+)
+from repro.obs.serve import build_scrape_source, registry_from_status
+
+GOLDEN = os.path.join(os.path.dirname(__file__), os.pardir, "golden",
+                      "metrics.om")
+
+
+def golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("sim.events_processed", "kernel events processed").inc(1234)
+    runs = reg.counter("batch.runs", "runs by outcome", labels=("status",))
+    runs.labels(status="ok").inc(3)
+    runs.labels(status="assert_failed").inc(1)
+    reg.gauge("bdd.live_nodes", "live BDD arena nodes").set(17294)
+    reg.gauge("symsim.run.rss_mb",
+              'resident set size with "quotes" and \\',
+              labels=("run",)).labels(run='gcd "4"').set(35.5)
+    hist = reg.histogram("bdd.apply_latency_us", "apply() latency (us)",
+                         buckets=[1, 10, 100])
+    for value in (0.5, 5, 50, 500):
+        hist.observe(value)
+    series = reg.series("fig11.live_nodes", "live nodes over time")
+    series.sample(0, 100)
+    series.sample(10, 250)
+    return reg
+
+
+class TestGolden:
+    def test_matches_golden_file(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert golden_registry().to_openmetrics() == expected
+
+    def test_render_is_snapshot_driven(self):
+        """Same output from the live registry and its JSON snapshot."""
+        reg = golden_registry()
+        via_snapshot = render_openmetrics(
+            json.loads(json.dumps(reg.snapshot())))
+        assert via_snapshot == reg.to_openmetrics()
+
+
+class TestFormatDetails:
+    def test_ends_with_eof(self):
+        assert MetricsRegistry().to_openmetrics() == "# EOF\n"
+
+    def test_counter_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", "help").inc(2)
+        text = reg.to_openmetrics()
+        assert "# TYPE a_b counter" in text
+        assert "a_b_total 2" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", "h", buckets=[1, 2])
+        for value in (0.5, 1.5, 99):
+            hist.observe(value)
+        text = reg.to_openmetrics()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_count 3" in text
+
+    def test_dotted_names_and_digit_prefix_sanitized(self):
+        reg = MetricsRegistry()
+        reg.gauge("4bad.name-x", "g").set(1)
+        assert "_4bad_name_x 1" in reg.to_openmetrics()
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "g", labels=("l",)) \
+            .labels(l='say "hi"\nnow\\').set(1)
+        assert 'g{l="say \\"hi\\"\\nnow\\\\"} 1' in reg.to_openmetrics()
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 'with "quotes"\nand \\').set(1)
+        assert '# HELP g with "quotes"\\nand \\\\' in reg.to_openmetrics()
+
+    def test_invalid_snapshot_rejected(self):
+        with pytest.raises(MetricError):
+            render_openmetrics({"not": "a snapshot"})
+        with pytest.raises(MetricError):
+            render_openmetrics([])
+
+    def test_content_type_constant(self):
+        assert OPENMETRICS_CONTENT_TYPE.startswith(
+            "application/openmetrics-text")
+
+
+class TestScrapeSource:
+    def _status(self, tmp_path, name="r1", status="running"):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps({
+            "schema": HEARTBEAT_SCHEMA, "name": name, "status": status,
+            "sim_time": 40, "events_processed": 100, "live_nodes": 500,
+            "rss_mb": 12.5, "headroom": {"max_live_nodes": 0.25},
+        }))
+        return str(path)
+
+    def test_registry_from_status_families(self, tmp_path):
+        self._status(tmp_path)
+        from repro.obs.live import scan_status
+
+        text = registry_from_status(
+            scan_status([str(tmp_path)])).to_openmetrics()
+        assert 'symsim_run_info{run="r1",status="running"} 1' in text
+        assert 'symsim_run_sim_time{run="r1"} 40' in text
+        assert 'symsim_run_bdd_live_nodes{run="r1"} 500' in text
+        assert 'symsim_run_budget_headroom{budget="max_live_nodes",' \
+               'run="r1"} 0.25' in text
+
+    def test_combined_source_single_eof(self, tmp_path):
+        self._status(tmp_path)
+        metrics_json = tmp_path / "m.json"
+        reg = MetricsRegistry()
+        reg.counter("x", "x").inc(1)
+        metrics_json.write_text(reg.to_json())
+        source = build_scrape_source(metrics_json=str(metrics_json),
+                                     status_paths=[str(tmp_path)])
+        body = source()
+        assert body.count("# EOF") == 1
+        assert body.endswith("# EOF\n")
+        assert "x_total 1" in body
+        assert "symsim_run_sim_time" in body
+
+    def test_source_rereads_per_scrape(self, tmp_path):
+        path = self._status(tmp_path, status="running")
+        source = build_scrape_source(status_paths=[str(tmp_path)])
+        assert 'status="running"' in source()
+        record = json.loads(open(path).read())
+        record["status"] = "ok"
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        assert 'status="ok"' in source()
+
+    def test_empty_source_still_valid(self):
+        assert build_scrape_source()() == "# EOF\n"
