@@ -37,7 +37,7 @@ _OUTCOME: dict = {}
 
 def _symbolic_hunt():
     source, top, defines = load("mcu8", runtime=100)
-    sim = repro.SymbolicSimulator.from_source(source, top=top,
+    sim = repro.open_sim(source, top=top,
                                               defines=defines)
     started = time.perf_counter()
     result = sim.run(until=200)
@@ -59,7 +59,7 @@ def _symbolic_hunt():
 
 def _random_hunt(seed: int):
     source, top, defines = load("mcu8", runtime=RANDOM_BUDGET)
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, top=top, defines=defines,
         options=SimOptions(concrete_random=seed))
     started = time.perf_counter()

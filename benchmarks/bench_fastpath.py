@@ -168,7 +168,7 @@ def _run_smoke(no_fastpath: bool):
     registry = MetricsRegistry()
     options = SimOptions(obs=Observability(metrics=registry),
                          no_fastpath=no_fastpath)
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         SMOKE_DESIGN, top="bench_smoke", options=options)
     started = time.perf_counter()
     result = sim.run(until=3100)

@@ -53,7 +53,7 @@ def _run_mode(mode: AccumulationMode, gc: bool = False):
     source, top, defines = load("mcu8", runtime=RUNTIME, quiet=QUIET_CYCLES,
                                 period=PERIOD)
     registry = MetricsRegistry()
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, top=top, defines=defines,
         options=SimOptions(accumulation=mode, trace_stats=True,
                            stop_on_violation=False,

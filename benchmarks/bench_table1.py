@@ -122,7 +122,7 @@ def _run_cell(design: str, mode: AccumulationMode, gc: bool = False,
                          vcd_path=vcd_path,
                          concrete_random=20010618 if conv else None,
                          **(GC_KNOBS if gc else {}))
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, top=top, defines=defines, options=options)
     # Drop the previous cell's dead arenas before timing: a ~0.5s cell
     # that happens to follow a multi-million-node run otherwise pays

@@ -49,7 +49,7 @@ _STATE: dict = {}
 
 
 def _simulate():
-    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    sim = repro.open_sim(SOURCE)
     result = sim.run()
     assert result.violations
     _STATE["sim"] = sim

@@ -32,7 +32,7 @@ def random_baseline(seeds=(1, 2, 3), until=500):
     # a *longer* testbench budget than the symbolic run gets
     source, top, defines = load("mcu8", runtime=until - 20)
     for seed in seeds:
-        sim = repro.SymbolicSimulator.from_source(
+        sim = repro.open_sim(
             source, top=top, defines=defines,
             options=SimOptions(concrete_random=seed))
         started = time.perf_counter()
@@ -45,7 +45,7 @@ def random_baseline(seeds=(1, 2, 3), until=500):
 
 def symbolic_hunt(source, top, defines, until=200):
     print("--- symbolic simulation (12 fresh variables per cycle) ---")
-    sim = repro.SymbolicSimulator.from_source(source, top=top,
+    sim = repro.open_sim(source, top=top,
                                               defines=defines)
     started = time.perf_counter()
     result = sim.run(until=until)

@@ -61,7 +61,7 @@ def traces_for(sim, violation, limit=4):
 
 
 def main() -> None:
-    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    sim = repro.open_sim(SOURCE)
     result = sim.run()
     violation = result.violations[0]
     print(f"assertion $assert(c < 20) violated at t={violation.time}")

@@ -21,7 +21,7 @@ from repro.designs import load
 
 def run_mode(mode: AccumulationMode, width: int = 4):
     source, top, defines = load("gcd", rounds=1, width=width)
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, top=top, defines=defines,
         options=SimOptions(accumulation=mode))
     started = time.perf_counter()

@@ -96,7 +96,7 @@ endmodule
 
 def main() -> None:
     print("symbolically verifying FIFO order for all 256 payload pairs...")
-    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    sim = repro.open_sim(SOURCE)
     result = sim.run(until=500)
     verdict = "FAILED" if result.violations else "passed"
     print(f"order/flag checks: {verdict} "

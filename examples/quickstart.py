@@ -35,7 +35,7 @@ endmodule
 
 def main() -> None:
     print("=== compiling and simulating symbolically ===")
-    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    sim = repro.open_sim(SOURCE)
     result = sim.run()
 
     print(f"simulation ended at t={result.time}; "

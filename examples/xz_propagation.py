@@ -50,7 +50,7 @@ endmodule
 
 
 def main() -> None:
-    sim = repro.SymbolicSimulator.from_source(SOURCE)
+    sim = repro.open_sim(SOURCE)
     result = sim.run()
     for line in result.output:
         print(line)

@@ -53,15 +53,18 @@ from repro.compile import compile_design, Program
 from repro.compile.instructions import AccumulationMode
 from repro.errors import (
     AssertionViolation, BatchError, BddError, CheckpointError, CompileError,
-    ElaborationError, FourValueError, ReproError, ResimulationError,
-    SimulationAborted, SimulationError, SimulationHang, SymbolicDelayError,
-    VerilogSyntaxError,
+    ElaborationError, FourValueError, MutationError, ReproError,
+    ResimulationError, SimulationAborted, SimulationError, SimulationHang,
+    SymbolicDelayError, VerilogSyntaxError,
 )
 from repro.fourval import FourVec
 from repro.frontend import elaborate, parse_source
 from repro.guard import (
     BudgetReport, Fault, FaultInjector, ResourceBudgets, load_checkpoint,
     save_checkpoint,
+)
+from repro.mutate import (
+    CampaignConfig, CampaignReport, MutationPlan, build_plan, run_campaign,
 )
 from repro.obs import (
     HotSpotProfiler, MetricsRegistry, Observability, Tracer,
@@ -80,6 +83,9 @@ __all__ = [
     "open_sim", "SymbolicSimulator",
     # batch engine
     "RunRequest", "RunOutcome", "BatchResult", "run_batch", "load_manifest",
+    # mutation campaigns
+    "CampaignConfig", "CampaignReport", "MutationPlan", "build_plan",
+    "run_campaign",
     # core types
     "SimOptions", "SimResult", "SimStatus", "AccumulationMode",
     "FourVec", "BddManager", "ErrorTrace", "Violation",
@@ -95,7 +101,7 @@ __all__ = [
     "errors",
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
     "SimulationError", "SimulationHang", "SimulationAborted",
-    "SymbolicDelayError", "CheckpointError", "BatchError",
+    "SymbolicDelayError", "CheckpointError", "BatchError", "MutationError",
     "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
 ]
 

@@ -186,9 +186,10 @@ def _compile_catalog(
     Returns ``(catalog, by_run)``: the fingerprint-keyed pickled
     programs shipped to workers, and each run name's fingerprint.
     """
+    import hashlib
+
     from repro.compile import compile_design
     from repro.frontend import elaborate, parse_source
-    from repro.guard.checkpoint import design_fingerprint
 
     catalog: Dict[str, bytes] = {}
     by_key: Dict[tuple, str] = {}
@@ -198,9 +199,17 @@ def _compile_catalog(
         fingerprint = by_key.get(key)
         if fingerprint is None:
             source, top, defines = key
+            # Content-address the catalog by the full design key, NOT
+            # by the structural design_fingerprint(): structure (net
+            # table + instruction counts) cannot tell apart designs
+            # that differ only in an operator or a constant — exactly
+            # the shape of a mutation campaign's mutants — and a
+            # collision here would silently run one design in place of
+            # another.
+            fingerprint = hashlib.sha256(
+                repr((source, top, defines)).encode("utf-8")).hexdigest()
             modules = parse_source(source, defines=dict(defines) or None)
             program = compile_design(elaborate(modules, top=top))
-            fingerprint = design_fingerprint(program)
             by_key[key] = fingerprint
             catalog[fingerprint] = pickle.dumps(program)
         by_run[request.name] = fingerprint

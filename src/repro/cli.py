@@ -36,11 +36,20 @@ Batch simulation (see docs/BATCH.md)::
     symsim batch jobs.json --workers 4 --out-dir out/
     symsim batch jobs.json --workers 2 --no-trace --quiet
 
+Mutation campaigns (see docs/MUTATION.md)::
+
+    symsim mutate campaign.json --workers 4 --out-dir out/
+    symsim mutate campaign.json --operators opswap,cmpswap --seed 7
+    symsim mutate campaign.json --plan-only     # enumerate, don't run
+    symsim report out/report.json               # render a saved report
+
 Exit codes: 0 clean, 1 violations found, 2 error, 3 resimulation
 failure, 4 aborted by the resource guard, 130 interrupted (Ctrl-C).
 ``symsim batch`` folds per-run outcomes: 0 when every run is ok, 1
 when any run had assertion violations, 4 when any run aborted or
-hung, 2 for a bad manifest or pool failure.
+hung, 2 for a bad manifest or pool failure.  ``symsim mutate`` exits
+0 when the campaign completes (whatever the score), 2 for a bad
+manifest or controller failure, 3 when the baseline is not clean.
 """
 
 from __future__ import annotations
@@ -300,6 +309,133 @@ def batch_main(argv: List[str]) -> int:
     return 0
 
 
+def build_mutate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim mutate",
+        description="Run a mutation/fault campaign: generate single-site "
+                    "mutants of a design, fan them out through the batch "
+                    "engine, classify each with the symbolic checker "
+                    "(see docs/MUTATION.md for the manifest format)",
+    )
+    parser.add_argument("manifest", help="campaign manifest (JSON)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes (overrides the manifest; "
+                             "default 1)")
+    parser.add_argument("--out-dir", metavar="DIR", default=None,
+                        help="campaign output directory: per-run "
+                             "artifacts, report.json, metrics.json "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="mutation-plan seed (overrides the manifest)")
+    parser.add_argument("--operators", metavar="A,B,...", default=None,
+                        help="comma-separated operator subset (overrides "
+                             "the manifest)")
+    parser.add_argument("--max-mutants", type=int, default=None,
+                        metavar="N",
+                        help="cap the campaign at N seeded-sampled sites "
+                             "(overrides the manifest)")
+    parser.add_argument("--plan-only", action="store_true",
+                        help="print the canonical MutationPlan JSON and "
+                             "exit without running anything")
+    parser.add_argument("--report-out", metavar="PATH", default=None,
+                        help="also write the campaign report JSON here")
+    parser.add_argument("--verify-witnesses", action="store_true",
+                        help="concretely resimulate every detected "
+                             "mutant's witness (paper Section-5 round "
+                             "trip)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-mutant completion stream")
+    parser.add_argument("--no-heartbeat", action="store_true",
+                        help="skip the per-run live status files under "
+                             "<out-dir>/status/")
+    parser.add_argument("--stall-after", type=float, default=None,
+                        metavar="S",
+                        help="flag a mutant run whose heartbeat is older "
+                             "than S seconds (stall watcher)")
+    return parser
+
+
+def mutate_main(argv: List[str]) -> int:
+    from repro.errors import MutationError
+    from repro.mutate import build_plan, classify, load_campaign, \
+        run_campaign
+    from repro.obs.live import DEFAULT_EVERY
+    from repro.obs.report import format_mutation_report
+
+    args = build_mutate_parser().parse_args(argv)
+    try:
+        config, workers = load_campaign(args.manifest)
+    except MutationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        workers = args.workers
+    if args.seed is not None:
+        config.seed = args.seed
+    if args.operators is not None:
+        config.operators = [op.strip()
+                            for op in args.operators.split(",") if op.strip()]
+    if args.max_mutants is not None:
+        config.max_mutants = args.max_mutants
+    if args.verify_witnesses:
+        config.verify_witnesses = True
+
+    if args.plan_only:
+        try:
+            plan = build_plan(
+                config.source, top=config.top, defines=config.defines,
+                operators=config.operators, modules=config.modules,
+                seed=config.seed, max_mutants=config.max_mutants)
+        except (MutationError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(plan.to_json(), end="")
+        return 0
+
+    def stream(outcome):
+        if args.quiet:
+            return
+        tag = outcome.status.value if outcome.name == "baseline" \
+            else classify(outcome.status.value)
+        print(f"[{tag:>10}] {outcome.name} ({outcome.wall_seconds:.2f}s)",
+              flush=True)
+
+    heartbeat_every = None if args.no_heartbeat else DEFAULT_EVERY
+    try:
+        report = run_campaign(
+            config, workers=workers, out_dir=args.out_dir,
+            on_result=stream, heartbeat_every=heartbeat_every,
+            stall_after=args.stall_after)
+    except MutationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3 if "baseline run is not clean" in str(exc) else 2
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("campaign interrupted", file=sys.stderr)
+        return 130
+
+    print(format_mutation_report(report.to_dict()))
+    print(f"[campaign] wall {report.wall_seconds:.2f}s on "
+          f"{workers} worker(s)")
+    if report.report_path is not None:
+        print(f"[obs] campaign report: {report.report_path} "
+              "(render with 'symsim report')")
+    if report.batch.metrics_path is not None:
+        print(f"[obs] aggregated metrics: {report.batch.metrics_path}")
+    if args.report_out is not None:
+        try:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+        except OSError as exc:
+            print(f"error: cannot write {args.report_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[obs] report copied to {args.report_out}")
+    return 0
+
+
 def build_top_parser(prog: str = "symsim top") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
@@ -450,6 +586,7 @@ def bench_main(argv: List[str]) -> int:
 _SUBCOMMANDS = {
     "report": report_main,
     "batch": batch_main,
+    "mutate": mutate_main,
     "top": top_main,
     "status": status_main,
     "serve-metrics": serve_metrics_main,

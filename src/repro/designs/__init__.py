@@ -18,8 +18,15 @@ name       paper artifact                role
                                          symbolic variables per cycle
 =========  ============================  ==============================
 
-Each loader returns (source_text, top_module_name) with the required
-workload-size macros filled in.
+``alu4`` (4-bit ALU with a planted carry-out bug) and ``arbiter``
+(round-robin arbiter + fairness checker) are extra workloads beyond
+the paper's table.  The designs with planted bugs take ``fixed=True``
+to load the repaired edition; :data:`PLANTED_BUGS` registers them as
+the regression corpus for the mutation/fault campaign engine
+(:mod:`repro.mutate`).
+
+Each loader returns (source_text, top_module_name, defines) with the
+required workload-size macros filled in.
 """
 
 from __future__ import annotations
@@ -65,7 +72,8 @@ def risc8_design(runtime: int = 200) -> Tuple[str, str, Dict[str, str]]:
 
 
 def mcu8_design(
-    runtime: int = 100, quiet: int = 0, period: int = 1
+    runtime: int = 100, quiet: int = 0, period: int = 1,
+    fixed: bool = False,
 ) -> Tuple[str, str, Dict[str, str]]:
     """MCU8 micro-controller with the planted ADDC/interrupt bug.
 
@@ -74,13 +82,30 @@ def mcu8_design(
     cycles after reset release at t=12) with the default full-rate
     injection.  ``quiet`` cycles after reset receive concrete NOPs (the
     init phase of Fig. 11); ``period`` injects symbols only every Nth
-    cycle, throttling BDD growth on long runs.
+    cycle, throttling BDD growth on long runs.  ``fixed=True`` loads
+    the repaired edition (the carry-in added unconditionally) — the
+    clean baseline for mutation campaigns.
     """
-    return _read("mcu8.v"), "mcu8_tb", {
+    defines = {
         "MCU_RUNTIME": str(runtime),
         "MCU_QUIET": str(quiet),
         "MCU_PERIOD": str(period),
     }
+    if fixed:
+        defines["MCU_FIXED"] = "1"
+    return _read("mcu8.v"), "mcu8_tb", defines
+
+
+def alu4_design(
+    runtime: int = 60, fixed: bool = False
+) -> Tuple[str, str, Dict[str, str]]:
+    """4-bit ALU with a planted ADD carry-out bug + golden-model
+    checker; 10 fully symbolic stimulus bits per cycle (10 units each).
+    ``fixed=True`` loads the repaired edition."""
+    defines = {"ALU_RUNTIME": str(runtime)}
+    if fixed:
+        defines["ALU_FIXED"] = "1"
+    return _read("alu4.v"), "alu4_tb", defines
 
 
 def arbiter_design(runtime: int = 100) -> Tuple[str, str, Dict[str, str]]:
@@ -90,14 +115,41 @@ def arbiter_design(runtime: int = 100) -> Tuple[str, str, Dict[str, str]]:
     return _read("arbiter.v"), "arbiter_tb", {"ARB_RUNTIME": str(runtime)}
 
 
+#: Planted-bug regression corpus for mutation/fault campaigns: design
+#: name -> loader kwargs for the buggy edition, a time horizon that
+#: provably exposes the bug symbolically, and a human description.
+#: The fixed edition of each entry (``fixed=True``) runs clean over
+#: the same horizon; ``fixed_fast`` marks entries whose clean run is
+#: cheap enough for tier-1 tests and campaign baselines (a clean
+#: symbolic mcu8 run never prunes on a violation, so its BDD state
+#: accumulates across every injected cycle — minutes, not seconds).
+PLANTED_BUGS: Dict[str, Dict[str, object]] = {
+    "mcu8": {
+        "params": {"runtime": 50},
+        "until": 60,
+        "fixed_fast": False,
+        "description": "ADDC carry-in dropped when an interrupt is "
+                       "taken during the operand cycle",
+    },
+    "alu4": {
+        "params": {"runtime": 60},
+        "until": 80,
+        "fixed_fast": True,
+        "description": "ADD carry-out computed as a[3] & b[3] instead "
+                       "of the true 5-bit sum's carry",
+    },
+}
+
+
 def load(name: str, **kwargs) -> Tuple[str, str, Dict[str, str]]:
     """Load a design by name
-    (``gcd``/``dram``/``risc8``/``mcu8``/``arbiter``)."""
+    (``gcd``/``dram``/``risc8``/``mcu8``/``alu4``/``arbiter``)."""
     loaders = {
         "gcd": gcd_design,
         "dram": dram_design,
         "risc8": risc8_design,
         "mcu8": mcu8_design,
+        "alu4": alu4_design,
         "arbiter": arbiter_design,
     }
     if name not in loaders:

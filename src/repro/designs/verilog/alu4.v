@@ -1,0 +1,76 @@
+// alu4 — 4-bit ALU with a planted carry-out bug, plus a golden-model
+// checker testbench.  The smallest member of the planted-bug corpus:
+// the testbench drives fully symbolic operands/opcode every cycle
+// (10 symbolic variables), so the symbolic checker covers all 2^10
+// input combinations per cycle and finds the planted bug on the first
+// ADD whose true carry disagrees with the buggy estimate.
+//
+// Macros:
+//   ALU_RUNTIME  simulation run length in time units (10 per cycle)
+//   ALU_FIXED    when defined, the planted bug is repaired
+//
+// Planted bug (default edition): the ADD carry-out is computed as
+// a[3] & b[3] instead of bit 4 of the true 5-bit sum — wrong exactly
+// when the top operand bits disagree and the low bits carry in
+// (e.g. a=4'b1000, b=4'b1000 is fine; a=4'b1100, b=4'b0100 is not).
+
+module alu4(a, b, op, res, cout);
+  input  [3:0] a, b;
+  input  [1:0] op;
+  output reg [3:0] res;
+  output reg cout;
+
+  always @(a or b or op) begin
+    cout = 0;
+    case (op)
+      2'd0: begin                                   // ADD
+`ifdef ALU_FIXED
+        {cout, res} = a + b;
+`else
+        res  = a + b;                               // PLANTED BUG:
+        cout = a[3] & b[3];                         // true carry lost
+`endif
+      end
+      2'd1: {cout, res} = {1'b0, a} - {1'b0, b};    // SUB (cout=borrow)
+      2'd2: res = a & b;                            // AND
+      2'd3: res = a | b;                            // OR
+    endcase
+  end
+endmodule
+
+module alu4_tb;
+  reg clk;
+  reg [3:0] a, b;
+  reg [1:0] op;
+  wire [3:0] res;
+  wire cout;
+  reg [4:0] gold;
+  reg goal;
+
+  alu4 dut(.a(a), .b(b), .op(op), .res(res), .cout(cout));
+
+  always #5 clk = ~clk;
+
+  // Inject fully symbolic stimulus at each rising edge, then compare
+  // the settled DUT outputs against the golden model two units later.
+  always @(posedge clk) begin
+    a = $random;
+    b = $random;
+    op = $random;
+    #2;
+    case (op)
+      2'd0: gold = a + b;
+      2'd1: gold = {1'b0, a} - {1'b0, b};
+      2'd2: gold = {1'b0, a & b};
+      2'd3: gold = {1'b0, a | b};
+    endcase
+    if ({cout, res} !== gold) goal = 1;
+  end
+
+  initial begin
+    clk = 0; a = 0; b = 0; op = 0; gold = 0; goal = 0;
+    $assert(goal == 0);
+    #`ALU_RUNTIME;
+    $finish;
+  end
+endmodule

@@ -94,6 +94,11 @@ module mcu8(clk, rst, code_in, irq, port_out, fetch_state);
           4'h1: acc = operand;                          // MOV A,#imm
           4'h2: {cy, acc} = acc + operand;              // ADD A,#imm
           4'h3: begin                                   // ADDC A,#imm
+`ifdef MCU_FIXED
+            // Repaired edition (`MCU_FIXED`): the carry-in is added
+            // unconditionally, as correct hardware would.
+            {cy, acc} = acc + operand + cy;
+`else
             // ---- PLANTED BUG ----------------------------------
             // The carry-in is dropped when an interrupt is taken
             // during this operand cycle.  Correct hardware would
@@ -103,6 +108,7 @@ module mcu8(clk, rst, code_in, irq, port_out, fetch_state);
             else
               {cy, acc} = acc + operand + cy;
             // ----------------------------------------------------
+`endif
           end
           4'h4: {cy, acc} = {1'b0, acc} - {1'b0, operand}; // SUB (cy=borrow)
           4'h5: acc = acc & operand;                    // ANL

@@ -133,3 +133,17 @@ class BatchError(ReproError):
     as :class:`repro.batch.RunOutcome` entries with a non-``OK`` status
     so one bad run cannot kill the batch.
     """
+
+
+class MutationError(ReproError):
+    """The mutation engine rejected a plan, manifest or campaign.
+
+    Covers malformed campaign manifests, unknown operators or target
+    modules, out-of-range mutation sites, and campaigns whose baseline
+    run is not clean (a mutation score is meaningless when the
+    unmutated design already fails its checker).  Individual mutants
+    that fail to compile or abort under a guard budget are *not*
+    exceptions — they are classified ``invalid`` / ``aborted`` in the
+    :class:`repro.mutate.CampaignReport` so one bad mutant cannot kill
+    the campaign.
+    """

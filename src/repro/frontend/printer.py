@@ -23,6 +23,16 @@ def print_modules(modules) -> str:
     return "\n\n".join(print_module(m) for m in items)
 
 
+def print_expr(expr: ast.Expr) -> str:
+    """Render one expression (public wrapper used by ``repro.mutate``)."""
+    return _expr(expr)
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    """Render one statement as a single line (mutation-site labels)."""
+    return " ".join(line.strip() for line in _stmt(stmt, 0))
+
+
 def print_module(module: ast.Module) -> str:
     lines: List[str] = []
     ports = f"({', '.join(module.port_names)})" if module.port_names else ""

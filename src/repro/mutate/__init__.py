@@ -1,0 +1,61 @@
+"""Mutation/fault campaign engine (``repro.mutate``).
+
+Generates single-site fault variants ("mutants") of a design at the
+parsed-AST level, fans them out through the :mod:`repro.batch` engine,
+and uses the symbolic checker to classify each mutant as detected
+(with a concrete error-trace witness), undetected, aborted-by-guard,
+or invalid.  See ``docs/MUTATION.md`` for the operator catalogue, the
+manifest schema and the score definition.
+
+    from repro.mutate import CampaignConfig, run_campaign
+    from repro import designs
+
+    source, top, defines = designs.load("mcu8", runtime=80, fixed=True)
+    report = run_campaign(
+        CampaignConfig(source=source, top=top, defines=defines,
+                       operators=["opswap", "cmpswap"], until=100),
+        workers=4)
+    print(report.score, [m.id for m in report.survivors])
+"""
+
+from repro.mutate.campaign import (
+    BASELINE_NAME,
+    CLASSIFICATIONS,
+    REPORT_SCHEMA,
+    CampaignConfig,
+    CampaignReport,
+    MutantOutcome,
+    Variant,
+    classify,
+    run_campaign,
+    witness_trace,
+)
+from repro.mutate.manifest import load_campaign
+from repro.mutate.operators import OPERATORS, apply_site, matching_points
+from repro.mutate.plan import (
+    PLAN_SCHEMA,
+    MutationPlan,
+    PlannedMutant,
+    build_plan,
+)
+
+__all__ = [
+    "BASELINE_NAME",
+    "CLASSIFICATIONS",
+    "OPERATORS",
+    "PLAN_SCHEMA",
+    "REPORT_SCHEMA",
+    "CampaignConfig",
+    "CampaignReport",
+    "MutantOutcome",
+    "MutationPlan",
+    "PlannedMutant",
+    "Variant",
+    "apply_site",
+    "build_plan",
+    "classify",
+    "load_campaign",
+    "matching_points",
+    "run_campaign",
+    "witness_trace",
+]

@@ -1,0 +1,164 @@
+"""Campaign-manifest loading for ``symsim mutate``.
+
+A campaign manifest is one JSON document describing a single design
+plus the mutation knobs::
+
+    {
+      "design": "mcu8",
+      "params": {"runtime": 80, "fixed": true},
+      "operators": ["opswap", "cmpswap"],
+      "seed": 7,
+      "max_mutants": 40,
+      "until": 100,
+      "workers": 4,
+      "options": {"budget": {"max_wall_seconds": 60}},
+      "verify_witnesses": true,
+      "variants": [
+        {"name": "planted-addc", "design": "mcu8",
+         "params": {"runtime": 80}}
+      ]
+    }
+
+The design is named exactly like a batch-manifest run: one of
+``design`` (+``params``, a built-in from :mod:`repro.designs`),
+``path`` (resolved relative to the manifest) or ``source`` (inline
+text).  ``modules`` restricts mutation to specific modules (default:
+everything except the top — see :func:`repro.mutate.build_plan`).
+``options`` accepts the same keys as a batch manifest (``seed`` there
+means ``concrete_random``; the *mutation* seed is the top-level
+``seed`` key).  ``variants`` lists explicit pre-built designs — e.g.
+planted-bug editions — classified alongside the generated mutants.
+
+Anything malformed raises :class:`~repro.errors.MutationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Tuple
+
+from repro.batch.manifest import _build_options
+from repro.errors import BatchError, MutationError
+from repro.mutate.campaign import CampaignConfig, Variant
+from repro.mutate.operators import resolve_operators
+
+
+def _resolve_design(spec: Dict, base_dir: str, label: str
+                    ) -> Tuple[str, object, object]:
+    """Shared design resolution: returns (source, top, defines)."""
+    ways = [key for key in ("design", "path", "source") if key in spec]
+    if len(ways) != 1:
+        raise MutationError(
+            f"{label}: give exactly one of \"design\", \"path\" or "
+            f"\"source\" (got {ways or 'none'})")
+    top = spec.get("top")
+    defines = dict(spec.get("defines", {}) or {})
+    if "design" in spec:
+        from repro import designs
+
+        params = spec.get("params", {})
+        if not isinstance(params, dict):
+            raise MutationError(f"{label}: \"params\" must be an object")
+        try:
+            source, top, builtin_defines = designs.load(
+                spec["design"], **params)
+        except (KeyError, TypeError) as exc:
+            raise MutationError(f"{label}: {exc}") from exc
+        defines = {**builtin_defines, **defines}
+    elif "path" in spec:
+        path = spec["path"]
+        if not os.path.isabs(path):
+            path = os.path.join(base_dir, path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise MutationError(
+                f"{label}: cannot read source file {path!r}: {exc}") \
+                from exc
+    else:
+        source = spec["source"]
+        if not isinstance(source, str) or not source:
+            raise MutationError(f"{label}: \"source\" must be a non-empty "
+                                "string")
+    return source, top, defines or None
+
+
+def load_campaign(path: str) -> Tuple[CampaignConfig, int]:
+    """Parse a campaign manifest; returns (config, workers)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise MutationError(f"cannot read manifest {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise MutationError(
+            f"manifest {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise MutationError(f"manifest {path!r} must be a JSON object")
+
+    known = {"design", "params", "path", "source", "top", "defines",
+             "modules", "operators", "seed", "max_mutants", "until",
+             "workers", "options", "variants", "verify_witnesses"}
+    bad = set(document) - known
+    if bad:
+        raise MutationError(
+            f"manifest {path!r}: unknown key(s) {sorted(bad)} "
+            f"(known: {sorted(known)})")
+
+    base_dir = os.path.dirname(os.path.abspath(path))
+    source, top, defines = _resolve_design(document, base_dir, "manifest")
+
+    modules = document.get("modules")
+    if modules is not None and (
+            not isinstance(modules, list)
+            or not all(isinstance(m, str) for m in modules)):
+        raise MutationError("manifest: \"modules\" must be an array of "
+                            "module names")
+    operators = document.get("operators")
+    if operators is not None:
+        if not isinstance(operators, list):
+            raise MutationError("manifest: \"operators\" must be an array")
+        operators = resolve_operators(operators)
+
+    seed = document.get("seed", 0)
+    if not isinstance(seed, int):
+        raise MutationError("manifest: \"seed\" must be an integer")
+    max_mutants = document.get("max_mutants")
+    if max_mutants is not None and (
+            not isinstance(max_mutants, int) or max_mutants < 0):
+        raise MutationError("manifest: \"max_mutants\" must be a "
+                            "non-negative integer")
+    until = document.get("until")
+    workers = document.get("workers", 1)
+    if not isinstance(workers, int) or workers < 1:
+        raise MutationError("manifest: \"workers\" must be >= 1")
+
+    try:
+        options = _build_options(document.get("options", {}), "campaign")
+    except BatchError as exc:
+        raise MutationError(str(exc)) from exc
+
+    variants = []
+    seen = set()
+    for index, spec in enumerate(document.get("variants", [])):
+        if not isinstance(spec, dict):
+            raise MutationError(f"variant #{index} is not an object")
+        name = spec.get("name")
+        if not name or not isinstance(name, str):
+            raise MutationError(f"variant #{index} needs a \"name\"")
+        if name in seen:
+            raise MutationError(f"duplicate variant name {name!r}")
+        seen.add(name)
+        v_source, v_top, v_defines = _resolve_design(
+            spec, base_dir, f"variant {name!r}")
+        variants.append(Variant(name=name, source=v_source, top=v_top,
+                                defines=v_defines))
+
+    config = CampaignConfig(
+        source=source, top=top, defines=defines, modules=modules,
+        operators=operators, seed=seed, max_mutants=max_mutants,
+        until=until, options=options, variants=variants,
+        verify_witnesses=bool(document.get("verify_witnesses", False)))
+    return config, workers

@@ -1,0 +1,435 @@
+"""Mutation operators over the parsed module AST.
+
+The mutation pass works at the cleanest seam the pipeline offers: the
+parsed (post-preprocess, pre-elaboration) module AST.  A mutant is
+produced by applying exactly one operator at one *site* of one module
+and pretty-printing the mutated AST back to Verilog source
+(:mod:`repro.frontend.printer`); the result is an ordinary source
+string that flows through the unchanged batch engine as a plain
+``RunRequest``.  The *baseline* of a campaign is the same parse
+printed unmutated, so baseline and mutants differ only at the mutated
+site — never in formatting or preprocessing.
+
+Six operators, modelled on classic RTL fault/mutation literature
+("Extend IVerilog to Support Batch RTL Fault Simulation", the CirFix /
+rtl-repair planted-bug suites):
+
+==========  ==========================================================
+name        effect at a site
+==========  ==========================================================
+``stuck0``  assignment RHS replaced by ``'b0`` (stuck-at-0 net)
+``stuck1``  assignment RHS replaced by ``(~'b0)`` (stuck-at-1 net —
+            the unsized literal widens to the context width before
+            the LHS resize, so every bit reads 1)
+``opswap``  binary operator swap ``& ↔ |``, ``+ ↔ -``, ``&& ↔ ||``
+``cmpswap`` comparison polarity flip ``== ↔ !=``, ``< ↔ <=``,
+            ``> ↔ >=``, ``=== ↔ !==``
+``const``   off-by-one constant perturbation (value+1 mod 2^width)
+``nbaswap`` non-blocking ↔ blocking capture swap where legal
+==========  ==========================================================
+
+Sites are enumerated by a deterministic pre-order walk; a site is
+addressed as ``(operator, module, ordinal)`` where ``ordinal`` counts
+the operator's matching points in walk order within that module.  The
+walk deliberately skips positions where a mutation would change the
+*question being asked* rather than the design under test, or would
+routinely produce stillborn mutants:
+
+- assignment left-hand sides (wrong-target mutations mostly produce
+  width/driver errors, not interesting faults);
+- delay expressions (``#d``) — perturbing delays changes scheduling,
+  and a 0 delay can produce zero-delay livelock rather than a fault;
+- constant-bound positions (part-select bounds, replication counts)
+  whose perturbation changes net widths and rarely elaborates;
+- ``for``-loop init/step headers (the printer requires plain blocking
+  assigns there); the loop *condition* is still mutable — loop-bound
+  off-by-one is a classic bug;
+- arguments of system task calls — ``$assert``/``$error`` args ARE
+  the checker, and mutating ``$display`` text cannot be detected;
+- function bodies are walked, but ``nbaswap`` never introduces a
+  non-blocking assign inside a function (illegal Verilog).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.errors import MutationError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.printer import print_expr, print_stmt
+
+#: Context tags attached to walk points (see module docstring).
+TAG_FOR_HEADER = "for_header"
+TAG_DELAY = "delay"
+TAG_BOUNDS = "bounds"
+TAG_SENSITIVITY = "sensitivity"
+TAG_FUNCTION = "function_body"
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+@dataclasses.dataclass
+class MutationPoint:
+    """One mutable position found by the walker.
+
+    ``replace`` installs a replacement node at the position (used by
+    operators that swap the node class); in-place operators mutate
+    ``node`` directly.
+    """
+
+    node: object
+    replace: Callable[[object], None]
+    tags: FrozenSet[str]
+    line: int
+
+
+def _attr_setter(obj, name: str) -> Callable[[object], None]:
+    return lambda new: setattr(obj, name, new)
+
+
+def _list_setter(lst: list, index: int) -> Callable[[object], None]:
+    return lambda new: lst.__setitem__(index, new)
+
+
+# ----------------------------------------------------------------------
+# the walk
+# ----------------------------------------------------------------------
+
+
+def _walk_expr(expr: Optional[ast.Expr], replace, tags: FrozenSet[str],
+               out: List[MutationPoint]) -> None:
+    if expr is None:
+        return
+    out.append(MutationPoint(expr, replace, tags,
+                             getattr(expr, "line", 0) or 0))
+    if isinstance(expr, ast.Index):
+        _walk_expr(expr.base, _attr_setter(expr, "base"), tags, out)
+        _walk_expr(expr.index, _attr_setter(expr, "index"), tags, out)
+    elif isinstance(expr, ast.PartSelect):
+        bound = tags | {TAG_BOUNDS}
+        _walk_expr(expr.base, _attr_setter(expr, "base"), tags, out)
+        _walk_expr(expr.msb, _attr_setter(expr, "msb"), bound, out)
+        _walk_expr(expr.lsb, _attr_setter(expr, "lsb"), bound, out)
+    elif isinstance(expr, ast.Concat):
+        for i, part in enumerate(expr.parts):
+            _walk_expr(part, _list_setter(expr.parts, i), tags, out)
+    elif isinstance(expr, ast.Repl):
+        _walk_expr(expr.count, _attr_setter(expr, "count"),
+                   tags | {TAG_BOUNDS}, out)
+        _walk_expr(expr.value, _attr_setter(expr, "value"), tags, out)
+    elif isinstance(expr, ast.Unary):
+        _walk_expr(expr.operand, _attr_setter(expr, "operand"), tags, out)
+    elif isinstance(expr, ast.Binary):
+        _walk_expr(expr.left, _attr_setter(expr, "left"), tags, out)
+        _walk_expr(expr.right, _attr_setter(expr, "right"), tags, out)
+    elif isinstance(expr, ast.Ternary):
+        _walk_expr(expr.cond, _attr_setter(expr, "cond"), tags, out)
+        _walk_expr(expr.then_value, _attr_setter(expr, "then_value"),
+                   tags, out)
+        _walk_expr(expr.else_value, _attr_setter(expr, "else_value"),
+                   tags, out)
+    elif isinstance(expr, (ast.FunctionCall, ast.SystemCall)):
+        for i, arg in enumerate(expr.args):
+            _walk_expr(arg, _list_setter(expr.args, i), tags, out)
+
+
+def _walk_event_items(items, tags: FrozenSet[str],
+                      out: List[MutationPoint]) -> None:
+    for item in items or ():
+        _walk_expr(item.expr, _attr_setter(item, "expr"),
+                   tags | {TAG_SENSITIVITY}, out)
+
+
+def _walk_stmt(stmt: Optional[ast.Stmt], replace, tags: FrozenSet[str],
+               out: List[MutationPoint]) -> None:
+    if stmt is None or isinstance(stmt, ast.NullStmt):
+        return
+    out.append(MutationPoint(stmt, replace, tags,
+                             getattr(stmt, "line", 0) or 0))
+    if isinstance(stmt, ast.Block):
+        for i, sub in enumerate(stmt.stmts):
+            _walk_stmt(sub, _list_setter(stmt.stmts, i), tags, out)
+    elif isinstance(stmt, ast.ForkJoin):
+        for i, branch in enumerate(stmt.branches):
+            _walk_stmt(branch, _list_setter(stmt.branches, i), tags, out)
+    elif isinstance(stmt, (ast.BlockingAssign, ast.NonBlockingAssign)):
+        # LHS skipped on purpose; intra-assignment delay is a delay
+        # context; an intra-assignment event control is a sensitivity.
+        _walk_expr(stmt.rhs, _attr_setter(stmt, "rhs"), tags, out)
+        _walk_expr(stmt.intra_delay, _attr_setter(stmt, "intra_delay"),
+                   tags | {TAG_DELAY}, out)
+        if isinstance(stmt, ast.BlockingAssign):
+            _walk_event_items(stmt.intra_event, tags, out)
+    elif isinstance(stmt, ast.If):
+        _walk_expr(stmt.cond, _attr_setter(stmt, "cond"), tags, out)
+        _walk_stmt(stmt.then_stmt, _attr_setter(stmt, "then_stmt"),
+                   tags, out)
+        _walk_stmt(stmt.else_stmt, _attr_setter(stmt, "else_stmt"),
+                   tags, out)
+    elif isinstance(stmt, ast.Case):
+        _walk_expr(stmt.expr, _attr_setter(stmt, "expr"), tags, out)
+        for item in stmt.items:
+            for i, label in enumerate(item.exprs):
+                _walk_expr(label, _list_setter(item.exprs, i), tags, out)
+            _walk_stmt(item.stmt, _attr_setter(item, "stmt"), tags, out)
+    elif isinstance(stmt, ast.For):
+        header = tags | {TAG_FOR_HEADER}
+        _walk_stmt(stmt.init, _attr_setter(stmt, "init"), header, out)
+        _walk_expr(stmt.cond, _attr_setter(stmt, "cond"), tags, out)
+        _walk_stmt(stmt.step, _attr_setter(stmt, "step"), header, out)
+        _walk_stmt(stmt.body, _attr_setter(stmt, "body"), tags, out)
+    elif isinstance(stmt, ast.While):
+        _walk_expr(stmt.cond, _attr_setter(stmt, "cond"), tags, out)
+        _walk_stmt(stmt.body, _attr_setter(stmt, "body"), tags, out)
+    elif isinstance(stmt, ast.Repeat):
+        _walk_expr(stmt.count, _attr_setter(stmt, "count"), tags, out)
+        _walk_stmt(stmt.body, _attr_setter(stmt, "body"), tags, out)
+    elif isinstance(stmt, ast.Forever):
+        _walk_stmt(stmt.body, _attr_setter(stmt, "body"), tags, out)
+    elif isinstance(stmt, ast.DelayStmt):
+        _walk_expr(stmt.delay, _attr_setter(stmt, "delay"),
+                   tags | {TAG_DELAY}, out)
+        _walk_stmt(stmt.stmt, _attr_setter(stmt, "stmt"), tags, out)
+    elif isinstance(stmt, ast.EventStmt):
+        _walk_event_items(stmt.items, tags, out)
+        _walk_stmt(stmt.stmt, _attr_setter(stmt, "stmt"), tags, out)
+    elif isinstance(stmt, ast.Wait):
+        _walk_expr(stmt.cond, _attr_setter(stmt, "cond"), tags, out)
+        _walk_stmt(stmt.stmt, _attr_setter(stmt, "stmt"), tags, out)
+    elif isinstance(stmt, ast.TaskCall):
+        if not stmt.is_system:
+            for i, arg in enumerate(stmt.args):
+                _walk_expr(arg, _list_setter(stmt.args, i), tags, out)
+    # Disable / EventTrigger: nothing mutable below.
+
+
+def module_points(module: ast.Module) -> List[MutationPoint]:
+    """All mutable positions of ``module``, in deterministic walk order.
+
+    Declarations (incl. parameter/initializer expressions), gate
+    wiring, and instance connections are not walked: mutating those is
+    net-list rewiring, out of scope for this operator set.
+    """
+    out: List[MutationPoint] = []
+    for assign in module.assigns:
+        out.append(MutationPoint(assign, lambda new: None, _EMPTY,
+                                 assign.line or 0))
+        _walk_expr(assign.rhs, _attr_setter(assign, "rhs"), _EMPTY, out)
+        _walk_expr(assign.delay, _attr_setter(assign, "delay"),
+                   frozenset({TAG_DELAY}), out)
+    for func in module.functions:
+        _walk_stmt(func.body, _attr_setter(func, "body"),
+                   frozenset({TAG_FUNCTION}), out)
+    for task in module.tasks:
+        _walk_stmt(task.body, _attr_setter(task, "body"), _EMPTY, out)
+    for process in module.processes:
+        _walk_stmt(process.body, _attr_setter(process, "body"), _EMPTY, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
+
+
+def _describe(node) -> str:
+    if isinstance(node, ast.ContAssign):
+        return f"assign {print_expr(node.lhs)} = {print_expr(node.rhs)};"
+    if isinstance(node, ast.Stmt):
+        return print_stmt(node)
+    return print_expr(node)
+
+
+def _zero_literal() -> ast.Number:
+    # Unsized 'b0: resized to the assignment context before the LHS
+    # resize, so it zeroes an LHS of any width.
+    return ast.Number(bits="0", width=32, signed=False, sized=False,
+                      base="b")
+
+
+def _ones_literal() -> ast.Expr:
+    # ~'b0 evaluates to all-ones at the context width (>= 32), then the
+    # LHS resize keeps the low bits — every bit of the target reads 1.
+    return ast.Unary(op="~", operand=_zero_literal())
+
+
+class Operator:
+    """One mutation operator: a match predicate plus an application."""
+
+    name: str = ""
+    #: True when applying the operator twice at one site restores the
+    #: baseline (printed) source — tested by the metamorphic suite.
+    involution: bool = False
+
+    def matches(self, point: MutationPoint) -> bool:
+        raise NotImplementedError
+
+    def apply(self, point: MutationPoint) -> str:
+        """Mutate the AST at ``point``; return ``before -> after``."""
+        raise NotImplementedError
+
+
+class _TableSwap(Operator):
+    """Swap a binary operator according to an involution table."""
+
+    involution = True
+    table: Dict[str, str] = {}
+
+    def matches(self, point: MutationPoint) -> bool:
+        return (isinstance(point.node, ast.Binary)
+                and point.node.op in self.table
+                and not point.tags & {TAG_BOUNDS, TAG_DELAY})
+
+    def apply(self, point: MutationPoint) -> str:
+        node = point.node
+        before = _describe(node)
+        node.op = self.table[node.op]
+        return f"{before} -> {_describe(node)}"
+
+
+class OpSwap(_TableSwap):
+    name = "opswap"
+    table = {"&": "|", "|": "&", "+": "-", "-": "+",
+             "&&": "||", "||": "&&", "^": "~^", "~^": "^"}
+
+
+class CmpSwap(_TableSwap):
+    name = "cmpswap"
+    table = {"==": "!=", "!=": "==", "<": "<=", "<=": "<",
+             ">": ">=", ">=": ">", "===": "!==", "!==": "==="}
+
+
+class ConstPerturb(Operator):
+    """Off-by-one constant perturbation: value+1 mod 2^width."""
+
+    name = "const"
+    involution = False
+
+    def matches(self, point: MutationPoint) -> bool:
+        node = point.node
+        return (isinstance(node, ast.Number)
+                and set(node.bits) <= {"0", "1"}
+                and node.width >= 1
+                and not point.tags & {TAG_BOUNDS, TAG_DELAY,
+                                      TAG_SENSITIVITY})
+
+    def apply(self, point: MutationPoint) -> str:
+        node = point.node
+        before = _describe(node)
+        value = (int(node.bits, 2) + 1) % (1 << node.width)
+        node.bits = format(value, f"0{node.width}b")
+        return f"{before} -> {_describe(node)}"
+
+
+class StuckAt(Operator):
+    """Replace an assignment's RHS with a constant (stuck-at fault)."""
+
+    involution = False
+
+    def __init__(self, name: str, make_literal) -> None:
+        self.name = name
+        self._make_literal = make_literal
+
+    def matches(self, point: MutationPoint) -> bool:
+        node = point.node
+        if not isinstance(node, (ast.ContAssign, ast.BlockingAssign,
+                                 ast.NonBlockingAssign)):
+            return False
+        if TAG_FOR_HEADER in point.tags:
+            return False
+        # Skip sites already stuck at this constant — the "mutant"
+        # would be trivially equivalent to the baseline.
+        if self.name == "stuck0" and isinstance(node.rhs, ast.Number) \
+                and set(node.rhs.bits) <= {"0"}:
+            return False
+        return print_expr(node.rhs) != print_expr(self._make_literal())
+
+    def apply(self, point: MutationPoint) -> str:
+        node = point.node
+        before = _describe(node)
+        node.rhs = self._make_literal()
+        return f"{before} -> {_describe(node)}"
+
+
+class NbaSwap(Operator):
+    """Swap blocking ↔ non-blocking assignment where legal."""
+
+    name = "nbaswap"
+    involution = True
+
+    def matches(self, point: MutationPoint) -> bool:
+        node = point.node
+        if TAG_FOR_HEADER in point.tags:
+            return False
+        if isinstance(node, ast.NonBlockingAssign):
+            return True
+        return (isinstance(node, ast.BlockingAssign)
+                and node.intra_event is None
+                and TAG_FUNCTION not in point.tags)
+
+    def apply(self, point: MutationPoint) -> str:
+        node = point.node
+        before = _describe(node)
+        if isinstance(node, ast.BlockingAssign):
+            new = ast.NonBlockingAssign(
+                line=node.line, lhs=node.lhs, rhs=node.rhs,
+                intra_delay=node.intra_delay)
+        else:
+            new = ast.BlockingAssign(
+                line=node.line, lhs=node.lhs, rhs=node.rhs,
+                intra_delay=node.intra_delay, intra_event=None)
+        point.replace(new)
+        return f"{before} -> {_describe(new)}"
+
+
+#: Operator registry, in the canonical enumeration order.
+OPERATORS: Dict[str, Operator] = {
+    op.name: op for op in (
+        StuckAt("stuck0", _zero_literal),
+        StuckAt("stuck1", _ones_literal),
+        OpSwap(),
+        CmpSwap(),
+        ConstPerturb(),
+        NbaSwap(),
+    )
+}
+
+
+def resolve_operators(names) -> List[str]:
+    """Validate operator names; ``None`` means all, in canonical order."""
+    if names is None:
+        return list(OPERATORS)
+    resolved = list(names)
+    unknown = [n for n in resolved if n not in OPERATORS]
+    if unknown:
+        raise MutationError(
+            f"unknown mutation operator(s) {unknown}; "
+            f"known: {sorted(OPERATORS)}")
+    return resolved
+
+
+def matching_points(module: ast.Module, operator: str) -> List[MutationPoint]:
+    """The operator's applicable points in ``module``, in walk order."""
+    op = OPERATORS[operator]
+    return [p for p in module_points(module) if op.matches(p)]
+
+
+def apply_site(modules: Dict[str, ast.Module], operator: str,
+               module_name: str, ordinal: int) -> str:
+    """Apply ``operator`` at site ``ordinal`` of ``module_name`` in place.
+
+    Returns the ``before -> after`` description.  Raises
+    :class:`MutationError` for unknown modules/operators or
+    out-of-range ordinals.
+    """
+    if module_name not in modules:
+        raise MutationError(f"unknown module {module_name!r}")
+    if operator not in OPERATORS:
+        raise MutationError(f"unknown mutation operator {operator!r}")
+    points = matching_points(modules[module_name], operator)
+    if not 0 <= ordinal < len(points):
+        raise MutationError(
+            f"site {operator}@{module_name}#{ordinal} out of range "
+            f"(module has {len(points)} {operator} sites)")
+    return OPERATORS[operator].apply(points[ordinal])

@@ -68,8 +68,78 @@ def format_report(document: dict, top: int = 10) -> str:
             {"records": [{"ev": e.get("ph"), "name": e.get("name"),
                           "cat": e.get("cat")}
                          for e in document["traceEvents"]]})
+    if schema == "repro.mutate.report/1":
+        return format_mutation_report(document)
     raise ValueError(f"unrecognized observability document "
                      f"(schema={schema!r})")
+
+
+# ---------------------------------------------------------------------
+# mutation campaign report
+# ---------------------------------------------------------------------
+
+def format_mutation_report(document: dict) -> str:
+    """Render a ``repro.mutate.report/1`` campaign summary."""
+    totals = document.get("totals", {})
+    score = document.get("score")
+    lines: List[str] = []
+    lines.append(f"=== mutation campaign — top {document.get('top')} ===")
+    lines.append(
+        f"operators: {', '.join(document.get('operators', []))} | "
+        f"modules: {', '.join(document.get('target_modules', []))} | "
+        f"seed {document.get('seed')}")
+    planned = totals.get("planned", 0)
+    lines.append(
+        f"sites: {totals.get('sites', 0)} enumerated, {planned} planned"
+        + (" (max_mutants cap)" if planned < totals.get("sites", 0)
+           else ""))
+    score_text = f"{score:.3f}" if score is not None else "n/a"
+    lines.append(
+        f"score: {score_text}  "
+        f"(detected {totals.get('detected', 0)} / undetected "
+        f"{totals.get('undetected', 0)} / aborted "
+        f"{totals.get('aborted', 0)} / invalid "
+        f"{totals.get('invalid', 0)})")
+    by_operator = document.get("by_operator", {})
+    if by_operator:
+        lines.append(f"{'operator':<10s} {'planned':>8s} {'detect':>7s} "
+                     f"{'survive':>8s} {'abort':>6s} {'invalid':>8s} "
+                     f"{'score':>7s}")
+        for name, row in by_operator.items():
+            op_planned = sum(row.get(k, 0) for k in
+                             ("detected", "undetected", "aborted",
+                              "invalid"))
+            op_score = row.get("score")
+            op_score_text = f"{op_score:7.3f}" if op_score is not None \
+                else f"{'n/a':>7s}"
+            lines.append(
+                f"{name:<10s} {op_planned:8d} {row.get('detected', 0):7d} "
+                f"{row.get('undetected', 0):8d} {row.get('aborted', 0):6d} "
+                f"{row.get('invalid', 0):8d} {op_score_text}")
+    variants = document.get("variants", [])
+    if variants:
+        lines.append("explicit variants:")
+        for variant in variants:
+            verified = variant.get("witness_verified")
+            note = ""
+            if variant.get("witness"):
+                note = " — witness" + {
+                    True: " verified", False: " NOT REPRODUCED",
+                    None: "",
+                }[verified]
+            lines.append(f"  {variant['id']:<28s} "
+                         f"{variant['classification']}{note}")
+    survivors = document.get("survivors", [])
+    if survivors:
+        lines.append(f"surviving mutants ({len(survivors)} — possibly "
+                     "equivalent, see docs/MUTATION.md):")
+        for mutant in survivors:
+            lines.append(
+                f"  {mutant['id']:<28s} {mutant['module']}:"
+                f"{mutant['line']}  {mutant['description']}")
+    else:
+        lines.append("surviving mutants: none")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro
-from repro import SimOptions, SymbolicSimulator
+from repro import SimOptions
 from repro.bdd import BddManager
 
 
@@ -17,7 +17,7 @@ def mgr() -> BddManager:
 def run_source(source: str, top=None, until=None, **option_kwargs):
     """Compile and run Verilog source; return (SimResult, simulator)."""
     options = SimOptions(**option_kwargs) if option_kwargs else None
-    sim = SymbolicSimulator.from_source(source, top=top, options=options)
+    sim = repro.open_sim(source, top=top, options=options)
     result = sim.run(until=until)
     return result, sim
 

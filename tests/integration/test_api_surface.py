@@ -134,3 +134,27 @@ def test_shims_warn_and_work(tmp_path, shim):
 def test_request_open_matches_open_sim():
     request = repro.RunRequest(name="one", source=TRIVIAL)
     assert request.open().run().finished
+
+
+def test_suite_runs_deprecation_clean():
+    """Nothing in the repo leans on the deprecated shims any more.
+
+    Two layers: the pytest config escalates the shim's
+    DeprecationWarning to an error for the whole suite (so any test,
+    fixture, or helper that still calls ``from_*``/``resume_*`` fails
+    loudly — except the shim tests above, whose ``deprecated_call``
+    bypasses the filter), and the supported ``open_sim`` path itself
+    must be warning-free.
+    """
+    import os
+    import warnings
+
+    pyproject = os.path.join(os.path.dirname(__file__), "..", "..",
+                             "pyproject.toml")
+    with open(pyproject, "r", encoding="utf-8") as handle:
+        assert "error:SymbolicSimulator" in handle.read()
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        sim = repro.open_sim(TRIVIAL)
+        sim.run()

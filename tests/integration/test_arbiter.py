@@ -12,7 +12,7 @@ def run_arbiter(runtime=80, options=None, transform=None):
     source, top, defines = load("arbiter", runtime=runtime)
     if transform is not None:
         source = transform(source)
-    sim = repro.SymbolicSimulator.from_source(source, top=top,
+    sim = repro.open_sim(source, top=top,
                                               defines=defines,
                                               options=options)
     return sim.run(until=runtime + 40), sim

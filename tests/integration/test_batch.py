@@ -202,6 +202,36 @@ def test_compile_once_per_unique_design(tmp_path):
     assert batch.designs_compiled == 1
 
 
+def test_structural_twins_get_distinct_programs():
+    """Catalog regression: the compile-once catalog must key designs by
+    source *content*, not by structural fingerprint.
+
+    Two designs that differ only in one operator (e.g. a mutant and
+    its baseline) have identical net tables and instruction counts; a
+    structural fingerprint collides and silently runs one design in
+    place of the other.
+    """
+    plus = """
+module tb;
+  reg [3:0] x;
+  initial begin
+    x = 4'd3 + 4'd1;
+    $assert(x == 4'd4);
+  end
+endmodule
+"""
+    minus = plus.replace("4'd3 + 4'd1", "4'd3 - 4'd1")
+    for order in ([("plus", plus), ("minus", minus)],
+                  [("minus", minus), ("plus", plus)]):
+        batch = run_batch(
+            [RunRequest(name=name, source=source)
+             for name, source in order],
+            workers=1)
+        assert batch.designs_compiled == 2
+        assert batch["plus"].status is SimStatus.OK
+        assert batch["minus"].status is SimStatus.ASSERT_FAILED
+
+
 # ---------------------------------------------------------------------------
 # manifest loading
 

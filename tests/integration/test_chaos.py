@@ -115,7 +115,7 @@ class TestCorruptionSweep:
     def test_every_corruption_is_rejected_with_checkpoint_error(
             self, tmp_path):
         source, top, defines = load("arbiter", runtime=60)
-        sim = repro.SymbolicSimulator.from_source(source, top=top,
+        sim = repro.open_sim(source, top=top,
                                                   defines=defines)
         sim.run(until=30)
         pristine = str(tmp_path / "pristine.ckpt")

@@ -39,7 +39,7 @@ def compile_named(name, **kwargs):
 
 def build(name, options=None, **kwargs):
     source, top, defines = load(name, **kwargs)
-    return repro.SymbolicSimulator.from_source(source, top=top,
+    return repro.open_sim(source, top=top,
                                                defines=defines,
                                                options=options)
 
@@ -135,12 +135,12 @@ class TestArbiterRecovery:
         source, top, defines = load("arbiter", runtime=120)
         source = source.replace("waiting[m] > 4", "waiting[m] > 2")
 
-        ref = repro.SymbolicSimulator.from_source(source, top=top,
+        ref = repro.open_sim(source, top=top,
                                                   defines=defines)
         ref_result = ref.run(until=300)
         assert ref_result.violations
 
-        first = repro.SymbolicSimulator.from_source(source, top=top,
+        first = repro.open_sim(source, top=top,
                                                     defines=defines)
         first.run(until=20)
         path = str(tmp_path / "pre-violation.ckpt")

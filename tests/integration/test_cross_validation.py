@@ -31,7 +31,7 @@ def cross_validate(source, nets, until=None, max_cases=16, top=None,
     """
     if options is None:
         options = SimOptions(stop_on_violation=False)
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, top=top, options=options)
     sim.run(until=until)
     mgr = sim.mgr

@@ -9,7 +9,7 @@ from repro.designs import load
 
 def run_design(name, until=None, options=None, **kwargs):
     src, top, defines = load(name, **kwargs)
-    sim = repro.SymbolicSimulator.from_source(src, top=top, options=options,
+    sim = repro.open_sim(src, top=top, options=options,
                                               defines=defines)
     return sim.run(until=until), sim
 
@@ -112,7 +112,7 @@ class TestMcu8:
     def test_random_baseline_misses_bug(self):
         src, top, defines = load("mcu8", runtime=400)
         for seed in (7, 42):
-            sim = repro.SymbolicSimulator.from_source(
+            sim = repro.open_sim(
                 src, top=top, defines=defines,
                 options=SimOptions(concrete_random=seed))
             result = sim.run(until=500)

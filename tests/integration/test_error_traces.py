@@ -179,7 +179,7 @@ class TestResimulation:
         # expect_violation=False allows replaying arbitrary traces
         from repro.sim.trace import ErrorTrace, TraceEntry
 
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [3:0] a;
               initial begin
                 a = $random;
@@ -198,7 +198,7 @@ class TestResimulation:
     def test_resim_value_exhaustion_raises(self):
         from repro.sim.trace import ErrorTrace
 
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [3:0] a;
               initial a = $random;
             endmodule

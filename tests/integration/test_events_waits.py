@@ -209,7 +209,7 @@ class TestPathologies:
     def test_continue_run_after_until(self):
         import repro
 
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [7:0] n;
               initial begin
                 n = 0;

@@ -88,7 +88,7 @@ SRC = """
 class TestSafePointGuard:
     def inject(self, fn):
         """Prepend an Exec instruction to the initial process."""
-        sim = repro.SymbolicSimulator.from_source(SRC)
+        sim = repro.open_sim(SRC)
         process = sim.program.processes[0]
         process.instructions.insert(0, Exec(fn))
         return sim
@@ -106,7 +106,7 @@ class TestSafePointGuard:
             sim.run(until=100)
 
     def test_reorder_between_runs_is_legal(self):
-        sim = repro.SymbolicSimulator.from_source(SRC)
+        sim = repro.open_sim(SRC)
         sim.run(until=7)
         sim.kernel.reorder(list(range(sim.mgr.var_count)))
         assert sim.kernel.collect_garbage() >= 0

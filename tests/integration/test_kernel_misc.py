@@ -23,7 +23,7 @@ class TestRunControl:
         assert not result.finished  # no $finish, queue just drained
 
     def test_multiple_run_calls_idempotent_when_done(self):
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [3:0] v; initial begin #5 v = 1; end endmodule
         """)
         first = sim.run()
@@ -31,7 +31,7 @@ class TestRunControl:
         assert first.time == second.time == 5
 
     def test_until_exactly_at_event_time(self):
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [3:0] v;
               initial begin v = 0; #10 v = 1; #10 v = 2; end
             endmodule
@@ -67,7 +67,7 @@ class TestAlwaysSemantics:
             """, max_step_activity=500)
 
     def test_always_with_delay_loops_forever(self):
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [7:0] n;
               initial n = 0;
               always #5 n = n + 1;

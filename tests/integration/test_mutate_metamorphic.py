@@ -1,0 +1,138 @@
+"""Metamorphic properties of the mutation operators.
+
+Two relations pin the operators' *semantics* rather than their AST
+plumbing:
+
+1. **Observability** — for every operator, at least one mutant of the
+   workhorse design produces a different VCD waveform than the
+   baseline under the same concrete stimulus.  Mutants whose waveform
+   is identical are *potentially equivalent*: allowed, but they must
+   be the exception, never the whole population.
+2. **Involution** — operators declared as involutions (``opswap``,
+   ``cmpswap``, ``nbaswap``) applied twice at the same site round-trip
+   to the byte-identical baseline source; ``const`` (off-by-one) is
+   explicitly NOT an involution and must not round-trip.
+
+The stimulus is fully concrete (no ``$random``), so waveforms are
+exact and the comparison is a plain byte diff of the VCD bodies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.frontend.parser import parse_source
+from repro.frontend.printer import print_modules
+from repro.mutate import OPERATORS, apply_site, build_plan
+from repro.sim import SimOptions
+
+# Every operator has sites here: comparisons (<, ==), swappable
+# arithmetic/logic (+, -, &, |), perturbable constants, and a blocking
+# read-after-nonblocking-write chain (t1 -> q) that makes nbaswap
+# observable in the same time step.
+SOURCE = """
+module mdut(clk, x, y, q, r);
+  input clk;
+  input [3:0] x, y;
+  output reg [4:0] q;
+  output reg r;
+  reg [3:0] acc;
+  reg [3:0] t1;
+
+  initial begin
+    acc = 4'd0;
+    t1 = 4'd0;
+    q = 5'd0;
+    r = 1'b0;
+  end
+
+  always @(posedge clk) begin
+    t1 <= x + 4'd1;
+    if (x < y) q <= {1'b0, t1} + {1'b0, y};
+    else q <= {1'b0, t1} - {1'b0, y};
+    acc = (x & y) | (acc + 4'd1);
+    r <= (acc == 4'd7);
+  end
+endmodule
+
+module mtb;
+  reg clk;
+  reg [3:0] x, y;
+  wire [4:0] q;
+  wire r;
+  mdut u(.clk(clk), .x(x), .y(y), .q(q), .r(r));
+  initial begin
+    clk = 0;
+    x = 4'd3; y = 4'd9;
+    #1 clk = 1; #1 clk = 0;
+    x = 4'd12; y = 4'd5;
+    #1 clk = 1; #1 clk = 0;
+    x = 4'd7; y = 4'd7;
+    #1 clk = 1; #1 clk = 0;
+    $finish;
+  end
+endmodule
+"""
+
+INVOLUTIONS = [name for name, op in OPERATORS.items() if op.involution]
+PERTURBATIONS = [name for name, op in OPERATORS.items()
+                 if not op.involution]
+
+
+def waveform(source: str, path) -> str:
+    sim = repro.open_sim(source, options=SimOptions(vcd_path=str(path)))
+    result = sim.run(until=20)
+    assert result.status is repro.SimStatus.OK
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_operator_metadata_split():
+    assert sorted(INVOLUTIONS) == ["cmpswap", "nbaswap", "opswap"]
+    assert sorted(PERTURBATIONS) == ["const", "stuck0", "stuck1"]
+
+
+@pytest.mark.parametrize("operator", list(OPERATORS))
+def test_operator_mutants_are_observable(operator, tmp_path):
+    plan = build_plan(SOURCE, operators=[operator])
+    assert plan.mutants, f"workhorse design must have {operator} sites"
+    baseline = waveform(plan.baseline_source, tmp_path / "baseline.vcd")
+    observable, equivalent = [], []
+    for mutant in plan.mutants:
+        wave = waveform(plan.mutant_source(mutant),
+                        tmp_path / f"{mutant.id}.vcd")
+        (observable if wave != baseline else equivalent).append(mutant.id)
+    # ≥1 mutant per operator must visibly change the waveform; the
+    # rest are flagged as potentially equivalent, not silently passed
+    assert observable, f"every {operator} mutant was waveform-equivalent"
+    assert len(equivalent) < len(plan.mutants)
+
+
+@pytest.mark.parametrize("operator", INVOLUTIONS)
+def test_involution_double_application_round_trips(operator):
+    plan = build_plan(SOURCE, operators=[operator])
+    assert plan.mutants
+    for mutant in plan.mutants:
+        modules = parse_source(SOURCE)
+        apply_site(modules, operator, mutant.module, mutant.ordinal)
+        once = print_modules(modules)
+        assert once != plan.baseline_source, mutant.id
+        apply_site(modules, operator, mutant.module, mutant.ordinal)
+        assert print_modules(modules) == plan.baseline_source, mutant.id
+
+
+@pytest.mark.parametrize("operator", PERTURBATIONS)
+def test_non_involutions_do_not_round_trip(operator):
+    plan = build_plan(SOURCE, operators=[operator])
+    assert plan.mutants
+    mutant = plan.mutants[0]
+    modules = parse_source(SOURCE)
+    apply_site(modules, operator, mutant.module, mutant.ordinal)
+    try:
+        apply_site(modules, operator, mutant.module, mutant.ordinal)
+    except repro.MutationError:
+        # legal: the site may stop matching after the first application
+        # (e.g. stuck0 refuses an already-zero RHS)
+        return
+    assert print_modules(modules) != plan.baseline_source, mutant.id

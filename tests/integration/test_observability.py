@@ -38,7 +38,7 @@ endmodule
 
 
 def run_with(obs, trace_stats=False):
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         SOURCE, options=SimOptions(obs=obs, trace_stats=trace_stats))
     return sim, sim.run()
 
@@ -143,7 +143,7 @@ class TestMetrics:
 
     def test_bdd_latency_instrumentation(self):
         obs = Observability(metrics=MetricsRegistry())
-        sim = repro.SymbolicSimulator.from_source(
+        sim = repro.open_sim(
             SOURCE, options=SimOptions(obs=obs))
         sim.mgr.instrument_latency(obs.metrics, sample_every=2)
         sim.run()

@@ -325,14 +325,14 @@ class TestSection7Shape:
         from repro.designs import load
 
         src, top, defines = load("mcu8", runtime=100)
-        sim = repro.SymbolicSimulator.from_source(src, top=top,
+        sim = repro.open_sim(src, top=top,
                                                   defines=defines)
         result = sim.run(until=200)
         assert result.violations, "symbolic simulation must hit the bug"
 
         # random baseline: same testbench, concrete $random, many seeds
         for seed in range(5):
-            rsim = repro.SymbolicSimulator.from_source(
+            rsim = repro.open_sim(
                 src, top=top, defines=defines,
                 options=SimOptions(concrete_random=seed))
             rresult = rsim.run(until=200)
@@ -344,7 +344,7 @@ class TestSection7Shape:
         from repro.designs import load
 
         src, top, defines = load("mcu8", runtime=100)
-        sim = repro.SymbolicSimulator.from_source(src, top=top,
+        sim = repro.open_sim(src, top=top,
                                                   defines=defines)
         result = sim.run(until=200)
         concrete = sim.resimulate(result.violations[0], until=200)

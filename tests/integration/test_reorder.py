@@ -47,10 +47,10 @@ def final_table(sim, net, nvars):
 
 class TestReorderMidRun:
     def test_results_unchanged_after_reorder(self):
-        baseline = repro.SymbolicSimulator.from_source(SRC)
+        baseline = repro.open_sim(SRC)
         baseline.run(until=200)
 
-        paused = repro.SymbolicSimulator.from_source(SRC)
+        paused = repro.open_sim(SRC)
         paused.run(until=33)  # mid-run: waiters + pending events live
         nvars = paused.mgr.var_count
         assert nvars > 0
@@ -65,7 +65,7 @@ class TestReorderMidRun:
                 final_table(baseline, net, n)
 
     def test_reorder_preserves_violations(self):
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [3:0] a;
               initial begin
                 a = $random;
@@ -83,7 +83,7 @@ class TestReorderMidRun:
         assert concrete.value("a").to_int() == 11
 
     def test_identity_reorder_is_noop_semantically(self):
-        sim = repro.SymbolicSimulator.from_source(SRC)
+        sim = repro.open_sim(SRC)
         sim.run(until=33)
         before = sim.value("acc")
         bits_before = [
@@ -97,13 +97,13 @@ class TestReorderMidRun:
         assert bits_before == bits_after
 
     def test_bad_order_rejected(self):
-        sim = repro.SymbolicSimulator.from_source(SRC)
+        sim = repro.open_sim(SRC)
         sim.run(until=33)
         with pytest.raises(BddError):
             sim.kernel.reorder([0])
 
     def test_reorder_with_memories_and_assertions(self):
-        sim = repro.SymbolicSimulator.from_source("""
+        sim = repro.open_sim("""
             module tb; reg [1:0] a; reg [3:0] m [0:3]; reg goal;
               initial begin
                 goal = 0;

@@ -41,7 +41,7 @@ GROW_SRC = """
 
 
 def run_guarded(budgets=None, faults=None, source=SRC, **opts):
-    sim = repro.SymbolicSimulator.from_source(
+    sim = repro.open_sim(
         source, options=SimOptions(budgets=budgets, faults=faults, **opts))
     return sim.run(), sim
 
@@ -126,7 +126,7 @@ class TestMitigationLadder:
             "initial #70 $finish;",
             "always @(negedge clk) $assert(a != 15);\n"
             "      initial #70 $finish;")
-        sim = repro.SymbolicSimulator.from_source(
+        sim = repro.open_sim(
             src, options=SimOptions(
                 budgets=ResourceBudgets(max_live_nodes=300),
                 stop_on_violation=False))

@@ -48,7 +48,7 @@ def compile_src(source=SRC):
 @pytest.fixture
 def ckpt(tmp_path):
     """A valid mid-run checkpoint of SRC, paused at time 20."""
-    sim = repro.SymbolicSimulator.from_source(SRC)
+    sim = repro.open_sim(SRC)
     sim.run(until=20)
     path = str(tmp_path / "mid.ckpt")
     save_checkpoint(sim.kernel, path)
@@ -77,7 +77,7 @@ class TestFormat:
             header["payload_sha256"]
 
     def test_load_continues_to_same_end(self, ckpt):
-        ref = repro.SymbolicSimulator.from_source(SRC).run()
+        ref = repro.open_sim(SRC).run()
         kern = load_checkpoint(compile_src(), ckpt)
         resumed = kern.run()
         assert resumed.time == ref.time

@@ -1,0 +1,285 @@
+"""Mutation operators: walker exclusions and match/apply behavior.
+
+The walker contract (see ``repro.mutate.operators``) is that sites
+which would mutate the *question* (checker arguments), the schedule
+(delays), or structural constants (part-select bounds, replication
+counts, for-loop headers) are never offered to the operators.  These
+tests pin that contract point by point, then exercise each operator's
+match predicate and its ``before -> after`` application.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.errors import MutationError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_source
+from repro.frontend.printer import print_expr, print_modules
+from repro.mutate import OPERATORS, apply_site, matching_points
+from repro.mutate.operators import (
+    TAG_BOUNDS, TAG_DELAY, TAG_FOR_HEADER, TAG_FUNCTION, TAG_SENSITIVITY,
+    module_points,
+)
+
+# One module exercising every excluded context: delays, part-select
+# bounds, a replication count, a for header, $assert/$display args,
+# a function body and a sensitivity list.
+CONTEXTS = """
+module m;
+  reg [3:0] a, b;
+  reg [4:0] q;
+  reg c;
+  integer i;
+  wire [3:0] w;
+
+  assign w = a & b;
+
+  function [3:0] dbl;
+    input [3:0] v;
+    begin
+      dbl = v + 4'd1;
+    end
+  endfunction
+
+  always @(a or b) begin
+    #3 a = b + 4'd1;
+    q = {2{a[2:1]}} + dbl(b);
+  end
+
+  initial begin
+    for (i = 0; i < 3; i = i + 1) begin
+      b = b + 4'd2;
+    end
+    $display("sum", a + b);
+    $assert(a == b);
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def contexts():
+    return parse_source(CONTEXTS)["m"]
+
+
+def tagged(module, *tags):
+    want = set(tags)
+    return [p for p in module_points(module) if want <= p.tags]
+
+
+# ---------------------------------------------------------------------------
+# the walk
+
+
+def test_walk_is_deterministic(contexts):
+    lines = [(type(p.node).__name__, p.line, tuple(sorted(p.tags)))
+             for p in module_points(contexts)]
+    again = parse_source(CONTEXTS)["m"]
+    assert lines == [(type(p.node).__name__, p.line,
+                      tuple(sorted(p.tags)))
+                     for p in module_points(again)]
+
+
+def test_delay_expressions_are_tagged(contexts):
+    delay_nodes = {print_expr(p.node) for p in tagged(contexts, TAG_DELAY)
+                   if isinstance(p.node, ast.Expr)}
+    assert "3" in delay_nodes
+    # no operator may fire inside a delay context
+    for name, op in OPERATORS.items():
+        for point in tagged(contexts, TAG_DELAY):
+            if isinstance(point.node, ast.Number):
+                assert not op.matches(point), name
+
+
+def test_bounds_and_repl_counts_are_tagged(contexts):
+    bound_numbers = [p for p in tagged(contexts, TAG_BOUNDS)
+                     if isinstance(p.node, ast.Number)]
+    # a[2:1] contributes msb+lsb, {2{...}} contributes the count
+    assert len(bound_numbers) >= 3
+    for point in bound_numbers:
+        assert not OPERATORS["const"].matches(point)
+
+
+def test_for_header_excluded_but_condition_mutable(contexts):
+    header_assigns = [p for p in tagged(contexts, TAG_FOR_HEADER)
+                      if isinstance(p.node, ast.BlockingAssign)]
+    assert header_assigns, "for init/step should be walked (tagged)"
+    for point in header_assigns:
+        assert not OPERATORS["stuck0"].matches(point)
+        assert not OPERATORS["nbaswap"].matches(point)
+    # the loop condition i < 3 is NOT a header: cmpswap can hit it
+    cmp_sites = matching_points(contexts, "cmpswap")
+    assert any("i < 3" in print_expr(p.node) for p in cmp_sites
+               if isinstance(p.node, ast.Binary))
+
+
+def test_system_task_args_are_not_walked(contexts):
+    # $display("sum", a + b) and $assert(a == b): neither the a + b
+    # nor the a == b inside may appear as a site.
+    all_prints = {print_expr(p.node) for p in module_points(contexts)
+                  if isinstance(p.node, ast.Expr)}
+    assert "a == b" not in all_prints
+    assert '"sum"' not in all_prints
+
+
+def test_function_bodies_tagged_and_nbaswap_refuses(contexts):
+    fn_assigns = [p for p in tagged(contexts, TAG_FUNCTION)
+                  if isinstance(p.node, ast.BlockingAssign)]
+    assert fn_assigns, "function bodies should be walked"
+    for point in fn_assigns:
+        assert not OPERATORS["nbaswap"].matches(point)
+        # other operators still apply inside functions
+    assert any(OPERATORS["stuck0"].matches(p) for p in fn_assigns)
+
+
+def test_sensitivity_items_tagged(contexts):
+    sens = tagged(contexts, TAG_SENSITIVITY)
+    assert sens, "event-control items should be walked (tagged)"
+    for point in sens:
+        if isinstance(point.node, ast.Number):
+            assert not OPERATORS["const"].matches(point)
+
+
+def test_lhs_never_walked():
+    module = parse_source("""
+module m;
+  reg [3:0] y;
+  reg [1:0] s;
+  always @(s) y[s] = 1'b1;
+endmodule
+""")["m"]
+    # the LHS index expression s must not be a site; the RHS 1'b1 is.
+    # (@(s) in the sensitivity list IS walked — filter it by tag.)
+    sites = [print_expr(p.node) for p in module_points(module)
+             if isinstance(p.node, ast.Expr)
+             and TAG_SENSITIVITY not in p.tags]
+    assert sites.count("s") == 0
+
+
+# ---------------------------------------------------------------------------
+# operators
+
+
+def test_registry_order_is_canonical():
+    assert list(OPERATORS) == ["stuck0", "stuck1", "opswap", "cmpswap",
+                               "const", "nbaswap"]
+
+
+def test_opswap_tables_are_involutions():
+    for name in ("opswap", "cmpswap"):
+        table = OPERATORS[name].table
+        assert OPERATORS[name].involution
+        for key, value in table.items():
+            assert table[value] == key, (name, key)
+
+
+def test_opswap_apply_describes_before_after(contexts):
+    sites = matching_points(contexts, "opswap")
+    assert sites
+    node = sites[0].node
+    before = print_expr(node)
+    description = OPERATORS["opswap"].apply(sites[0])
+    after = print_expr(node)
+    assert description == f"{before} -> {after}"
+    assert before != after
+
+
+def test_const_perturb_wraps_modulo_width():
+    module = parse_source("""
+module m;
+  reg [1:0] x;
+  initial x = 2'b11;
+endmodule
+""")["m"]
+    sites = matching_points(module, "const")
+    assert len(sites) == 1
+    OPERATORS["const"].apply(sites[0])
+    assert sites[0].node.bits == "00"  # 3 + 1 mod 4
+
+
+def test_stuck0_skips_already_zero_rhs():
+    module = parse_source("""
+module m;
+  reg [3:0] x, y;
+  initial begin
+    x = 0;
+    y = 4'b0000;
+    x = y;
+  end
+endmodule
+""")["m"]
+    sites = matching_points(module, "stuck0")
+    assert len(sites) == 1  # only x = y; the zero spellings are skipped
+    description = OPERATORS["stuck0"].apply(sites[0])
+    assert "'b0" in description.split("->")[1]
+
+
+def test_stuck1_literal_widens_to_any_lhs():
+    from repro import open_sim
+
+    sim = open_sim("""
+module m;
+  reg [6:0] x;
+  initial x = 7'd5;
+endmodule
+""".replace("7'd5", "(~'b0)"))
+    sim.run()
+    assert sim.value("x").to_verilog_bits() == "1111111"
+
+
+def test_nbaswap_round_trips_through_replace():
+    module = parse_source("""
+module m;
+  reg a, clk;
+  always @(posedge clk) a <= !a;
+endmodule
+""")["m"]
+    sites = matching_points(module, "nbaswap")
+    assert len(sites) == 1
+    OPERATORS["nbaswap"].apply(sites[0])
+    assert "a = (!a);" in print_modules({"m": module})
+    # re-enumerate: the swapped assign matches again at the same ordinal
+    sites = matching_points(module, "nbaswap")
+    assert len(sites) == 1
+    OPERATORS["nbaswap"].apply(sites[0])
+    assert "a <= (!a);" in print_modules({"m": module})
+
+
+def test_nbaswap_skips_blocking_with_intra_event():
+    module = parse_source("""
+module m;
+  reg a, b, clk;
+  initial a = @(posedge clk) b;
+endmodule
+""")["m"]
+    assert matching_points(module, "nbaswap") == []
+
+
+# ---------------------------------------------------------------------------
+# apply_site
+
+
+def test_apply_site_errors():
+    modules = parse_source("module m; reg x; initial x = 1'b0; endmodule")
+    with pytest.raises(MutationError, match="unknown module"):
+        apply_site(modules, "opswap", "nope", 0)
+    with pytest.raises(MutationError, match="unknown mutation operator"):
+        apply_site(modules, "zap", "m", 0)
+    with pytest.raises(MutationError, match="out of range"):
+        apply_site(modules, "opswap", "m", 0)  # no binary ops at all
+
+
+def test_apply_site_mutates_only_the_addressed_site(contexts):
+    pristine = print_modules({"m": copy.deepcopy(contexts)})
+    modules = {"m": contexts}
+    apply_site(modules, "opswap", "m", 0)
+    mutated = print_modules(modules)
+    assert mutated != pristine
+    # exactly one line differs
+    diff = [pair for pair in zip(pristine.splitlines(),
+                                 mutated.splitlines())
+            if pair[0] != pair[1]]
+    assert len(diff) == 1

@@ -162,12 +162,12 @@ def test_printed_design_simulates_identically():
     import repro
 
     source, top, defines = load("gcd", rounds=1)
-    original = repro.SymbolicSimulator.from_source(source, top=top,
+    original = repro.open_sim(source, top=top,
                                                    defines=defines)
     result_a = original.run(until=2000)
 
     printed = print_modules(parse_source(source, defines=defines))
-    reprinted = repro.SymbolicSimulator.from_source(printed, top=top)
+    reprinted = repro.open_sim(printed, top=top)
     result_b = reprinted.run(until=2000)
 
     assert result_a.time == result_b.time
