@@ -46,16 +46,17 @@ from typing import Dict, Optional
 
 from repro import errors
 from repro.batch import (
-    BatchResult, RunOutcome, RunRequest, load_manifest, run_batch,
+    BatchResult, RetryPolicy, RunOutcome, RunRequest, load_manifest,
+    run_batch,
 )
 from repro.bdd import BddManager
 from repro.compile import compile_design, Program
 from repro.compile.instructions import AccumulationMode
 from repro.errors import (
     AssertionViolation, BatchError, BddError, CheckpointError, CompileError,
-    ElaborationError, FourValueError, MutationError, ReproError,
-    ResimulationError, SimulationAborted, SimulationError, SimulationHang,
-    SymbolicDelayError, VerilogSyntaxError,
+    ElaborationError, FourValueError, MutationError, QuarantinedRunError,
+    ReproError, ResimulationError, SimulationAborted, SimulationError,
+    SimulationHang, SymbolicDelayError, VerilogSyntaxError,
 )
 from repro.fourval import FourVec
 from repro.frontend import elaborate, parse_source
@@ -81,8 +82,9 @@ __version__ = "1.1.0"
 __all__ = [
     # entry points
     "open_sim", "SymbolicSimulator",
-    # batch engine
+    # batch engine (durable: leases, retries, quarantine, resume)
     "RunRequest", "RunOutcome", "BatchResult", "run_batch", "load_manifest",
+    "RetryPolicy",
     # mutation campaigns
     "CampaignConfig", "CampaignReport", "MutationPlan", "build_plan",
     "run_campaign",
@@ -102,6 +104,7 @@ __all__ = [
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
     "SimulationError", "SimulationHang", "SimulationAborted",
     "SymbolicDelayError", "CheckpointError", "BatchError", "MutationError",
+    "QuarantinedRunError",
     "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
 ]
 

@@ -8,6 +8,14 @@ programs (not source) to the workers, survives individual run
 failures, streams completions to a callback, and merges per-worker
 trace shards into one Chrome trace.  See docs/BATCH.md.
 
+Execution is *durable*: every run is dispatched under a lease, worker
+deaths and lease timeouts requeue exactly the runs they held (capped
+exponential backoff with deterministic jitter, governed by a
+:class:`RetryPolicy`), runs that keep failing are quarantined with
+their attempt history, and an append-only ``BATCHJRNL/1`` journal
+under ``out_dir`` makes interrupted batches resumable with
+``run_batch(..., resume=True)`` / ``symsim batch --resume``.
+
 Quick start::
 
     from repro.batch import RunRequest, run_batch
@@ -23,10 +31,20 @@ Quick start::
 from repro.batch.engine import (
     BATCH_SCHEMA, BatchResult, RunOutcome, run_batch,
 )
-from repro.batch.manifest import load_manifest
+from repro.batch.journal import (
+    JOURNAL_NAME, JOURNAL_SCHEMA, BatchJournal, JournalState, catalog_sha,
+    read_journal, request_fingerprint,
+)
+from repro.batch.manifest import load_manifest, load_policy
+from repro.batch.queue import JobQueue, Lease, RetryPolicy
 from repro.batch.request import RunRequest
 
 __all__ = [
     "RunRequest", "RunOutcome", "BatchResult", "run_batch",
     "load_manifest", "BATCH_SCHEMA",
+    # durability: leases, retries, quarantine (docs/BATCH.md)
+    "RetryPolicy", "JobQueue", "Lease", "load_policy",
+    # the BATCHJRNL/1 resumable journal (docs/ROBUSTNESS.md)
+    "BatchJournal", "JournalState", "read_journal", "request_fingerprint",
+    "catalog_sha", "JOURNAL_NAME", "JOURNAL_SCHEMA",
 ]

@@ -8,34 +8,54 @@ Controller-side flow:
    design image that recompiles deterministically on unpickle — see
    ``Program.__reduce__``), never source text, so the front end runs
    once per design regardless of pool width or run count.
-2. **Fan out.**  A ``ProcessPoolExecutor`` runs each request in a
-   worker; workers hold a per-process program cache, their own trace
-   shard, per-run checkpoint directories and the request's guard
-   budgets.  One run aborting, hanging or crashing never kills the
-   batch — failures come back as :class:`RunOutcome` rows.
-3. **Stream + aggregate.**  Outcomes stream to an ``on_result``
-   callback as they complete; after the pool drains, worker trace
-   shards merge into one Chrome trace with a lane per worker, and an
-   aggregated :class:`~repro.obs.MetricsRegistry` summarises the batch
-   (``batch.*`` families, per-run labeled children).
+2. **Fan out, durably.**  The controller owns a
+   :class:`~repro.batch.queue.JobQueue` and a pool of long-lived
+   worker processes, one in-flight run per worker under a
+   :class:`~repro.batch.queue.Lease`.  A worker death (OOM kill,
+   segfault, ``kill -9``) costs exactly the one leased run — it is
+   requeued with capped, seeded-jitter exponential backoff while a
+   replacement worker spawns; the rest of the batch never notices.  A
+   run whose heartbeat goes silent past the policy's ``lease_timeout``
+   is escalated stall → kill → requeue.  A run that keeps failing is
+   **quarantined** after ``max_attempts`` with its full per-attempt
+   failure history attached, so one poison run cannot starve the pool.
+3. **Journal.**  Scheduling events and terminal outcomes append to
+   ``<out_dir>/journal.jsonl`` (``BATCHJRNL/1``, see
+   :mod:`repro.batch.journal`); ``run_batch(..., resume=True)``
+   restores journaled terminal runs — after re-verifying request
+   fingerprints and the design-catalog hash — and re-executes only the
+   rest.
+4. **Stream + aggregate.**  Terminal outcomes stream to an
+   ``on_result`` callback as they land; after the queue drains, worker
+   trace shards merge into one Chrome trace with a lane per worker,
+   and an aggregated :class:`~repro.obs.MetricsRegistry` summarises
+   the batch (``batch.*`` families, per-run labeled children).
 """
 
 from __future__ import annotations
 
-import dataclasses
+import multiprocessing
 import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from multiprocessing import connection as _mpconn
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.batch.journal import (
+    JOURNAL_NAME, BatchJournal, catalog_sha, read_journal,
+    request_fingerprint,
+)
+from repro.batch.queue import JobQueue, Lease, RetryPolicy
 from repro.batch.request import RunRequest
-from repro.batch.worker import _run_job, _worker_init
-from repro.errors import BatchError
+from repro.batch.worker import _worker_main
+from repro.errors import BatchError, QuarantinedRunError
 from repro.obs import MetricsRegistry, merge_shards
-from repro.obs.live import DEFAULT_EVERY, RunHealth, assess_health, scan_status
+from repro.obs.live import (
+    DEFAULT_EVERY, RunHealth, assess_health, assess_lease, read_status,
+    scan_status,
+)
 from repro.sim.kernel import SimStatus
 
 #: Schema tag of :meth:`BatchResult.to_dict` payloads.
@@ -57,10 +77,35 @@ class RunOutcome:
     worker_pid: Optional[int] = None
     #: Path of the per-run VCD when the request asked for one.
     vcd_path: Optional[str] = None
+    #: Attempts this run consumed (1 = first try succeeded or was
+    #: terminal; >1 = the durable queue retried it).
+    attempts: int = 1
+    #: True when the run exhausted its retry budget — ``status`` then
+    #: reflects the *last* attempt and :attr:`failure_history` records
+    #: every failed one.
+    quarantined: bool = False
+    #: Per-attempt failure records ``{"attempt", "kind", "error",
+    #: "worker_pid"}`` for every attempt that did not finish cleanly.
+    failure_history: List[dict] = field(default_factory=list)
+    #: True when this outcome was restored from a batch journal by
+    #: ``run_batch(..., resume=True)`` instead of executing now.
+    resumed: bool = False
+    #: True when the terminal attempt resumed mid-simulation from the
+    #: run's rolling REPROCKPT checkpoint instead of restarting at 0.
+    resumed_from_checkpoint: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status is SimStatus.OK
+
+    def quarantine_error(self) -> Optional[QuarantinedRunError]:
+        """The structured error for a quarantined run (else None)."""
+        if not self.quarantined:
+            return None
+        return QuarantinedRunError(
+            f"run {self.name!r} {self.error}",
+            name=self.name, attempts=self.attempts,
+            failure_history=list(self.failure_history))
 
     def to_dict(self) -> dict:
         return {
@@ -71,8 +116,35 @@ class RunOutcome:
             "wall_seconds": self.wall_seconds,
             "worker_pid": self.worker_pid,
             "vcd_path": self.vcd_path,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+            "failure_history": list(self.failure_history),
+            "resumed": self.resumed,
+            "resumed_from_checkpoint": self.resumed_from_checkpoint,
             "result": self.result,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunOutcome":
+        """Rebuild an outcome from a journaled ``to_dict`` payload."""
+        try:
+            return cls(
+                name=payload["name"],
+                status=SimStatus(payload["status"]),
+                result=payload.get("result"),
+                error=payload.get("error"),
+                wall_seconds=payload.get("wall_seconds", 0.0),
+                worker_pid=payload.get("worker_pid"),
+                vcd_path=payload.get("vcd_path"),
+                attempts=payload.get("attempts", 1),
+                quarantined=payload.get("quarantined", False),
+                failure_history=list(payload.get("failure_history", [])),
+                resumed_from_checkpoint=payload.get(
+                    "resumed_from_checkpoint", False),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BatchError(
+                f"malformed journaled outcome: {exc!r}") from exc
 
 
 @dataclass
@@ -93,6 +165,16 @@ class BatchResult:
     #: Run names the stall watcher flagged mid-batch (a stalled run may
     #: still finish — this records the observation, not a verdict).
     stalled_runs: List[str] = field(default_factory=list)
+    #: Path of the ``BATCHJRNL/1`` journal (None with ``journal=False``).
+    journal_path: Optional[str] = None
+    #: Attempts beyond each run's first that were actually dispatched.
+    retries: int = 0
+    #: Times any run went back to the queue (retry + stall-kill).
+    requeued: int = 0
+    #: Runs that exhausted ``max_attempts`` (sorted).
+    quarantined_runs: List[str] = field(default_factory=list)
+    #: Runs restored from the journal by ``resume=True`` (sorted).
+    resumed_runs: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -106,6 +188,14 @@ class BatchResult:
             counts[outcome.status.value] = \
                 counts.get(outcome.status.value, 0) + 1
         return counts
+
+    def check_quarantine(self) -> None:
+        """Raise :class:`~repro.errors.QuarantinedRunError` for the
+        first quarantined run, if any (callers that prefer exceptions
+        over scanning outcome rows)."""
+        for outcome in self.outcomes:
+            if outcome.quarantined:
+                raise outcome.quarantine_error()
 
     def __getitem__(self, name: str) -> RunOutcome:
         for outcome in self.outcomes:
@@ -128,13 +218,28 @@ class BatchResult:
             f"in {self.wall_seconds:.2f}s ({counts}; "
             f"{self.designs_compiled} designs compiled once)"
         ]
+        if self.resumed_runs:
+            lines[0] += (f" — resumed: {len(self.resumed_runs)} run(s) "
+                         "restored from the journal")
         for outcome in self.outcomes:
             mark = "ok " if outcome.ok else outcome.status.value
             line = (f"  [{mark:>13}] {outcome.name} "
                     f"({outcome.wall_seconds:.2f}s)")
+            if outcome.resumed:
+                line += " [resumed]"
+            if outcome.attempts > 1:
+                line += f" [attempts={outcome.attempts}]"
+            if outcome.quarantined:
+                line += " [quarantined]"
             if outcome.error:
                 line += f" — {outcome.error}"
             lines.append(line)
+        if self.retries or self.quarantined_runs:
+            lines.append(
+                f"  durability: {self.retries} retr"
+                f"{'y' if self.retries == 1 else 'ies'}, "
+                f"{self.requeued} requeue(s), "
+                f"{len(self.quarantined_runs)} quarantined")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -150,6 +255,11 @@ class BatchResult:
             "metrics_path": self.metrics_path,
             "status_dir": self.status_dir,
             "stalled_runs": list(self.stalled_runs),
+            "journal_path": self.journal_path,
+            "retries": self.retries,
+            "requeued": self.requeued,
+            "quarantined_runs": list(self.quarantined_runs),
+            "resumed_runs": list(self.resumed_runs),
             "runs": [outcome.to_dict() for outcome in self.outcomes],
         }
 
@@ -229,8 +339,23 @@ def _aggregate_metrics(result: BatchResult) -> MetricsRegistry:
     registry.counter("batch.stalled_runs",
                      "runs flagged by the stall watcher mid-batch") \
         .inc(len(result.stalled_runs))
+    registry.counter("batch.retries",
+                     "retry attempts dispatched beyond each run's first") \
+        .inc(result.retries)
+    registry.counter("batch.requeued",
+                     "requeue events (failure retries + stall kills)") \
+        .inc(result.requeued)
+    registry.counter("batch.quarantined",
+                     "runs quarantined after exhausting max_attempts") \
+        .inc(len(result.quarantined_runs))
+    registry.counter("batch.resumed_runs",
+                     "runs restored from the batch journal") \
+        .inc(len(result.resumed_runs))
     runs = registry.counter("batch.runs", "runs by outcome",
                             labels=("status",))
+    attempts = registry.counter("batch.attempts",
+                                "attempts consumed per run",
+                                labels=("run",))
     wall = registry.gauge("batch.run_wall_seconds",
                           "per-run wall time in its worker",
                           labels=("run",))
@@ -244,6 +369,7 @@ def _aggregate_metrics(result: BatchResult) -> MetricsRegistry:
                               labels=("run",))
     for outcome in result.outcomes:
         runs.labels(status=outcome.status.value).inc()
+        attempts.labels(run=outcome.name).inc(outcome.attempts)
         wall.labels(run=outcome.name).set(outcome.wall_seconds)
         if outcome.result is not None:
             metrics = outcome.result.get("metrics", {})
@@ -271,7 +397,10 @@ def _watch_stalls(
     record.  This is the observability half of hang isolation: the
     in-kernel guard (``ResourceBudgets.hang_*``) kills a wedged run
     from the inside; the watcher spots it from the outside and tells
-    the controller *which* run to blame before the pool drains.
+    the controller *which* run to blame before the pool drains.  The
+    engine calls this on **every** scheduling iteration — gating it on
+    quiet poll windows would let a steady trickle of completions starve
+    stall detection forever.
     """
     pending_names = set(in_flight)
     for health in assess_health(scan_status([status_dir]),
@@ -285,6 +414,131 @@ def _watch_stalls(
             on_stall(health)
 
 
+# ---------------------------------------------------------------------
+# the worker pool: one process per slot, one leased run per process
+# ---------------------------------------------------------------------
+
+
+class _Worker:
+    """One pool slot: a process, its pipes, and its current lease."""
+
+    __slots__ = ("id", "process", "task_send", "result_recv", "lease",
+                 "controller_killed")
+
+    def __init__(self, worker_id: int, ctx, init_args: tuple) -> None:
+        self.id = worker_id
+        task_recv, self.task_send = ctx.Pipe(duplex=False)
+        self.result_recv, result_send = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(task_recv, result_send) + init_args,
+            daemon=True, name=f"repro-batch-w{worker_id}")
+        self.process.start()
+        # the controller holds only its own pipe ends
+        task_recv.close()
+        result_send.close()
+        self.lease: Optional[Lease] = None
+        self.controller_killed = False
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def close(self) -> None:
+        for conn in (self.task_send, self.result_recv):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class _WorkerPool:
+    """Fixed-width pool of :class:`_Worker` slots with respawn."""
+
+    def __init__(self, width: int, init_args: tuple) -> None:
+        self._ctx = multiprocessing.get_context()
+        self._init_args = init_args
+        self._next_id = 0
+        self.width = width
+        self.workers: List[_Worker] = []
+
+    def spawn(self, count: int) -> None:
+        for _ in range(count):
+            if len(self.workers) >= self.width:
+                return
+            worker = _Worker(self._next_id, self._ctx, self._init_args)
+            self._next_id += 1
+            self.workers.append(worker)
+
+    def idle(self) -> List[_Worker]:
+        return [worker for worker in self.workers
+                if worker.lease is None and worker.alive()]
+
+    def wait(self, timeout: Optional[float]) -> List[_Worker]:
+        """Block until a worker has a result or died; returns workers
+        whose result pipe is readable (deaths are discovered by the
+        caller scanning :meth:`dead`)."""
+        objects = []
+        by_object = {}
+        for worker in self.workers:
+            objects.append(worker.result_recv)
+            by_object[worker.result_recv] = worker
+            objects.append(worker.process.sentinel)
+            by_object[worker.process.sentinel] = worker
+        if not objects:
+            if timeout:
+                time.sleep(min(timeout, 0.05))
+            return []
+        ready = _mpconn.wait(objects, timeout)
+        seen = []
+        for obj in ready:
+            worker = by_object[obj]
+            if obj is worker.result_recv and worker not in seen:
+                seen.append(worker)
+        return seen
+
+    def dead(self) -> List[_Worker]:
+        return [worker for worker in self.workers if not worker.alive()]
+
+    def reap(self, worker: _Worker) -> None:
+        """Forget a dead worker (close pipes, join the corpse)."""
+        worker.close()
+        worker.process.join(timeout=1.0)
+        self.workers.remove(worker)
+
+    def kill(self, worker: _Worker) -> None:
+        """SIGKILL a worker (lease-timeout escalation)."""
+        worker.controller_killed = True
+        try:
+            worker.process.kill()
+        except (OSError, ValueError):
+            pass
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            if worker.alive() and worker.lease is None:
+                try:
+                    worker.task_send.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.perf_counter() + 5.0
+        for worker in self.workers:
+            worker.process.join(
+                timeout=max(deadline - time.perf_counter(), 0.1))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            worker.close()
+        self.workers.clear()
+
+
+# ---------------------------------------------------------------------
+# the controller
+# ---------------------------------------------------------------------
+
+
 def run_batch(
     requests: Sequence[RunRequest],
     workers: int = 1,
@@ -295,22 +549,38 @@ def run_batch(
     heartbeat_every: Optional[int] = DEFAULT_EVERY,
     stall_after: Optional[float] = None,
     on_stall: Optional[Callable[[RunHealth], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal: bool = True,
+    resume: bool = False,
 ) -> BatchResult:
-    """Run every request on a pool of ``workers`` processes.
+    """Run every request on a durable pool of ``workers`` processes.
 
     ``on_result`` (if given) is called in the controller with each
-    :class:`RunOutcome` as it completes — completion order, not request
-    order; the returned :class:`BatchResult` restores request order.
-    ``trace=True`` gives each worker a JSONL shard and merges them into
-    ``<out_dir>/trace.json`` with one Chrome lane per worker.
+    *terminal* :class:`RunOutcome` as it lands — completion order, not
+    request order; the returned :class:`BatchResult` restores request
+    order.  ``trace=True`` gives each worker a JSONL shard and merges
+    them into ``<out_dir>/trace.json`` with one Chrome lane per worker.
     ``heartbeat_every`` makes each run emit a live status file to
     ``<out_dir>/status/<name>.json`` every N safe points (``symsim
     top`` tails these; pass ``None``/0 to disable).  ``stall_after``
-    (seconds) turns on the stall watcher: while the pool drains, runs
-    whose heartbeat goes quiet are reported once each through
-    ``on_stall`` and in :attr:`BatchResult.stalled_runs`.
+    (seconds) turns on the flag-only stall watcher: runs whose
+    heartbeat goes quiet are reported once each through ``on_stall``
+    and in :attr:`BatchResult.stalled_runs`.
+
+    ``retry`` is the :class:`~repro.batch.queue.RetryPolicy` governing
+    leases, retries, backoff, quarantine and the (optional)
+    lease-timeout kill escalation; the default policy retries
+    infrastructure failures (worker death, stall kills) up to 3
+    attempts and treats run-level statuses as terminal.  ``journal``
+    appends scheduling events and terminal outcomes to
+    ``<out_dir>/journal.jsonl`` (``BATCHJRNL/1``); ``resume=True``
+    reads that journal, re-verifies request fingerprints and the
+    design-catalog hash, restores journaled terminal runs, and
+    executes only the rest.
+
     Individual run failures never raise; :class:`BatchError` covers
-    controller-side problems only (bad requests, pool startup).
+    controller-side problems only (bad requests, pool startup, a
+    journal that does not match the manifest).
     """
     _validate(requests)
     if workers < 1:
@@ -318,6 +588,13 @@ def run_batch(
     if stall_after is not None and not heartbeat_every:
         raise BatchError("stall_after needs heartbeats — "
                          "set heartbeat_every")
+    if resume and not journal:
+        raise BatchError("resume=True needs the journal — "
+                         "drop journal=False")
+    if resume and out_dir is None:
+        raise BatchError("resume=True needs the out_dir of the "
+                         "journaled batch")
+    policy = retry if retry is not None else RetryPolicy()
     if out_dir is None:
         out_dir = tempfile.mkdtemp(prefix="repro-batch-")
     else:
@@ -326,60 +603,50 @@ def run_batch(
 
     wall_start = time.perf_counter()
     catalog, by_run = _compile_catalog(requests)
+    fingerprints = {request.name: request_fingerprint(request,
+                                                      by_run[request.name])
+                    for request in requests}
+    cat_sha = catalog_sha(catalog)
 
-    outcomes: Dict[str, RunOutcome] = {}
+    journal_path = os.path.join(out_dir, JOURNAL_NAME) if journal else None
+    restored: Dict[str, RunOutcome] = {}
+    jrnl: Optional[BatchJournal] = None
+    if resume:
+        state = read_journal(journal_path)
+        state.verify(fingerprints, cat_sha)
+        for name, payload in state.terminal.items():
+            outcome = RunOutcome.from_dict(payload)
+            outcome.resumed = True
+            restored[name] = outcome
+        jrnl = BatchJournal.reopen(journal_path, len(restored))
+    elif journal:
+        jrnl = BatchJournal.create(journal_path, fingerprints, cat_sha)
+
+    queue = JobQueue(
+        [(request, by_run[request.name]) for request in requests
+         if request.name not in restored],
+        policy)
     shards: Dict[int, Tuple[str, float]] = {}
     stalled_seen: set = set()
-    try:
-        executor = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(catalog, out_dir, trace, heartbeat_every or None),
-        )
-    except Exception as exc:  # pool start is a controller-side failure
-        raise BatchError(f"could not start worker pool: {exc}") from exc
-    # Polling only happens when someone is watching for stalls; the
-    # no-watcher path keeps the original block-until-done wait.
-    poll = min(stall_after / 2.0, 2.0) if stall_after is not None else None
-    with executor:
-        pending = {
-            executor.submit(_run_job, request, by_run[request.name]): request
-            for request in requests
-        }
-        while pending:
-            done, _ = wait(pending, timeout=poll,
-                           return_when=FIRST_COMPLETED)
-            if not done and status_dir is not None \
-                    and stall_after is not None:
-                _watch_stalls(
-                    status_dir,
-                    [request.name for request in pending.values()],
-                    stalled_seen, stall_after, on_stall)
-                continue
-            for future in done:
-                request = pending.pop(future)
-                try:
-                    raw = future.result()
-                    outcome = RunOutcome(
-                        name=raw["name"],
-                        status=SimStatus(raw["status"]),
-                        result=raw["result"],
-                        error=raw["error"],
-                        wall_seconds=raw["wall_seconds"],
-                        worker_pid=raw["worker_pid"],
-                        vcd_path=raw["vcd_path"],
-                    )
-                    if raw["shard_path"] is not None:
-                        shards[raw["worker_pid"]] = (
-                            raw["shard_path"], raw["t0_unix_us"])
-                except Exception as exc:  # worker died (OOM kill, ...)
-                    outcome = RunOutcome(
-                        name=request.name, status=SimStatus.ABORTED,
-                        error=f"worker lost: {exc}")
-                outcomes[outcome.name] = outcome
-                if on_result is not None:
-                    on_result(outcome)
 
+    pool = _WorkerPool(
+        workers, (catalog, out_dir, trace, heartbeat_every or None))
+    try:
+        if not queue.finished():
+            try:
+                pool.spawn(min(workers, len(queue.pending_names())))
+            except Exception as exc:  # pool start is controller-side
+                raise BatchError(
+                    f"could not start worker pool: {exc}") from exc
+        _drain(pool, queue, policy, jrnl, shards, status_dir,
+               stall_after, on_stall, stalled_seen, on_result)
+    finally:
+        pool.shutdown()
+        if jrnl is not None:
+            jrnl.close()
+
+    outcomes = dict(restored)
+    outcomes.update(queue.outcomes)
     result = BatchResult(
         outcomes=[outcomes[request.name] for request in requests],
         out_dir=out_dir,
@@ -388,6 +655,11 @@ def run_batch(
         designs_compiled=len(catalog),
         status_dir=status_dir,
         stalled_runs=sorted(stalled_seen),
+        journal_path=journal_path,
+        retries=queue.retries,
+        requeued=queue.requeued,
+        quarantined_runs=sorted(queue.quarantined),
+        resumed_runs=sorted(restored),
     )
     if shards:
         result.trace_path = os.path.join(out_dir, "trace.json")
@@ -397,3 +669,155 @@ def run_batch(
         result.metrics_path = os.path.join(out_dir, "metrics.json")
         result.metrics.write_json(result.metrics_path)
     return result
+
+
+def _drain(pool: _WorkerPool, queue: JobQueue, policy: RetryPolicy,
+           jrnl: Optional[BatchJournal],
+           shards: Dict[int, Tuple[str, float]],
+           status_dir: Optional[str],
+           stall_after: Optional[float],
+           on_stall: Optional[Callable[[RunHealth], None]],
+           stalled_seen: set,
+           on_result: Optional[Callable[[RunOutcome], None]]) -> None:
+    """The scheduling loop: dispatch, wait, reap, retry, escalate."""
+
+    def finalize(outcome: RunOutcome) -> None:
+        queue.complete(outcome.name, outcome)
+        if jrnl is not None:
+            jrnl.terminal(outcome.name, outcome.to_dict())
+        if on_result is not None:
+            on_result(outcome)
+
+    def fail(name: str, kind: str, error: str,
+             worker_pid: Optional[int],
+             last: Optional[RunOutcome]) -> None:
+        """Route a retryable failure; quarantine on exhaustion."""
+        disposition = queue.fail(name, kind, error, worker_pid)
+        if disposition["action"] == "requeue":
+            if jrnl is not None:
+                jrnl.attempt(name, disposition["attempt"], "requeue",
+                             failure_kind=kind, error=error,
+                             worker_pid=worker_pid,
+                             delay=disposition["delay"])
+            return
+        outcome = last if last is not None else RunOutcome(
+            name=name, status=SimStatus.ABORTED, error=error,
+            worker_pid=worker_pid)
+        outcome.quarantined = True
+        outcome.error = (f"quarantined after "
+                         f"{disposition['attempt']} attempt(s): {error}")
+        if jrnl is not None:
+            jrnl.attempt(name, disposition["attempt"], "quarantine",
+                         failure_kind=kind, error=error,
+                         worker_pid=worker_pid)
+        finalize(outcome)
+
+    while not queue.finished():
+        # 1. dispatch ready runs to idle workers
+        for worker in pool.idle():
+            if not queue.has_ready():
+                break
+            lease = queue.lease(worker.id, worker.process.pid or -1)
+            job = queue.job(lease.name)
+            try:
+                worker.task_send.send(
+                    (job.request, job.fingerprint, lease.attempt))
+            except (BrokenPipeError, OSError):
+                # the worker died between polls; put the run back
+                # unblamed — the death itself is handled below
+                queue.release(lease.name)
+                continue
+            worker.lease = lease
+            if jrnl is not None:
+                jrnl.attempt(lease.name, lease.attempt, "start",
+                             worker_pid=lease.worker_pid)
+
+        # 2. wait for results / deaths / timers
+        timeouts = []
+        if stall_after is not None:
+            timeouts.append(min(stall_after / 2.0, 2.0))
+        if policy.lease_timeout is not None:
+            timeouts.append(min(policy.lease_timeout / 2.0, 2.0))
+        delay = queue.next_delay()
+        if delay is not None:
+            timeouts.append(max(delay, 0.01))
+        timeout = min(timeouts) if timeouts else None
+        for worker in pool.wait(timeout):
+            try:
+                raw = worker.result_recv.recv()
+            except (EOFError, OSError):
+                continue  # died after readiness; reaped below
+            lease, worker.lease = worker.lease, None
+            if lease is None:
+                continue  # stray late result from an escalated lease
+            if raw.get("shard_path") is not None:
+                shards[raw["worker_pid"]] = (
+                    raw["shard_path"], raw["t0_unix_us"])
+            outcome = RunOutcome(
+                name=raw["name"],
+                status=SimStatus(raw["status"]),
+                result=raw["result"],
+                error=raw["error"],
+                wall_seconds=raw["wall_seconds"],
+                worker_pid=raw["worker_pid"],
+                vcd_path=raw["vcd_path"],
+                attempts=lease.attempt,
+                resumed_from_checkpoint=raw.get(
+                    "resumed_from_checkpoint", False),
+            )
+            if outcome.status.value in policy.retry_statuses:
+                fail(outcome.name, "status",
+                     raw["error"] or outcome.status.value,
+                     raw["worker_pid"], outcome)
+            else:
+                finalize(outcome)
+
+        # 3. reap dead workers: requeue exactly the runs they held
+        for worker in pool.dead():
+            lease, worker.lease = worker.lease, None
+            if lease is not None and not worker.controller_killed:
+                exitcode = worker.process.exitcode
+                fail(lease.name, "worker-lost",
+                     f"worker lost: pid {lease.worker_pid} died "
+                     f"(exit {exitcode}) holding attempt {lease.attempt}",
+                     lease.worker_pid, None)
+            pool.reap(worker)
+        if not queue.finished():
+            pending = len(queue.pending_names())
+            if len(pool.workers) < min(pool.width, pending):
+                pool.spawn(min(pool.width, pending) - len(pool.workers))
+
+        # 4. flag-only stall watch — every iteration, never starved by
+        # a steady trickle of completions (see _watch_stalls)
+        if status_dir is not None and stall_after is not None:
+            _watch_stalls(status_dir, queue.pending_names(),
+                          stalled_seen, stall_after, on_stall)
+
+        # 5. lease-timeout escalation: stall -> kill -> requeue
+        if policy.lease_timeout is not None:
+            now_unix = time.time()
+            now_mono = time.perf_counter()
+            for worker in list(pool.workers):
+                lease = worker.lease
+                if lease is None or not worker.alive():
+                    continue
+                record = read_status(os.path.join(
+                    status_dir, f"{lease.name}.json")) \
+                    if status_dir is not None else None
+                health = assess_lease(
+                    lease.name, lease.worker_pid,
+                    lease.age(now_mono), record,
+                    kill_after=policy.lease_timeout,
+                    now_unix=now_unix,
+                    started_unix=lease.started_unix)
+                if not health.expired:
+                    continue
+                worker.lease = None
+                pool.kill(worker)
+                stalled_seen.add(lease.name)
+                fail(lease.name, "stall-kill",
+                     f"lease expired after {health.lease_age:.1f}s "
+                     f"(heartbeat age "
+                     f"{'n/a' if health.heartbeat_age is None else f'{health.heartbeat_age:.1f}s'}); "
+                     f"worker pid {lease.worker_pid} killed",
+                     lease.worker_pid, None)

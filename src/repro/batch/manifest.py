@@ -173,3 +173,51 @@ def load_manifest(path: str) -> List[RunRequest]:
         except TypeError as exc:
             raise BatchError(f"run {name!r}: {exc}") from exc
     return requests
+
+
+def load_policy(path: str):
+    """Parse the manifest's optional top-level ``"retry"`` object into a
+    :class:`~repro.batch.queue.RetryPolicy` (None when absent).
+
+    Keys mirror the policy fields::
+
+        {"retry": {"max_attempts": 4, "backoff_base": 0.5,
+                   "backoff_cap": 10, "jitter_frac": 0.25, "seed": 7,
+                   "retry_statuses": ["aborted"], "lease_timeout": 120}}
+
+    CLI flags (``--max-attempts`` and friends) override manifest
+    values; the CLI applies them on top of what this returns.
+    """
+    from repro.batch.queue import RetryPolicy
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise BatchError(f"cannot read manifest {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BatchError(f"manifest {path!r} is not valid JSON: {exc}") \
+            from exc
+    if not isinstance(document, dict) or "retry" not in document:
+        return None
+    spec = document["retry"]
+    if not isinstance(spec, dict):
+        raise BatchError(f"manifest {path!r}: \"retry\" must be an object")
+    known = {f.name for f in dataclasses.fields(RetryPolicy)}
+    bad = set(spec) - known
+    if bad:
+        raise BatchError(
+            f"manifest {path!r}: unknown retry keys {sorted(bad)} "
+            f"(known: {sorted(known)})")
+    fields = dict(spec)
+    if "retry_statuses" in fields:
+        statuses = fields["retry_statuses"]
+        if not isinstance(statuses, list):
+            raise BatchError(
+                f"manifest {path!r}: retry_statuses must be an array")
+        fields["retry_statuses"] = frozenset(str(s) for s in statuses)
+    try:
+        return RetryPolicy(**fields)
+    except TypeError as exc:
+        raise BatchError(f"manifest {path!r}: bad retry object: {exc}") \
+            from exc

@@ -86,6 +86,21 @@ class RunRequest:
             self, options=dataclasses.replace(self.options, **changes)
         )
 
+    def fingerprint(self, design_fingerprint: str) -> str:
+        """Content hash of this request's semantic identity.
+
+        ``design_fingerprint`` is the batch catalog's hash of
+        :meth:`design_key` (the engine computes it during compile-once
+        deduplication).  The result keys the ``BATCHJRNL/1`` journal:
+        a resume refuses to reuse a journaled outcome unless the
+        fingerprints still match.  Operational knobs (paths, heartbeat
+        cadence) are excluded — see
+        :func:`repro.batch.journal.request_fingerprint`.
+        """
+        from repro.batch.journal import request_fingerprint
+
+        return request_fingerprint(self, design_fingerprint)
+
     def open(self):
         """Build a :class:`repro.SymbolicSimulator` for this request
         in the current process (the non-batch path)."""

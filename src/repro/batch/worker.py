@@ -1,15 +1,17 @@
 """Worker-process side of the batch engine.
 
-Each pool worker is initialised once with the batch's *program
-catalog* — ``{design fingerprint: pickled Program}`` — and an output
-directory.  Programs are unpickled lazily, at most once per worker per
-design (unpickling recompiles the design; see
+Each pool worker is a long-lived ``multiprocessing.Process`` running
+:func:`_worker_main`: initialise once with the batch's *program
+catalog* — ``{design fingerprint: pickled Program}`` — then loop
+receiving ``(request, fingerprint, attempt)`` jobs over a pipe and
+sending outcome dicts back.  Programs are unpickled lazily, at most
+once per worker per design (unpickling recompiles the design; see
 :meth:`repro.compile.compiler.Program.__reduce__`), so a batch of a
 thousand runs over three designs costs each worker at most three
 compilations.
 
 Per-process state lives in the module-level ``_STATE`` dict, set by
-the pool initializer.  This is the one sanctioned module-global in the
+the initializer.  This is the one sanctioned module-global in the
 package: it is *per-process* by construction (each worker is its own
 process), written exactly once before any job runs, and is the
 standard ``multiprocessing`` idiom for shipping large read-only state
@@ -21,6 +23,19 @@ simulation; the controller merges the shards into one Chrome trace
 with per-worker lanes (:mod:`repro.obs.merge`).  Job results travel
 back as plain dicts — a :class:`~repro.sim.kernel.SimResult` holds the
 kernel and cannot cross a process boundary.
+
+**Retry attempts** arrive with their attempt number: a retried run
+whose request configured rolling checkpoints (``checkpoint_every``)
+resumes from the newest trustworthy REPROCKPT under its per-run
+checkpoint directory instead of restarting at time 0 — checkpoint
+resume is bit-identical (docs/ROBUSTNESS.md), so a retry that resumes
+produces the same result a fresh run would, minus the re-simulation.
+
+**Chaos hook**: setting ``REPRO_BATCH_CHAOS_KILL=<run name>:<attempt>``
+in the controller's environment makes the worker that picks up that
+attempt SIGKILL itself *before* simulating — the deterministic
+stand-in for an OOM kill used by the chaos suite and the ``batch-chaos``
+CI lane (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -28,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import signal
 import time
 import traceback
 from typing import Dict, Optional
@@ -35,6 +51,10 @@ from typing import Dict, Optional
 from repro.obs import Observability, Tracer
 from repro.obs import live as _live
 from repro.sim.kernel import SimStatus
+
+#: Environment variable driving the deterministic worker-kill chaos
+#: hook (format ``<run name>`` or ``<run name>:<attempt>``).
+CHAOS_KILL_ENV = "REPRO_BATCH_CHAOS_KILL"
 
 #: Per-process worker state, set once by :func:`_worker_init`.
 _STATE: Dict[str, object] = {}
@@ -60,6 +80,54 @@ def _worker_init(catalog: Dict[str, bytes], out_dir: str,
         _STATE["shard_path"] = shard_path
 
 
+def _maybe_chaos_kill(name: str, attempt: int) -> None:
+    """SIGKILL this worker if the chaos hook targets this attempt."""
+    target = os.environ.get(CHAOS_KILL_ENV)
+    if not target:
+        return
+    run, _, when = target.partition(":")
+    if run != name:
+        return
+    if when and int(when) != attempt:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _worker_main(task_conn, result_conn, catalog: Dict[str, bytes],
+                 out_dir: str, trace: bool,
+                 heartbeat_every: Optional[int]) -> None:
+    """Entry point of one pool worker process.
+
+    Receives ``(request, fingerprint, attempt)`` tuples until the
+    controller sends ``None`` (or closes the pipe).  :func:`_run_job`
+    never raises, so the loop only exits on shutdown — or dies abruptly
+    (OOM kill, segfault, chaos), which the controller observes through
+    the process sentinel and converts into a lease requeue.
+    """
+    try:
+        _worker_init(catalog, out_dir, trace, heartbeat_every)
+        while True:
+            try:
+                job = task_conn.recv()
+            except (EOFError, OSError):
+                break
+            if job is None:
+                break
+            request, fingerprint, attempt = job
+            _maybe_chaos_kill(request.name, attempt)
+            outcome = _run_job(request, fingerprint, attempt=attempt)
+            try:
+                result_conn.send(outcome)
+            except (BrokenPipeError, OSError):
+                break  # controller went away; nothing left to report to
+    except KeyboardInterrupt:
+        pass  # SIGINT belongs to the controller; die quietly
+    finally:
+        tracer = _STATE.get("tracer")
+        if tracer is not None:
+            tracer.flush()
+
+
 def _program(fingerprint: str):
     """The worker's compiled program for ``fingerprint`` (lazy, cached)."""
     programs: Dict[str, object] = _STATE["programs"]  # type: ignore[assignment]
@@ -78,13 +146,33 @@ def _program(fingerprint: str):
     return program
 
 
-def _run_job(request, fingerprint: str) -> dict:
-    """Execute one :class:`~repro.batch.request.RunRequest`.
+def _resume_kernel(program, options, ckpt_dir: str):
+    """A kernel resumed from the newest trustworthy rolling checkpoint,
+    or ``None`` when there is nothing usable (then start fresh).
+
+    A worker killed mid-write can leave a truncated/corrupt
+    ``latest.ckpt``; the REPROCKPT loader's checksums catch that and
+    the retry simply restarts from time 0.
+    """
+    from repro.errors import CheckpointError
+    from repro.guard.checkpoint import load_checkpoint
+
+    path = os.path.join(ckpt_dir, "latest.ckpt")
+    if not os.path.exists(path):
+        return None
+    try:
+        return load_checkpoint(program, path, options=options)
+    except CheckpointError:
+        return None
+
+
+def _run_job(request, fingerprint: str, attempt: int = 1) -> dict:
+    """Execute one :class:`~repro.batch.request.RunRequest` attempt.
 
     Never raises: every outcome — including a crashed simulation — is
     folded into the returned dict so one failing run cannot take down
-    the batch (the pool would otherwise tear the worker down and
-    poison in-flight siblings).
+    its worker (an abrupt worker death is the *controller's* signal
+    that infrastructure, not the run, failed).
     """
     from repro.errors import SimulationAborted, SimulationHang
     from repro.sim.kernel import Kernel
@@ -104,12 +192,13 @@ def _run_job(request, fingerprint: str) -> dict:
 
     vcd_path = os.path.join(run_dir, "wave.vcd") if request.vcd \
         else request.options.vcd_path
+    ckpt_dir = request.options.checkpoint_dir \
+        or os.path.join(run_dir, "ckpt")
     options = dataclasses.replace(
         request.options,
         obs=Observability(tracer=tracer) if tracer is not None else None,
         vcd_path=vcd_path,
-        checkpoint_dir=request.options.checkpoint_dir
-        or os.path.join(run_dir, "ckpt"),
+        checkpoint_dir=ckpt_dir,
         heartbeat_path=status_path if heartbeat_every else
         request.options.heartbeat_path,
         heartbeat_every=request.options.heartbeat_every or heartbeat_every,
@@ -118,23 +207,34 @@ def _run_job(request, fingerprint: str) -> dict:
         # so the pool can unwind.
         defer_interrupt=False,
     )
+    # Attempt-scoped chaos: faults with `on_attempt` fire only on the
+    # matching batch attempt (transient-failure modelling).
+    if options.faults is not None and hasattr(options.faults, "attempt"):
+        options.faults.attempt = attempt
 
     if tracer is not None:
         tracer.begin(f"run:{request.name}", "batch", lane=0)
     wall_start = time.perf_counter()
     outcome = {
         "name": request.name,
+        "attempt": attempt,
         "worker_pid": os.getpid(),
         "shard_path": _STATE["shard_path"],
         "t0_unix_us": _STATE["t0_unix_us"],
         "vcd_path": vcd_path if request.vcd else None,
         "status_path": status_path,
+        "resumed_from_checkpoint": False,
         "error": None,
         "result": None,
     }
     result = None
     try:
-        kern = Kernel(_program(fingerprint), options=options)
+        kern = None
+        if attempt > 1 and request.options.checkpoint_every:
+            kern = _resume_kernel(_program(fingerprint), options, ckpt_dir)
+            outcome["resumed_from_checkpoint"] = kern is not None
+        if kern is None:
+            kern = Kernel(_program(fingerprint), options=options)
         result = kern.run(until=request.until)
         outcome["status"] = result.status.value
     except SimulationHang as exc:
@@ -144,7 +244,7 @@ def _run_job(request, fingerprint: str) -> dict:
         outcome["status"] = SimStatus.ABORTED.value
         outcome["error"] = str(exc)
         result = exc.partial_result
-    except Exception as exc:  # noqa: BLE001 — fold, never poison the pool
+    except Exception as exc:  # noqa: BLE001 — fold, never kill the worker
         outcome["status"] = SimStatus.ABORTED.value
         outcome["error"] = "".join(
             traceback.format_exception_only(type(exc), exc)).strip()

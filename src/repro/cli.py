@@ -35,6 +35,8 @@ Batch simulation (see docs/BATCH.md)::
 
     symsim batch jobs.json --workers 4 --out-dir out/
     symsim batch jobs.json --workers 2 --no-trace --quiet
+    symsim batch jobs.json --max-attempts 4 --lease-timeout 300
+    symsim batch jobs.json --resume out/      # finish an interrupted batch
 
 Mutation campaigns (see docs/MUTATION.md)::
 
@@ -47,7 +49,9 @@ Exit codes: 0 clean, 1 violations found, 2 error, 3 resimulation
 failure, 4 aborted by the resource guard, 130 interrupted (Ctrl-C).
 ``symsim batch`` folds per-run outcomes: 0 when every run is ok, 1
 when any run had assertion violations, 4 when any run aborted or
-hung, 2 for a bad manifest or pool failure.  ``symsim mutate`` exits
+hung, 5 (the exit-4 family) when any run was *quarantined* by the
+retry policy, 2 for a bad manifest, pool failure, or a ``--resume``
+whose journal does not match the manifest.  ``symsim mutate`` exits
 0 when the campaign completes (whatever the score), 2 for a bad
 manifest or controller failure, 3 when the baseline is not clean.
 """
@@ -235,15 +239,58 @@ def build_batch_parser() -> argparse.ArgumentParser:
                         help="flag a run whose heartbeat is older than S "
                              "seconds while it still claims to be running "
                              "(stall watcher; needs heartbeats)")
+    durability = parser.add_argument_group(
+        "durability (leases / retries / journal — see docs/BATCH.md)")
+    durability.add_argument("--max-attempts", type=int, default=None,
+                            metavar="N",
+                            help="attempts per run before quarantine "
+                                 "(default 3; overrides the manifest's "
+                                 "\"retry\" object)")
+    durability.add_argument("--retry-on", metavar="A,B,...", default=None,
+                            help="also retry these run statuses (e.g. "
+                                 "'aborted'); infrastructure failures are "
+                                 "always retried")
+    durability.add_argument("--backoff-base", type=float, default=None,
+                            metavar="S",
+                            help="base retry backoff in seconds "
+                                 "(default 0.25; capped exponential with "
+                                 "deterministic jitter)")
+    durability.add_argument("--lease-timeout", type=float, default=None,
+                            metavar="S",
+                            help="kill a run's worker and requeue the run "
+                                 "when it holds its lease S seconds with "
+                                 "no fresh 'running' heartbeat")
+    durability.add_argument("--no-journal", action="store_true",
+                            help="skip the BATCHJRNL/1 journal (the batch "
+                                 "is then not resumable)")
+    durability.add_argument("--resume", metavar="OUT_DIR", default=None,
+                            help="resume an interrupted batch: restore "
+                                 "terminal runs from OUT_DIR's journal "
+                                 "(after fingerprint re-verification) and "
+                                 "execute only the rest")
     return parser
 
 
 def batch_main(argv: List[str]) -> int:
-    from repro.batch import load_manifest, run_batch
+    import dataclasses
+
+    from repro.batch import RetryPolicy, load_manifest, load_policy, \
+        run_batch
     from repro.errors import BatchError
     from repro.sim import SimStatus
 
     args = build_batch_parser().parse_args(argv)
+    if args.resume is not None:
+        if args.out_dir is not None and args.out_dir != args.resume:
+            print("error: --resume OUT_DIR and --out-dir disagree — "
+                  "a resume must target the journaled output directory",
+                  file=sys.stderr)
+            return 2
+        args.out_dir = args.resume
+        if args.no_journal:
+            print("error: --resume needs the journal; drop --no-journal",
+                  file=sys.stderr)
+            return 2
 
     def stream(outcome):
         if args.quiet:
@@ -264,6 +311,19 @@ def batch_main(argv: List[str]) -> int:
         else (args.heartbeat_every or DEFAULT_EVERY)
     try:
         requests = load_manifest(args.manifest)
+        policy = load_policy(args.manifest) or RetryPolicy()
+        overrides = {}
+        if args.max_attempts is not None:
+            overrides["max_attempts"] = args.max_attempts
+        if args.backoff_base is not None:
+            overrides["backoff_base"] = args.backoff_base
+        if args.lease_timeout is not None:
+            overrides["lease_timeout"] = args.lease_timeout
+        if args.retry_on is not None:
+            overrides["retry_statuses"] = frozenset(
+                s.strip() for s in args.retry_on.split(",") if s.strip())
+        if overrides:
+            policy = dataclasses.replace(policy, **overrides)
         batch = run_batch(
             requests,
             workers=args.workers,
@@ -273,6 +333,9 @@ def batch_main(argv: List[str]) -> int:
             heartbeat_every=heartbeat_every,
             stall_after=args.stall_after,
             on_stall=stalled if args.stall_after is not None else None,
+            retry=policy,
+            journal=not args.no_journal,
+            resume=args.resume is not None,
         )
     except (BatchError, ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -290,6 +353,12 @@ def batch_main(argv: List[str]) -> int:
               "(tail with 'symsim top')")
     if batch.stalled_runs:
         print(f"[obs] stalled mid-batch: {', '.join(batch.stalled_runs)}")
+    if batch.journal_path is not None:
+        print(f"[obs] batch journal: {batch.journal_path} "
+              "(resume with 'symsim batch --resume')")
+    if batch.quarantined_runs:
+        print(f"[durability] quarantined: "
+              f"{', '.join(batch.quarantined_runs)}", file=sys.stderr)
     for src, dst in ((batch.trace_path, args.trace_out),
                      (batch.metrics_path, args.metrics_out)):
         if dst is not None and src is not None:
@@ -302,6 +371,8 @@ def batch_main(argv: List[str]) -> int:
                 return 2
             print(f"[obs] copied to {dst}")
     statuses = {outcome.status for outcome in batch}
+    if batch.quarantined_runs:
+        return 5
     if SimStatus.ABORTED in statuses or SimStatus.HANG in statuses:
         return 4
     if SimStatus.ASSERT_FAILED in statuses:
@@ -352,6 +423,17 @@ def build_mutate_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="flag a mutant run whose heartbeat is older "
                              "than S seconds (stall watcher)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="attempts per mutant run before quarantine "
+                             "(default 3; infrastructure failures retry, "
+                             "classifications never change)")
+    parser.add_argument("--retry-on", metavar="A,B,...", default=None,
+                        help="also retry these run statuses (e.g. "
+                             "'aborted')")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted campaign from the "
+                             "batch journal in --out-dir")
     return parser
 
 
@@ -401,11 +483,27 @@ def mutate_main(argv: List[str]) -> int:
               flush=True)
 
     heartbeat_every = None if args.no_heartbeat else DEFAULT_EVERY
+    if args.resume and args.out_dir is None:
+        print("error: --resume needs --out-dir (the journaled campaign "
+              "directory)", file=sys.stderr)
+        return 2
     try:
+        retry = None
+        if args.max_attempts is not None or args.retry_on is not None:
+            from repro.batch import RetryPolicy
+            retry_kwargs = {}
+            if args.max_attempts is not None:
+                retry_kwargs["max_attempts"] = args.max_attempts
+            if args.retry_on is not None:
+                retry_kwargs["retry_statuses"] = frozenset(
+                    s.strip() for s in args.retry_on.split(",")
+                    if s.strip())
+            retry = RetryPolicy(**retry_kwargs)
         report = run_campaign(
             config, workers=workers, out_dir=args.out_dir,
             on_result=stream, heartbeat_every=heartbeat_every,
-            stall_after=args.stall_after)
+            stall_after=args.stall_after, retry=retry,
+            resume=args.resume)
     except MutationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3 if "baseline run is not clean" in str(exc) else 2

@@ -135,6 +135,26 @@ class BatchError(ReproError):
     """
 
 
+class QuarantinedRunError(BatchError):
+    """A batch run exhausted its retry budget and was quarantined.
+
+    Raised by :meth:`repro.batch.BatchResult.check_quarantine` (and by
+    callers that prefer exceptions over scanning outcome rows) — never
+    by the engine itself, which reports quarantine as a terminal
+    :class:`repro.batch.RunOutcome` with ``quarantined=True``.  Carries
+    the run ``name``, the ``attempts`` consumed, and the per-attempt
+    ``failure_history`` (``{"attempt", "kind", "error", "worker_pid"}``
+    records).
+    """
+
+    def __init__(self, message: str, name: str = "", attempts: int = 0,
+                 failure_history=()) -> None:
+        super().__init__(message)
+        self.name = name
+        self.attempts = attempts
+        self.failure_history = list(failure_history)
+
+
 class MutationError(ReproError):
     """The mutation engine rejected a plan, manifest or campaign.
 

@@ -44,18 +44,28 @@ tests; every damage mode must surface as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 FAULT_KINDS = ("arena-blowup", "clock-skew", "safe-point-error", "interrupt")
 
 
 @dataclass
 class Fault:
-    """One scripted fault: fire ``kind`` at safe point ``at_step``."""
+    """One scripted fault: fire ``kind`` at safe point ``at_step``.
+
+    ``on_attempt`` scopes the fault to one batch attempt number: a
+    fault with ``on_attempt=1`` fires only the first time the durable
+    batch engine runs the request and stays quiet on retries — the
+    deterministic model of a *transient* failure (the retry heals it),
+    which is what the retry-determinism tests need.  ``None`` (the
+    default) fires on every attempt: a *persistent* fault that drives
+    a run into quarantine.
+    """
 
     kind: str
     at_step: int
     magnitude: int = 0
+    on_attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -63,6 +73,9 @@ class Fault:
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {FAULT_KINDS}"
             )
+        if self.on_attempt is not None and self.on_attempt < 1:
+            raise ValueError(
+                f"on_attempt must be >= 1, got {self.on_attempt}")
 
 
 class FaultInjector:
@@ -71,6 +84,10 @@ class FaultInjector:
     def __init__(self, faults: List[Fault]) -> None:
         self.faults = list(faults)
         self.fired: List[Fault] = []
+        #: Batch attempt number the current run carries; attempt-scoped
+        #: faults compare against this.  The batch worker sets it
+        #: before each attempt; standalone runs stay at 1.
+        self.attempt = 1
         self._ordinal = 0
 
     def on_run_start(self, guard, kern) -> None:
@@ -79,6 +96,9 @@ class FaultInjector:
     def on_safe_point(self, guard, kern) -> None:
         self._ordinal += 1
         for fault in self.faults:
+            if fault.on_attempt is not None \
+                    and fault.on_attempt != self.attempt:
+                continue
             if fault.at_step == self._ordinal and fault not in self.fired:
                 self.fired.append(fault)
                 self._fire(fault, guard, kern)

@@ -247,6 +247,8 @@ def run_campaign(
     trace: bool = False,
     heartbeat_every: Optional[int] = DEFAULT_EVERY,
     stall_after: Optional[float] = None,
+    retry=None,
+    resume: bool = False,
 ) -> CampaignReport:
     """Run one mutation campaign end to end.
 
@@ -254,6 +256,15 @@ def run_campaign(
     — every other failure is folded into the report.  ``on_result``
     streams each :class:`~repro.batch.RunOutcome` as it completes
     (classify it with :func:`classify`).
+
+    ``retry`` (a :class:`~repro.batch.RetryPolicy`) and ``resume``
+    pass straight through to :func:`~repro.batch.run_batch`: campaigns
+    inherit the batch engine's durability — transient worker deaths
+    retry instead of polluting the score, and an interrupted campaign
+    resumes from its journal.  Retries do not change the report:
+    classification sees only terminal outcomes, and a quarantined
+    mutant classifies by its final status (``aborted`` for
+    infrastructure failures), exactly as an unretried failure would.
     """
     plan = build_plan(
         config.source, top=config.top, defines=config.defines,
@@ -287,7 +298,7 @@ def run_campaign(
     batch = run_batch(
         requests, workers=workers, out_dir=out_dir, on_result=on_result,
         trace=trace, write_metrics=False, heartbeat_every=heartbeat_every,
-        stall_after=stall_after)
+        stall_after=stall_after, retry=retry, resume=resume)
 
     baseline = batch[BASELINE_NAME]
     if baseline.status.value != "ok":

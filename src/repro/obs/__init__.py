@@ -19,8 +19,8 @@ from repro.obs.gate import (
     GateError, GateReport, compare_trajectories, load_trajectory,
 )
 from repro.obs.live import (
-    Heartbeat, RunHealth, assess_health, deterministic_view, read_status,
-    scan_status, write_status,
+    Heartbeat, LeaseHealth, RunHealth, assess_health, assess_lease,
+    deterministic_view, read_status, scan_status, write_status,
 )
 from repro.obs.merge import (
     ShardWarning, merge_shards, read_jsonl_records, shard_to_chrome_events,
@@ -40,6 +40,7 @@ __all__ = [
     # live telemetry (docs/OBSERVABILITY.md, `symsim top`)
     "Heartbeat", "RunHealth", "assess_health", "deterministic_view",
     "read_status", "scan_status", "write_status",
+    "LeaseHealth", "assess_lease",
     # OpenMetrics export + scrape endpoint
     "render_openmetrics", "MetricsServer", "registry_from_status",
     # perf-regression gate (`symsim bench compare`)

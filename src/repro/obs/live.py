@@ -332,3 +332,58 @@ def assess_health(records: Iterable[dict],
             age_seconds=age, stalled=stalled, record=record,
         ))
     return health
+
+
+@dataclass
+class LeaseHealth:
+    """One leased batch run's liveness, judged for kill escalation.
+
+    Where :class:`RunHealth` asks "is this heartbeat stale?",
+    ``LeaseHealth`` asks the sharper scheduling question: "has this
+    *lease* gone ``kill_after`` seconds without evidence of progress?"
+    Evidence of progress is a ``running`` heartbeat that is both fresh
+    (younger than ``kill_after``) and *belongs to this lease* (written
+    at or after the lease was granted — a stale record from a previous
+    attempt of the same run does not keep a new lease alive).  With
+    heartbeats disabled the lease age alone decides.
+    """
+
+    name: str
+    worker_pid: int
+    #: Seconds the lease has been held (monotonic).
+    lease_age: float
+    #: Seconds since the run's latest heartbeat (None without one).
+    heartbeat_age: Optional[float]
+    #: True when the engine should kill the worker and requeue the run.
+    expired: bool
+
+
+def assess_lease(name: str, worker_pid: int, lease_age: float,
+                 record: Optional[dict], kill_after: float,
+                 now_unix: Optional[float] = None,
+                 started_unix: Optional[float] = None) -> LeaseHealth:
+    """Judge one lease for timeout escalation.
+
+    Pure function of its inputs (the engine passes clocks explicitly;
+    tests can too).  ``record`` is the run's latest status record, or
+    None when heartbeats are off or nothing was written yet;
+    ``started_unix`` is the wall-clock lease grant time used to decide
+    whether the record belongs to this lease.
+    """
+    if now_unix is None:
+        now_unix = time.time()
+    heartbeat_age: Optional[float] = None
+    fresh = False
+    if record is not None:
+        ts = record.get("ts_unix")
+        if isinstance(ts, (int, float)):
+            heartbeat_age = max(now_unix - ts, 0.0)
+            # 1s of slack absorbs clock skew between the controller
+            # stamping the lease and the worker stamping the heartbeat.
+            belongs = started_unix is None or ts >= started_unix - 1.0
+            fresh = (belongs and heartbeat_age <= kill_after
+                     and record.get("status") == "running")
+    expired = lease_age > kill_after and not fresh
+    return LeaseHealth(name=name, worker_pid=worker_pid,
+                       lease_age=lease_age, heartbeat_age=heartbeat_age,
+                       expired=expired)
