@@ -55,12 +55,15 @@ JOURNAL_NAME = "journal.jsonl"
 
 #: :class:`~repro.sim.kernel.SimOptions` fields excluded from request
 #: fingerprints: per-process objects the batch forbids anyway (``obs``,
-#: ``heartbeat_callback``) and operational knobs the engine rewrites
-#: per worker/run (paths, heartbeat cadence, interrupt handling).
+#: ``heartbeat_callback``), operational knobs the engine rewrites
+#: per worker/run (paths, heartbeat cadence, interrupt handling), and
+#: ``compile_tier`` — the compiled tier is bit-identical to the
+#: interpreter, so toggling it must not invalidate a resumable journal.
 #: Everything else is semantic and fingerprinted.
 _OPERATIONAL_OPTIONS = frozenset({
     "obs", "heartbeat_callback", "heartbeat_path", "heartbeat_every",
     "heartbeat_name", "vcd_path", "checkpoint_dir", "defer_interrupt",
+    "compile_tier",
 })
 
 

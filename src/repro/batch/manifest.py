@@ -52,6 +52,7 @@ _OPTION_KEYS = {
     "gc_threshold": "gc_threshold",
     "dyn_reorder": "dyn_reorder",
     "no_fastpath": "no_fastpath",
+    "compile_tier": "compile_tier",
     "checkpoint_every": "checkpoint_every",
     "heartbeat_every": "heartbeat_every",
     "budget": "budgets",

@@ -102,6 +102,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "bit; results are bit-identical — this is "
                              "the differential-testing / baseline-timing "
                              "switch)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="run the instruction interpreter instead of "
+                             "the compiled block tier (results are "
+                             "bit-identical; this is the differential "
+                             "oracle for the codegen)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress $display output echo")
     mem = parser.add_argument_group("BDD memory management")
@@ -740,6 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         dyn_reorder=args.dyn_reorder,
         reorder_threshold=args.reorder_threshold,
         no_fastpath=args.no_fastpath,
+        compile_tier=not args.no_compile,
         obs=obs,
         budgets=budgets,
         checkpoint_every=args.checkpoint_every,
@@ -795,6 +801,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"fastpath-sym={cache['fastpath_symbolic_ops']} "
               f"concrete-ratio={cache['fastpath_word_ratio']:.3f} "
               f"apply-hit-rate={cache['apply_hit_rate']:.3f}")
+        ctier = sim.kernel.compile_tier_stats()
+        if ctier is not None:
+            print(f"[stats] compile-blocks={ctier['blocks']} "
+                  f"compile-fused={ctier['fused_instructions']} "
+                  f"compile-hits={ctier['tier_hits']} "
+                  f"compile-misses={ctier['tier_misses']} "
+                  f"compile-build={ctier['build_seconds']:.3f}s")
         if args.gc_threshold is not None or args.dyn_reorder:
             print(f"[stats] gc-runs={cache['gc_runs']} "
                   f"gc-reclaimed={cache['gc_reclaimed']} "

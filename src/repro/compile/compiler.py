@@ -405,7 +405,8 @@ class _ProcessCompiler:
                 value = rhs.eval(kern, None, frame.control, width)
                 plan.write(kern, None, value.resize(plan.width), frame.control)
 
-            self.proc.emit(Exec(do_assign, stmt.line))
+            self.proc.emit(Exec(do_assign, stmt.line,
+                                spec=("assign", rhs, plan, width)))
             return rhs.support | plan.support
         # intra-assignment delay/event: capture RHS, suspend, commit.
         shadow = self.program.new_shadow(plan.width, hint="ia")
@@ -415,7 +416,9 @@ class _ProcessCompiler:
             old = kern.state.value(shadow)
             kern.write_net(shadow, value.ite(frame.control, old), TRUE)
 
-        self.proc.emit(Exec(capture, stmt.line))
+        self.proc.emit(Exec(capture, stmt.line,
+                            spec=("shadowcap", rhs, shadow, width,
+                                  plan.width)))
         if stmt.intra_delay is not None:
             self.proc.emit(Delay(compiler.compile(stmt.intra_delay),
                                  stmt.line))
@@ -434,7 +437,7 @@ class _ProcessCompiler:
             value = kern.state.value(shadow)
             plan.write(kern, None, value, frame.control)
 
-        self.proc.emit(Exec(commit, stmt.line))
+        self.proc.emit(Exec(commit, stmt.line, spec=("commit", plan, shadow)))
         return rhs.support | plan.support
 
     def _compile_nonblocking(
@@ -455,7 +458,9 @@ class _ProcessCompiler:
             delay = kern.eval_delay(delay_expr, frame) if delay_expr else 0
             kern.schedule_nba(apply, delay)
 
-        self.proc.emit(Exec(do_nba, stmt.line))
+        self.proc.emit(Exec(do_nba, stmt.line,
+                            spec=("nba", rhs, plan, width,
+                                  delay_expr is None)))
         return rhs.support | plan.support
 
     # ------------------------------------------------------------------
@@ -504,7 +509,9 @@ class _ProcessCompiler:
             old = kern.state.value(shadow)
             kern.write_net(shadow, value.ite(frame.control, old), TRUE)
 
-        self.proc.emit(Exec(capture_sel, stmt.line))
+        self.proc.emit(Exec(capture_sel, stmt.line,
+                            spec=("shadowcap", selector, shadow, width,
+                                  width)))
         match_fn = {"case": None, "casez": ops.casez_match,
                     "casex": ops.casex_match}[stmt.kind]
         support |= self._compile_case_chain(
@@ -535,8 +542,33 @@ class _ProcessCompiler:
             bit = FourVec(kern.mgr, [(cond, FALSE)])
             return bit.resize(ctx_width)
 
+        # Word twin for plain ``case``: an integer membership test.
+        # Generic eval runs one case_equal per item with no
+        # short-circuit, so the mirror must probe *every* item word
+        # (bailing if any is unavailable) and its static cost counts
+        # every item — see the counter-mirroring contract in expr.py.
+        cond_word = None
+        cond_cost = 0
+        if match_fn is None and all(e.word is not None for e in exprs):
+            cond_cost = sum(e.word_cost for e in exprs) + len(exprs)
+            item_words = [e.word for e in exprs]
+
+            def cond_word(kern, ctx_width, _words=item_words):
+                sel = kern.state.known_word(shadow)
+                if sel is None:
+                    return None
+                hit = 0
+                for w in _words:
+                    iv = w(kern, width)
+                    if iv is None:
+                        return None
+                    if iv == sel:
+                        hit = 1
+                return hit
+
         cond_cexpr = CExpr(width=1, signed=False, eval=match_eval,
-                           support=frozenset([shadow]))
+                           support=frozenset([shadow]),
+                           word=cond_word, word_cost=cond_cost)
         split = IfSplit(cond_cexpr, line=line)
         self.proc.emit(split)
         self.depth += 1
@@ -608,15 +640,33 @@ class _ProcessCompiler:
             old = kern.state.value(shadow)
             kern.write_net(shadow, value.ite(frame.control, old), TRUE)
 
-        self.proc.emit(Exec(init_counter, stmt.line))
+        self.proc.emit(Exec(init_counter, stmt.line,
+                            spec=("shadowcap", count, shadow, width, width)))
 
         def counter_nonzero(kern, env, ctrl, ctx_width):
             value = kern.state.value(shadow)
             nonzero = value.truthy()
             return FourVec(kern.mgr, [(nonzero, FALSE)]).resize(ctx_width)
 
+        # Word twin: truthy() never touches fast-path counters, so the
+        # mirror is cost-free.  A known-1 bit decides truth even when
+        # other bits are unknown.
+        full_mask = (1 << width) - 1
+
+        def counter_word(kern, ctx_width):
+            slot = kern.state.peek(shadow)
+            if type(slot) is int:
+                return 1 if slot else 0
+            mask, value = slot.concrete_summary()
+            if value:
+                return 1
+            if mask == full_mask:
+                return 0
+            return None
+
         cond_cexpr = CExpr(width=1, signed=False, eval=counter_nonzero,
-                           support=frozenset([shadow]))
+                           support=frozenset([shadow]),
+                           word=counter_word, word_cost=0)
 
         def emit_body() -> FrozenSet[str]:
             inner = self.compile_stmt(stmt.body, ctx)
@@ -627,7 +677,8 @@ class _ProcessCompiler:
                 dec = ops.subtract(value, one)
                 kern.write_net(shadow, dec.ite(frame.control, value), TRUE)
 
-            self.proc.emit(Exec(decrement, stmt.line))
+            self.proc.emit(Exec(decrement, stmt.line,
+                                spec=("decrement", shadow, width)))
             return inner
 
         return count.support | self._compile_loop(cond_cexpr, stmt.line,
@@ -767,7 +818,7 @@ class _ProcessCompiler:
             def do_error(kern, frame):
                 kern.report_error(frame.control, where, message)
 
-            self.proc.emit(Exec(do_error, stmt.line))
+            self.proc.emit(Exec(do_error, stmt.line, spec=("error",)))
             return frozenset()
         if name == "$assert":
             if len(stmt.args) != 1:
@@ -786,7 +837,7 @@ class _ProcessCompiler:
             def do_finish(kern, frame):
                 kern.finish(stopped=name == "$stop", control=frame.control)
 
-            self.proc.emit(Exec(do_finish, stmt.line))
+            self.proc.emit(Exec(do_finish, stmt.line, spec=("finish",)))
             return frozenset()
         if name in ("$random", "$randomxz"):
             # value discarded; still introduces (and logs) a variable
@@ -874,7 +925,9 @@ class _ProcessCompiler:
                     old = kern.state.value(_shadow)
                     kern.write_net(_shadow, value.ite(frame.control, old), TRUE)
 
-                self.proc.emit(Exec(copy_in, stmt.line))
+                self.proc.emit(Exec(copy_in, stmt.line,
+                                    spec=("shadowcap", rhs, shadow, width,
+                                          pw)))
 
         inner_ctx = ctx.child_with_locals(local_map)
         self.task_stack.append(stmt.name)
@@ -900,7 +953,8 @@ class _ProcessCompiler:
                     _plan.write(kern, None, value.resize(_plan.width),
                                 frame.control)
 
-                self.proc.emit(Exec(copy_out, stmt.line))
+                self.proc.emit(Exec(copy_out, stmt.line,
+                                    spec=("copyout", plan, shadow)))
         return support
 
 

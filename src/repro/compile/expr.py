@@ -32,6 +32,8 @@ from repro.fourval.vector import BIT_X
 
 Env = Optional[Dict[str, FourVec]]
 EvalFn = Callable[["object", Env, int, int], FourVec]
+#: word(kernel, ctx_width) -> raw unsigned int or None — see CExpr.word.
+WordFn = Callable[["object", int], Optional[int]]
 
 
 @dataclass
@@ -48,6 +50,163 @@ class CExpr:
     #: Const expressions are folded once per context width (see
     #: ``_fold_const``) instead of being re-evaluated per statement.
     const: bool = False
+    #: Optional word-level twin of ``eval`` for the compiled tier:
+    #: ``word(kern, ctx_width)`` returns the raw *unsigned* integer of
+    #: exactly ``ctx_width`` bits that ``eval`` would produce — iff
+    #: ``eval`` would return a fully-known vector — else ``None`` (the
+    #: caller then falls back to the generic ``eval``).  Word closures
+    #: are pure: expressions with side effects ($random, function
+    #: calls) and env-dependent ones (function locals) never get one.
+    word: Optional[WordFn] = None
+    #: Number of ``fastpath_word_ops`` the *generic* evaluation of this
+    #: tree counts when every operand is concrete.  A word-path caller
+    #: adds exactly this to ``mgr._fp_word`` on a hit so counter
+    #: metrics stay bit-identical across tiers.
+    word_cost: int = 0
+    #: Signedness of the vector ``eval`` actually returns at runtime
+    #: where it differs from the static ``signed`` (e.g. bitwise ops
+    #: rebuild unsigned).  ``None`` means same as ``signed``.  Only
+    #: consumers that convert a result via two's complement (index
+    #: expressions) care.
+    rt_signed: Optional[bool] = None
+
+
+def _rt_signed(cexpr: CExpr) -> bool:
+    """Runtime signedness of a compiled expression's result vector."""
+    return cexpr.signed if cexpr.rt_signed is None else cexpr.rt_signed
+
+
+def _word_resize(value: int, width: int, signed: bool, ctx_width: int) -> int:
+    """Word-level mirror of ``FourVec.resize``: ``value`` is the raw
+    unsigned contents of a ``width``-bit vector with signedness
+    ``signed``; return its raw contents at ``ctx_width`` bits."""
+    if ctx_width <= width:
+        return value & ((1 << ctx_width) - 1)
+    if signed and (value >> (width - 1)) & 1:
+        return (value | (-1 << width)) & ((1 << ctx_width) - 1)
+    return value
+
+
+def _signed_int(value: int, width: int) -> int:
+    """Two's-complement interpretation of a raw ``width``-bit word."""
+    if (value >> (width - 1)) & 1:
+        return value - (1 << width)
+    return value
+
+
+def _arith_word(op: str, lword: WordFn, rword: WordFn, width: int,
+                signed: bool) -> WordFn:
+    """Word twin of an arithmetic/bitwise binary operator.
+
+    Mirrors the fully-concrete fast paths in :mod:`repro.fourval.ops`
+    exactly, including signed division/modulo rounding; ``/`` and ``%``
+    bail (return ``None``) on a zero divisor because the generic result
+    is all-X there.
+    """
+
+    def word(kern, ctx_width):
+        opw = max(width, ctx_width)
+        lv = lword(kern, opw)
+        if lv is None:
+            return None
+        rv = rword(kern, opw)
+        if rv is None:
+            return None
+        mask = (1 << opw) - 1
+        if op == "+":
+            result = lv + rv
+        elif op == "-":
+            result = lv - rv
+        elif op == "*":
+            result = lv * rv
+        elif op == "&":
+            result = lv & rv
+        elif op == "|":
+            result = lv | rv
+        elif op == "^":
+            result = lv ^ rv
+        elif op in ("~^", "^~"):
+            result = ~(lv ^ rv)
+        elif op == "**":
+            result = pow(lv, rv, 1 << opw)
+        elif op in ("/", "%"):
+            if rv == 0:
+                return None  # division by zero yields all X
+            if signed:
+                sl, sr = _signed_int(lv, opw), _signed_int(rv, opw)
+                if op == "/":
+                    result = abs(sl) // abs(sr)
+                    if (sl < 0) != (sr < 0):
+                        result = -result
+                else:
+                    result = abs(sl) % abs(sr)
+                    if sl < 0:
+                        result = -result
+            else:
+                result = lv // rv if op == "/" else lv % rv
+        else:  # pragma: no cover - table-driven callers only
+            return None
+        return (result & mask) & ((1 << ctx_width) - 1)
+
+    return word
+
+
+def _compare_word(op: str, lword: WordFn, rword: WordFn, opw: int,
+                  signed: bool) -> WordFn:
+    """Word twin of a comparison operator (result is one bit)."""
+
+    def word(kern, ctx_width):
+        lv = lword(kern, opw)
+        if lv is None:
+            return None
+        rv = rword(kern, opw)
+        if rv is None:
+            return None
+        if op in ("==", "==="):
+            return 1 if lv == rv else 0
+        if op in ("!=", "!=="):
+            return 1 if lv != rv else 0
+        if signed:
+            lv, rv = _signed_int(lv, opw), _signed_int(rv, opw)
+        if op == "<":
+            return 1 if lv < rv else 0
+        if op == "<=":
+            return 1 if lv <= rv else 0
+        if op == ">":
+            return 1 if lv > rv else 0
+        return 1 if lv >= rv else 0  # >=
+
+    return word
+
+
+def _shift_word(op: str, lword: WordFn, rword: WordFn, lw: int,
+                rw: int) -> WordFn:
+    """Word twin of a shift (amount self-determined, raw unsigned)."""
+
+    def word(kern, ctx_width):
+        opw = max(lw, ctx_width)
+        lv = lword(kern, opw)
+        if lv is None:
+            return None
+        rv = rword(kern, rw)
+        if rv is None:
+            return None
+        mask = (1 << opw) - 1
+        if op == "<<":
+            result = (lv << rv) & mask if rv < opw else 0
+        elif op == ">>":
+            result = lv >> rv if rv < opw else 0
+        else:  # >>> — arithmetic: replicate the original sign bit
+            sign = (lv >> (opw - 1)) & 1
+            if rv >= opw:
+                result = mask if sign else 0
+            else:
+                result = lv >> rv
+                if sign:
+                    result |= mask ^ ((1 << (opw - rv)) - 1)
+        return result & ((1 << ctx_width) - 1)
+
+    return word
 
 
 class _ScratchKernel:
@@ -90,8 +249,25 @@ def _fold_const(cexpr: CExpr) -> CExpr:
         return result
 
     ev._const_folded = True
+
+    # Word twin: the fold already did all the work on the scratch
+    # manager, so the generic per-statement cost is zero ops and the
+    # word path just reads the cached bits back as an integer.
+    def word(kern, ctx_width):
+        folded = cache.get(ctx_width)
+        if folded is None:
+            folded = inner(scratch, None, TRUE, ctx_width)
+            cache[ctx_width] = folded
+        return folded.known_int()
+
+    # Runtime signedness is width-independent (resize preserves the
+    # flag); probe it once, eagerly, at the self-determined width.
+    probe_width = max(cexpr.width, 1)
+    probe = inner(scratch, None, TRUE, probe_width)
+    cache[probe_width] = probe
     return CExpr(width=cexpr.width, signed=cexpr.signed, eval=ev,
-                 support=cexpr.support, flexible=cexpr.flexible, const=True)
+                 support=cexpr.support, flexible=cexpr.flexible, const=True,
+                 word=word, word_cost=0, rt_signed=probe.signed)
 
 
 @dataclass
@@ -105,6 +281,13 @@ class LhsPlan:
     #: non-blocking write with its BDD payload in enumerable fields
     capture: Callable[["object", Env, FourVec, int], NbaUpdate]
     support: FrozenSet[str] = frozenset()
+    #: Word-level twins for the compiled tier, set only for whole-net
+    #: variable targets: ``fast_write(kern, raw)`` /
+    #: ``fast_capture(kern, raw) -> NbaUpdate`` take the raw unsigned
+    #: RHS word (already truncated to ``width``) and are bit-identical
+    #: to write/capture under ``control == TRUE``.
+    fast_write: Optional[Callable[["object", int], None]] = None
+    fast_capture: Optional[Callable[["object", int], NbaUpdate]] = None
 
 
 class CompileContext:
@@ -249,8 +432,14 @@ class ExprCompiler:
         def ev(kern, env, ctrl, ctx_width):
             return kern.state.value(full).as_signed(signed).resize(ctx_width)
 
+        def word(kern, ctx_width):
+            raw = kern.state.known_word(full)
+            if raw is None:
+                return None
+            return _word_resize(raw, width, signed, ctx_width)
+
         return CExpr(width=width, signed=signed, eval=ev,
-                     support=frozenset([full]))
+                     support=frozenset([full]), word=word)
 
     # ------------------------------------------------------------------
     # selects
@@ -274,6 +463,9 @@ class ExprCompiler:
                          support=index.support)
         full, info = self._resolve(expr.base)
         index = self.compile(expr.index)
+        iw = max(index.width, 32)
+        idx_word = index.word
+        idx_signed = _rt_signed(index)
         if info.array is not None:
             # memory word read
             width = info.width
@@ -285,8 +477,27 @@ class ExprCompiler:
                 value = kern.state.read_array(full, idx, low, high)
                 return value.as_signed(signed).resize(ctx_width)
 
+            word_mem = None
+            if idx_word is not None:
+                def word_mem(kern, ctx_width):
+                    iv = idx_word(kern, iw)
+                    if iv is None:
+                        return None
+                    if idx_signed:
+                        iv = _signed_int(iv, iw)
+                    if not low <= iv <= high:
+                        return None  # reads X
+                    stored = kern.state.array_words(full).get(iv)
+                    if stored is None:
+                        return None  # unwritten word reads X
+                    raw = stored.known_int()
+                    if raw is None:
+                        return None
+                    return _word_resize(raw, width, signed, ctx_width)
+
             return CExpr(width=width, signed=signed, eval=ev_word,
-                         support=index.support | frozenset([full]))
+                         support=index.support | frozenset([full]),
+                         word=word_mem, word_cost=index.word_cost)
 
         # bit select
         def ev_bit(kern, env, ctrl, ctx_width):
@@ -295,8 +506,28 @@ class ExprCompiler:
             bit = _select_bit(kern, base, idx, info)
             return bit.resize(ctx_width)
 
+        word_bit = None
+        if idx_word is not None:
+            def word_bit(kern, ctx_width):
+                iv = idx_word(kern, iw)
+                if iv is None:
+                    return None
+                if idx_signed:
+                    iv = _signed_int(iv, iw)
+                offset = info.bit_offset(iv)
+                if not 0 <= offset < info.width:
+                    return None  # out-of-range reads X
+                slot = kern.state.peek(full)
+                if type(slot) is int:
+                    return (slot >> offset) & 1
+                mask, value = slot.concrete_summary()
+                if not (mask >> offset) & 1:
+                    return None  # selected bit not concrete-known
+                return (value >> offset) & 1
+
         return CExpr(width=1, signed=False, eval=ev_bit,
-                     support=index.support | frozenset([full]))
+                     support=index.support | frozenset([full]),
+                     word=word_bit, word_cost=index.word_cost)
 
     def _compile_partselect(self, expr: ast.PartSelect) -> CExpr:
         if not isinstance(expr.base, ast.Identifier):
@@ -327,8 +558,23 @@ class ExprCompiler:
             base = kern.state.value(full)
             return base.slice(offset, width).resize(ctx_width)
 
+        word = None
+        if 0 <= offset and offset + width <= info.width:
+            seg_mask = (1 << width) - 1
+
+            def word(kern, ctx_width):
+                slot = kern.state.peek(full)
+                if type(slot) is int:
+                    raw = (slot >> offset) & seg_mask
+                    return _word_resize(raw, width, False, ctx_width)
+                mask, value = slot.concrete_summary()
+                if (mask >> offset) & seg_mask != seg_mask:
+                    return None  # some selected bit not concrete-known
+                raw = (value >> offset) & seg_mask
+                return _word_resize(raw, width, False, ctx_width)
+
         return CExpr(width=width, signed=False, eval=ev,
-                     support=frozenset([full]))
+                     support=frozenset([full]), word=word)
 
     def _compile_concat(self, expr: ast.Concat) -> CExpr:
         parts = [self.compile(p) for p in expr.parts]
@@ -343,8 +589,22 @@ class ExprCompiler:
                 vec = value if vec is None else vec.concat(value)
             return vec.resize(ctx_width)
 
+        word = None
+        if all(p.word is not None for p in parts):
+            part_words = [(p.word, p.width) for p in parts]
+
+            def word(kern, ctx_width):
+                acc = 0
+                for pword, pw in part_words:
+                    pv = pword(kern, pw)
+                    if pv is None:
+                        return None
+                    acc = (acc << pw) | pv
+                return _word_resize(acc, width, False, ctx_width)
+
         return CExpr(width=width, signed=False, eval=ev, support=support,
-                     const=all(p.const for p in parts))
+                     const=all(p.const for p in parts),
+                     word=word, word_cost=sum(p.word_cost for p in parts))
 
     def _compile_repl(self, expr: ast.Repl) -> CExpr:
         from repro.frontend.elaborate import const_eval
@@ -357,8 +617,21 @@ class ExprCompiler:
             inner = value.eval(kern, env, ctrl, value.width)
             return inner.replicate(count).resize(ctx_width)
 
+        word = None
+        if value.word is not None and count >= 1:
+            inner_word, inner_w = value.word, value.width
+
+            def word(kern, ctx_width):
+                iv = inner_word(kern, inner_w)
+                if iv is None:
+                    return None
+                acc = 0
+                for _ in range(count):
+                    acc = (acc << inner_w) | iv
+                return _word_resize(acc, width, False, ctx_width)
+
         return CExpr(width=width, signed=False, eval=ev, support=value.support,
-                     const=value.const)
+                     const=value.const, word=word, word_cost=value.word_cost)
 
     # ------------------------------------------------------------------
     # operators
@@ -375,39 +648,91 @@ class ExprCompiler:
         op = expr.op
         if op == "+":
             return operand
+        oword, ow = operand.word, operand.width
         if op == "-":
             def ev_neg(kern, env, ctrl, ctx_width):
                 opw = max(operand.width, ctx_width)
                 value = operand.eval(kern, env, ctrl, opw)
                 return ops.negate(value).resize(ctx_width)
 
+            word_neg = None
+            if oword is not None:
+                def word_neg(kern, ctx_width):
+                    opw = max(ow, ctx_width)
+                    v = oword(kern, opw)
+                    if v is None:
+                        return None
+                    return (-v) & ((1 << ctx_width) - 1)
+
             return CExpr(width=operand.width, signed=operand.signed,
                          eval=ev_neg, support=operand.support,
-                         const=operand.const)
+                         const=operand.const, word=word_neg,
+                         word_cost=operand.word_cost + 1,
+                         rt_signed=_rt_signed(operand))
         if op == "~":
             def ev_not(kern, env, ctrl, ctx_width):
                 opw = max(operand.width, ctx_width)
                 value = operand.eval(kern, env, ctrl, opw)
                 return ops.bitwise_not(value).resize(ctx_width)
 
+            word_not = None
+            if oword is not None:
+                def word_not(kern, ctx_width):
+                    opw = max(ow, ctx_width)
+                    v = oword(kern, opw)
+                    if v is None:
+                        return None
+                    return ~v & ((1 << ctx_width) - 1)
+
             return CExpr(width=operand.width, signed=operand.signed,
                          eval=ev_not, support=operand.support,
-                         const=operand.const)
+                         const=operand.const, word=word_not,
+                         word_cost=operand.word_cost + 1, rt_signed=False)
         if op == "!":
             def ev_lnot(kern, env, ctrl, ctx_width):
                 value = operand.eval(kern, env, ctrl, operand.width)
                 return ops.logical_not(value).resize(ctx_width)
 
+            word_lnot = None
+            if oword is not None:
+                def word_lnot(kern, ctx_width):
+                    v = oword(kern, ow)
+                    if v is None:
+                        return None
+                    return 0 if v else 1
+
             return CExpr(width=1, signed=False, eval=ev_lnot,
-                         support=operand.support, const=operand.const)
+                         support=operand.support, const=operand.const,
+                         word=word_lnot, word_cost=operand.word_cost + 1)
         reduction = self._UNARY_REDUCTIONS.get(op)
         if reduction is not None:
             def ev_red(kern, env, ctrl, ctx_width):
                 value = operand.eval(kern, env, ctrl, operand.width)
                 return reduction(value).resize(ctx_width)
 
+            word_red = None
+            red_cost = 2 if op in ("~&", "~|", "~^", "^~") else 1
+            if oword is not None:
+                full = (1 << ow) - 1
+                base = op.lstrip("~").replace("^~", "^") or op[-1]
+
+                def word_red(kern, ctx_width):
+                    v = oword(kern, ow)
+                    if v is None:
+                        return None
+                    if base == "&":
+                        bit = 1 if v == full else 0
+                    elif base == "|":
+                        bit = 1 if v else 0
+                    else:  # ^
+                        bit = bin(v).count("1") & 1
+                    return bit ^ 1 if op.startswith("~") or op == "^~" \
+                        else bit
+
             return CExpr(width=1, signed=False, eval=ev_red,
-                         support=operand.support, const=operand.const)
+                         support=operand.support, const=operand.const,
+                         word=word_red,
+                         word_cost=operand.word_cost + red_cost)
         raise CompileError(f"unsupported unary operator {op!r}")
 
     _ARITH_OPS = {
@@ -433,6 +758,9 @@ class ExprCompiler:
         op = expr.op
         support = left.support | right.support
         const = left.const and right.const
+        child_cost = left.word_cost + right.word_cost
+        have_words = left.word is not None and right.word is not None
+        lword, rword = left.word, right.word
         if op in self._ARITH_OPS:
             func = self._ARITH_OPS[op]
             width = max(left.width, right.width)
@@ -444,8 +772,15 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, opw).as_signed(right.signed)
                 return func(lv, rv).resize(ctx_width)
 
+            word = None
+            own_cost = 2 if op in ("~^", "^~") else 1
+            rt = False if op in ("&", "|", "^", "~^", "^~", "**") else None
+            if have_words:
+                word = _arith_word(op, lword, rword, width, signed)
+
             return CExpr(width=width, signed=signed, eval=ev_arith,
-                         support=support, const=const)
+                         support=support, const=const, word=word,
+                         word_cost=child_cost + own_cost, rt_signed=rt)
         if op in self._COMPARE_OPS:
             func = self._COMPARE_OPS[op]
             opw = max(left.width, right.width, 1)
@@ -455,8 +790,15 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, opw).as_signed(right.signed)
                 return func(lv, rv).resize(ctx_width)
 
+            word = None
+            own_cost = 2 if op in ("!=", "<=", ">=") else 1
+            if have_words:
+                word = _compare_word(op, lword, rword, opw,
+                                     left.signed and right.signed)
+
             return CExpr(width=1, signed=False, eval=ev_cmp, support=support,
-                         const=const)
+                         const=const, word=word,
+                         word_cost=child_cost + own_cost)
         if op in self._LOGICAL_OPS:
             func = self._LOGICAL_OPS[op]
 
@@ -465,8 +807,21 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, right.width)
                 return func(lv, rv).resize(ctx_width)
 
+            word = None
+            if have_words:
+                lw, rw = left.width, right.width
+                want_and = op == "&&"
+
+                def word(kern, ctx_width):
+                    lv = lword(kern, lw)
+                    rv = rword(kern, rw)
+                    if lv is None or rv is None:
+                        return None
+                    truth = (lv and rv) if want_and else (lv or rv)
+                    return 1 if truth else 0
+
             return CExpr(width=1, signed=False, eval=ev_logic, support=support,
-                         const=const)
+                         const=const, word=word, word_cost=child_cost + 1)
         if op in self._SHIFT_OPS:
             func = self._SHIFT_OPS[op]
 
@@ -476,8 +831,13 @@ class ExprCompiler:
                 rv = right.eval(kern, env, ctrl, right.width)
                 return func(lv, rv).resize(ctx_width)
 
+            word = None
+            if have_words:
+                word = _shift_word(op, lword, rword, left.width, right.width)
+
             return CExpr(width=left.width, signed=left.signed, eval=ev_shift,
-                         support=support, const=const)
+                         support=support, const=const, word=word,
+                         word_cost=child_cost + 1, rt_signed=False)
         raise CompileError(f"unsupported binary operator {op!r}")
 
     def _compile_ternary(self, expr: ast.Ternary) -> CExpr:
@@ -495,8 +855,34 @@ class ExprCompiler:
             fv = else_value.eval(kern, env, ctrl, opw)
             return ops.conditional(cv, tv, fv).resize(ctx_width)
 
+        word = None
+        if (cond.word is not None and then_value.word is not None
+                and else_value.word is not None):
+            cword, cw = cond.word, cond.width
+            tword, fword = then_value.word, else_value.word
+
+            def word(kern, ctx_width):
+                # the generic path evaluates all three operands eagerly,
+                # so the word twin must too (counter mirroring)
+                opw = max(width, ctx_width)
+                cv = cword(kern, cw)
+                if cv is None:
+                    return None
+                tv = tword(kern, opw)
+                if tv is None:
+                    return None
+                fv = fword(kern, opw)
+                if fv is None:
+                    return None
+                return (tv if cv else fv) & ((1 << ctx_width) - 1)
+
+        rt = _rt_signed(then_value) and _rt_signed(else_value)
         return CExpr(width=width, signed=signed, eval=ev, support=support,
-                     const=cond.const and then_value.const and else_value.const)
+                     const=cond.const and then_value.const and else_value.const,
+                     word=word,
+                     word_cost=(cond.word_cost + then_value.word_cost
+                                + else_value.word_cost + 1),
+                     rt_signed=rt)
 
     # ------------------------------------------------------------------
     # calls
@@ -518,7 +904,10 @@ class ExprCompiler:
             def ev_time(kern, env, ctrl, ctx_width):
                 return FourVec.from_int(kern.mgr, kern.now, ctx_width)
 
-            return CExpr(width=64, signed=False, eval=ev_time)
+            def word_time(kern, ctx_width):
+                return kern.now & ((1 << ctx_width) - 1)
+
+            return CExpr(width=64, signed=False, eval=ev_time, word=word_time)
         if name in ("$signed", "$unsigned"):
             if len(expr.args) != 1:
                 raise CompileError(f"{name} takes one argument")
@@ -529,8 +918,19 @@ class ExprCompiler:
                 value = inner.eval(kern, env, ctrl, inner.width)
                 return value.as_signed(signed).resize(ctx_width)
 
+            word_cast = None
+            if inner.word is not None:
+                inner_word, inner_w = inner.word, inner.width
+
+                def word_cast(kern, ctx_width):
+                    v = inner_word(kern, inner_w)
+                    if v is None:
+                        return None
+                    return _word_resize(v, inner_w, signed, ctx_width)
+
             return CExpr(width=inner.width, signed=signed, eval=ev_cast,
-                         support=inner.support, const=inner.const)
+                         support=inner.support, const=inner.const,
+                         word=word_cast, word_cost=inner.word_cost)
         raise CompileError(f"unsupported system function {name!r}")
 
     def _compile_functioncall(self, expr: ast.FunctionCall) -> CExpr:
@@ -599,8 +999,24 @@ class ExprCompiler:
             return NbaUpdate(commit, vecs=[value.resize(width)],
                              controls=[control], spec=("net", full))
 
+        # Word twins for the compiled tier: under control == TRUE a
+        # fully-known RHS writes exactly the from_int constant vector.
+        # The blocking form parks the raw word in the store without
+        # materializing it (the plan width is the declared width, so
+        # the mask contract of write_net_raw holds); the NBA capture
+        # must materialize because queued updates are GC roots and
+        # checkpoint images.
+        def fast_write(kern, raw):
+            kern.write_net_raw(full, raw)
+
+        def fast_capture(kern, raw):
+            return NbaUpdate(commit,
+                             vecs=[FourVec.from_int(kern.mgr, raw, width)],
+                             controls=[TRUE], spec=("net", full))
+
         return LhsPlan(width=width, write=write, capture=capture,
-                       support=frozenset([full]))
+                       support=frozenset([full]),
+                       fast_write=fast_write, fast_capture=fast_capture)
 
     def _lhs_index(self, expr: ast.Index) -> LhsPlan:
         if not isinstance(expr.base, ast.Identifier):

@@ -135,13 +135,22 @@ class CompiledProcess:
 
 
 class Exec(Instruction):
-    """Run a side-effect closure ``fn(kern, frame)``; fall through."""
+    """Run a side-effect closure ``fn(kern, frame)``; fall through.
 
-    __slots__ = ("fn", "line")
+    ``spec`` optionally describes the closure as data for the compiled
+    tier (:mod:`repro.compile.codegen`): a tuple whose first element
+    names the statement shape (``"assign"``, ``"nba"``, ``"shadowcap"``,
+    ``"commit"``, ``"copyout"``, ``"decrement"``, ``"finish"``,
+    ``"error"``) followed by shape-specific payload.  ``None`` means
+    the closure is opaque and always runs through ``fn``.
+    """
 
-    def __init__(self, fn: Callable, line: int = 0) -> None:
+    __slots__ = ("fn", "line", "spec")
+
+    def __init__(self, fn: Callable, line: int = 0, spec=None) -> None:
         self.fn = fn
         self.line = line
+        self.spec = spec
 
     def execute(self, kern, frame: Frame) -> Optional[int]:
         self.fn(kern, frame)

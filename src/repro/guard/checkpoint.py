@@ -513,6 +513,7 @@ def _rebuild(Kernel, program, options, payload, _Assertion, _TriggerState,
 
     # -- kernel scalars --
     kern._started = True
+    kern._ensure_compiled_tier()
     kern.now = payload["now"]
     kern.finished = payload["finished"]
     kern.stopped = payload["stopped"]

@@ -94,6 +94,33 @@ class HotSpotProfiler:
     def record_merge(self, event) -> None:
         self._site(event_label(event), event.kind).merges += 1
 
+    def record_block(self, sites) -> None:
+        """Attribute one fused-block run of the compiled tier.
+
+        ``sites`` is the block's static ``((label, count), ...)`` —
+        its constituent source sites and how many fused instructions
+        each contributes.  This keeps per-source-site hot spots intact
+        when the kernel retires whole blocks at a time instead of
+        single instructions (the kernel then reports 0 instructions
+        through :meth:`record_pop` so nothing double-counts; pops,
+        merges, CPU and BDD growth stay attributed to the resumed
+        event's site).
+        """
+        for label, count in sites:
+            self._site(label, "proc").instructions += count
+
+    def record_block_partial(self, site_seq, retired: int) -> None:
+        """Attribute a fused block that unwound before completing.
+
+        A ``$finish``/``$error`` raised mid-block retires only a
+        prefix of the block's instructions; ``site_seq`` is the
+        block's per-instruction label sequence and ``retired`` the
+        exact count ``stats.instructions`` advanced, so attribution
+        stays equal to the interpreter's total on every path.
+        """
+        for label in site_seq[:retired]:
+            self._site(label, "proc").instructions += 1
+
     # -- queries -------------------------------------------------------
 
     def top(self, n: int = 10, by: str = "pops") -> List[SiteStats]:
@@ -109,12 +136,15 @@ class HotSpotProfiler:
         }
 
     def to_dict(self, meta: Optional[dict] = None,
-                bdd: Optional[dict] = None) -> dict:
+                bdd: Optional[dict] = None,
+                compile_stats: Optional[dict] = None) -> dict:
         """Serializable profile (``repro.obs.profile/1``).
 
         ``meta`` carries run identification (design, sim time, event
         totals); ``bdd`` the manager's :meth:`cache_stats` so the
-        report can print the cache hit-rate next to the hot sites.
+        report can print the cache hit-rate next to the hot sites;
+        ``compile_stats`` the kernel's ``compile_tier_stats()`` when
+        the compiled tier ran (absent for interpreter runs).
         """
         payload = {
             "schema": SCHEMA,
@@ -125,4 +155,6 @@ class HotSpotProfiler:
                       sorted(self.sites.values(),
                              key=lambda s: s.cpu_seconds, reverse=True)],
         }
+        if compile_stats:
+            payload["compile"] = compile_stats
         return payload

@@ -187,7 +187,23 @@ def format_profile(document: dict, top: int = 10,
     bdd = document.get("bdd") or {}
     if bdd:
         lines.append(_format_bdd_line(bdd))
+    ctier = document.get("compile") or {}
+    if ctier:
+        lines.append(_format_compile_line(ctier))
     return "\n".join(lines)
+
+
+def _format_compile_line(ctier: dict) -> str:
+    hits = ctier.get("tier_hits", 0)
+    misses = ctier.get("tier_misses", 0)
+    total = hits + misses
+    rate = f"{100.0 * hits / total:.1f}%" if total else "n/a"
+    return (
+        f"compile: {ctier.get('blocks', 0)} blocks covering "
+        f"{ctier.get('fused_instructions', 0)} instructions, "
+        f"fast-path hit-rate {rate} ({hits}/{total}), "
+        f"build {ctier.get('build_seconds', 0.0):.3f}s"
+    )
 
 
 def _format_bdd_line(bdd: dict) -> str:

@@ -126,6 +126,14 @@ class SimOptions:
     #: testing and for measuring the fast-path speedup (Table 1's
     #: ``FULL`` vs ``FULL/nofp`` cells, ``symsim --no-fastpath``).
     no_fastpath: bool = False
+    #: Run processes through the compiled tier
+    #: (:mod:`repro.compile.codegen`): instruction streams are fused
+    #: into specialized block closures with compile-time-decided word
+    #: fast paths.  Results are bit-identical to the interpreter —
+    #: which stays available as the differential oracle behind
+    #: ``symsim --no-compile`` — and the flag is operational, not
+    #: semantic (batch fingerprints and journals ignore it).
+    compile_tier: bool = True
     #: Write a live heartbeat status record to this file (atomically
     #: replaced) every ``heartbeat_every`` end-of-step safe points and
     #: once more at run end — the ``repro.obs.heartbeat/1`` records
@@ -337,6 +345,27 @@ class Kernel:
         self._step_open = False
         self._last_nba_flush = -1
         self._m_events = self._m_cpu = None
+        #: [fast-path hits, generic fallbacks] of the compiled tier —
+        #: per kernel, not per Program: differential runs share one
+        #: Program between two kernels.
+        self._ctier = [0, 0]
+        self._ctables = None
+        #: True when the compiled tier may take word fast paths in the
+        #: kernel's reactive machinery (continuous assigns, assertion
+        #: checks) — mirrors the same specialize gate the generated
+        #: blocks use, so counters stay bit-identical across tiers.
+        self._cspec = False
+        self._frame_impl = self._run_frame
+        if self.options.compile_tier:
+            # The actual codegen is deferred to _startup() so that
+            # instrumentation inserted between construction and run()
+            # (tests patch instruction streams in place) is compiled
+            # in, exactly as the interpreter would observe it.
+            self._frame_impl = (
+                self._run_frame_profiled if self._profiler is not None
+                else self._run_frame_compiled
+            )
+            self._run_frame = self._frame_impl
         if self.obs is not None:
             # Swap in instrumented entry points via instance attributes
             # so the un-instrumented hot paths stay untouched when off.
@@ -528,8 +557,25 @@ class Kernel:
     # main loop
     # ------------------------------------------------------------------
 
+    def _ensure_compiled_tier(self) -> None:
+        """Build (or fetch the cached) codegen tables on first run.
+
+        Deferred past construction so instruction streams patched
+        after ``open_sim`` compile in; also invoked by checkpoint
+        restore, which marks the kernel started without ``_startup``.
+        """
+        if self.options.compile_tier and self._ctables is None:
+            from repro.compile.codegen import compiled_tables
+
+            self._ctables = compiled_tables(
+                self.program, self.options.accumulation,
+                specialize=not self.options.no_fastpath,
+            )
+            self._cspec = self._ctables.specialize
+
     def _startup(self) -> None:
         self._started = True
+        self._ensure_compiled_tier()
         self.state.sync_with_design()
         for name, info in self.design.nets.items():
             if info.kind in ("supply0", "supply1"):
@@ -643,6 +689,79 @@ class Kernel:
         except _PathFinish:
             return
 
+    def _run_frame_compiled(self, frame: Frame) -> None:
+        """Compiled-tier frame loop: one call per fused block.
+
+        Blocks flush ``stats.instructions`` themselves and return the
+        next label exactly like ``Instruction.execute``; labels missing
+        from the table (possible only for resume points the static
+        entry scan did not predict) build on demand.
+        """
+        tables = self._ctables
+        index = frame.process.index
+        blocks = tables.tables[index]
+        pc = frame.pc
+        block = blocks[pc] or tables.ensure(index, pc)
+        try:
+            while True:
+                pc = block(self, frame)
+                if pc is None:
+                    return
+                frame.pc = pc
+                block = blocks[pc] or tables.ensure(index, pc)
+        except _PathFinish:
+            return
+
+    def _run_frame_profiled(self, frame: Frame) -> None:
+        """Compiled-tier loop with per-source-site block attribution.
+
+        Each block carries its constituent ``(site, instructions)``
+        pairs; recording them keeps the profiler's per-site hot spots
+        instead of one opaque mega-site per resumed label
+        (``_obs_dispatch`` passes 0 instructions in this mode so sites
+        are not double-counted).  A ``$finish``/``$error`` that
+        unwinds mid-block retires only a prefix of it; the
+        ``stats.instructions`` delta (blocks flush inclusively before
+        any unwinding call) picks the exact prefix of ``site_seq`` to
+        attribute, so profiler totals equal ``stats.instructions`` on
+        every path — same invariant as the interpreter.
+        """
+        profiler = self._profiler
+        tables = self._ctables
+        stats = self.stats
+        index = frame.process.index
+        blocks = tables.tables[index]
+        pc = frame.pc
+        block = blocks[pc] or tables.ensure(index, pc)
+        try:
+            while True:
+                before = stats.instructions
+                next_pc = block(self, frame)
+                profiler.record_block(block.sites)
+                if next_pc is None:
+                    return
+                frame.pc = next_pc
+                block = blocks[next_pc] or tables.ensure(index, next_pc)
+        except _PathFinish:
+            profiler.record_block_partial(
+                block.site_seq, stats.instructions - before)
+            return
+        except _FinishSignal:
+            profiler.record_block_partial(
+                block.site_seq, stats.instructions - before)
+            raise
+
+    def compile_tier_stats(self) -> Optional[dict]:
+        """Compiled-tier counters, or ``None`` when interpreting:
+        blocks built, instructions they cover, runtime fast-path
+        hits/misses, and codegen wall time."""
+        if self._ctables is None:
+            return None
+        payload = self._ctables.stats()
+        payload["tier_hits"] = self._ctier[0]
+        payload["tier_misses"] = self._ctier[1]
+        return payload
+
     # ------------------------------------------------------------------
     # observability (repro.obs) — instrumented twins of the hot paths.
     # __init__ swaps these in as instance attributes when an
@@ -671,9 +790,12 @@ class Kernel:
             # finally: a $finish unwind must still record its pop
             elapsed = _time.perf_counter() - started
             if profiler is not None:
+                # Under the compiled tier the per-site instruction
+                # counts come from record_block attribution instead.
                 profiler.record_pop(
                     event, elapsed, len(self.mgr._level) - nodes_before,
-                    self.stats.instructions - insns_before,
+                    0 if self._ctables is not None
+                    else self.stats.instructions - insns_before,
                 )
             if tracer is not None:
                 tracer.complete(
@@ -686,7 +808,7 @@ class Kernel:
         tracer = self._tracer
         started = _time.perf_counter()
         try:
-            Kernel._run_frame(self, frame)
+            self._frame_impl(frame)
         finally:
             tracer.complete(
                 f"resume:{frame.process.name}", "resume",
@@ -753,6 +875,30 @@ class Kernel:
              mgr.fastpath_word_ops / fp_total if fp_total else 0.0),
         ):
             metrics.gauge(name, help_).set(value)
+        if self._ctables is not None:
+            hits, misses = self._ctier
+            total = hits + misses
+            for name, help_, value in (
+                ("sim.compile.blocks",
+                 "fused blocks built by the compiled tier",
+                 self._ctables.blocks_built),
+                ("sim.compile.fused_instructions",
+                 "micro-instructions covered by fused blocks",
+                 self._ctables.fused_instructions),
+                ("sim.compile.tier_hits",
+                 "compile-time fast-path dispatches taken",
+                 hits),
+                ("sim.compile.tier_misses",
+                 "specialized dispatches that fell back to generic eval",
+                 misses),
+                ("sim.compile.hit_ratio",
+                 "tier_hits / (tier_hits + tier_misses)",
+                 hits / total if total else 0.0),
+                ("sim.compile.build_seconds",
+                 "codegen wall time (cached per Program)",
+                 self._ctables.build_seconds),
+            ):
+                metrics.gauge(name, help_).set(value)
 
     def profile_document(self) -> dict:
         """The run's hot-spot profile (``repro.obs.profile/1``).
@@ -773,7 +919,8 @@ class Kernel:
             "events_merged": self.stats.events_merged,
             "cpu_seconds": self._cpu_accum,
         }
-        return self._profiler.to_dict(meta=meta, bdd=self.mgr.cache_stats())
+        return self._profiler.to_dict(meta=meta, bdd=self.mgr.cache_stats(),
+                                      compile_stats=self.compile_tier_stats())
 
     # ------------------------------------------------------------------
     # end of time step: NBA already drained by region order; here we run
@@ -796,7 +943,28 @@ class Kernel:
         for assertion in self._assertions.values():
             if assertion.armed == FALSE:
                 continue
-            value = assertion.cond.eval(self, None, TRUE, assertion.cond.width)
+            cond = assertion.cond
+            if self._cspec and cond.word is not None:
+                # Compiled-tier word fast path.  A raw int means the
+                # condition is fully known, so both pass/fail verdicts
+                # (``truthy``/``_falsy``) collapse to terminals; mirror
+                # the skipped generic evaluation's word-op count.
+                raw = cond.word(self, cond.width)
+                if raw is not None:
+                    self.mgr._fp_word += cond.word_cost
+                    if raw:
+                        continue
+                    violating = assertion.armed
+                    self._record_violation("$assert", violating,
+                                           assertion.where, "")
+                    # Same op sequence as the generic arm (armed may be
+                    # symbolic; and_/not_ cache traffic must match).
+                    assertion.armed = self.mgr.and_(
+                        assertion.armed, self.mgr.not_(violating))
+                    if self.options.stop_on_violation:
+                        self.finished = True
+                    continue
+            value = cond.eval(self, None, TRUE, cond.width)
             if self.options.check_unknown_assert:
                 bad = self.mgr.not_(value.truthy())
             else:
@@ -916,6 +1084,29 @@ class Kernel:
         if self._vcd is not None:
             self._vcd.record(self.now, name, new)
         self._notify(name, old, new)
+
+    def write_net_raw(self, name: str, raw: int) -> None:
+        """Compiled-tier write of a fully-known word under TRUE control.
+
+        Equivalent to ``write_net(name, from_int(raw, declared_width),
+        TRUE)`` — ``raw`` must already be masked to the declared width.
+        The word stays an unmaterialized ``int`` in the store until a
+        consumer needs bits; the no-change early-out matches the
+        generic path exactly (a fully-known old value equals the new
+        vector iff its ``known_int`` equals ``raw``).
+        """
+        state = self.state
+        old = state.peek(name)
+        if type(old) is int:
+            if old == raw:
+                return
+        elif old.known_int() == raw:
+            return
+        state.store_raw(name, raw)
+        if self._vcd is not None:
+            self._vcd.record(self.now, name, state.value(name))
+        self._wake_waiters(name)
+        self._schedule_subscribers(name)
 
     def write_array(
         self, name: str, index: FourVec, value: FourVec, control: int,
@@ -1111,9 +1302,9 @@ class Kernel:
         self.set_mask(name, self.mgr.or_(current, control))
 
     def _notify(self, name: str, old: FourVec, new: FourVec) -> None:
-        change = old.change_condition(new)
-        if change == FALSE:
-            return
+        # write_net already established ``new.bits != old.bits``; BDDs
+        # are canonical, so some rail pair differs as *functions* and
+        # the change condition cannot be FALSE — no need to build it.
         self._wake_waiters(name)
         self._schedule_subscribers(name)
 
@@ -1193,7 +1384,26 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def _eval_assign(self, assign: CompiledContAssign) -> None:
-        value = assign.rhs.eval(self, None, TRUE, assign.total_width)
+        rhs = assign.rhs
+        if self._cspec and rhs.word is not None:
+            # Compiled-tier word fast path: the rhs promises that when
+            # it returns a raw int, generic evaluation would have
+            # produced exactly that fully-known vector while bumping
+            # the word-op counter ``word_cost`` times — mirror it so
+            # metrics stay bit-identical with the interpreter tier.
+            raw = rhs.word(self, assign.total_width)
+            if raw is not None:
+                self.mgr._fp_word += rhs.word_cost
+                value = FourVec.from_int(self.mgr, raw, assign.total_width)
+                if assign.delay:
+                    self.sched.push(Event(
+                        time=self.now + assign.delay, region=REGION_ACTIVE,
+                        prio=0, kind="drive", index=assign.index,
+                        payload=value))
+                else:
+                    self._commit_drive(assign, value)
+                return
+        value = rhs.eval(self, None, TRUE, assign.total_width)
         if assign.delay:
             self.sched.push(Event(time=self.now + assign.delay,
                                   region=REGION_ACTIVE, prio=0, kind="drive",

@@ -18,7 +18,17 @@ from repro.fourval import FourVec, ops
 
 
 class SimState:
-    """Holds the current symbolic value of every storage object."""
+    """Holds the current symbolic value of every storage object.
+
+    A slot normally holds a :class:`FourVec`; the compiled tier may
+    instead park a plain ``int`` — a fully-known word, masked to the
+    declared width — via :meth:`store_raw`.  Raw words materialize
+    into the exact vector a generic write would have stored the first
+    time a consumer needs bits (:meth:`value`), so every reader above
+    this class still sees only ``FourVec``.  Concrete vectors hold
+    only terminal rails, which is why raw slots are invisible to the
+    GC/reorder root walk.
+    """
 
     def __init__(self, mgr: BddManager, design: Design) -> None:
         self.mgr = mgr
@@ -55,13 +65,44 @@ class SimState:
 
     def value(self, name: str) -> FourVec:
         try:
-            return self._values[name]
+            stored = self._values[name]
         except KeyError:
             if name in self._arrays:
                 raise SimulationError(
                     f"memory {name!r} read without a word index"
                 ) from None
             raise SimulationError(f"unknown object {name!r}") from None
+        if type(stored) is int:
+            return self._materialize(name, stored)
+        return stored
+
+    def _materialize(self, name: str, raw: int) -> FourVec:
+        """Expand a raw word into the vector a generic write stores."""
+        info = self.design.net(name)
+        signed = info.signed or info.kind in ("integer", "time")
+        vec = FourVec.from_int(self.mgr, raw, info.width).as_signed(signed)
+        self._values[name] = vec
+        return vec
+
+    def peek(self, name: str):
+        """The slot as stored: an ``int`` raw word or a ``FourVec``."""
+        return self._values[name]
+
+    def known_word(self, name: str):
+        """Raw unsigned word iff the value is fully known, else None.
+
+        Equivalent to ``value(name).known_int()`` but does not
+        materialize raw slots — the compiled tier's word probes stay
+        in the integer domain end to end.
+        """
+        stored = self._values[name]
+        if type(stored) is int:
+            return stored
+        return stored.known_int()
+
+    def store_raw(self, name: str, raw: int) -> None:
+        """Park a fully-known word (pre-masked to the declared width)."""
+        self._values[name] = raw
 
     def set_value(self, name: str, value: FourVec) -> None:
         if name not in self._values:
@@ -159,6 +200,8 @@ class SimState:
     def bdd_roots(self) -> Iterator[int]:
         """Every BDD node id held by a net value or memory word."""
         for vec in self._values.values():
+            if type(vec) is int:
+                continue  # raw word: terminal rails only, no live nodes
             for a, b in vec.bits:
                 yield a
                 yield b
@@ -172,6 +215,8 @@ class SimState:
         """Rewrite the store after an arena compaction/reorder."""
         values = self._values
         for name, vec in values.items():
+            if type(vec) is int:
+                continue  # raw word: nothing to remap
             values[name] = vec.remap(lookup)
         for words in self._arrays.values():
             for index, vec in words.items():
@@ -196,8 +241,11 @@ class SimState:
         """
         return {
             "values": {
+                # value() materializes raw words, so a compiled-tier
+                # checkpoint is byte-identical to an interpreter one.
                 name: (list(vec.bits), vec.signed)
-                for name, vec in self._values.items()
+                for name, vec in [(n, self.value(n))
+                                  for n in list(self._values)]
             },
             "arrays": {
                 name: {

@@ -1,0 +1,165 @@
+"""Differential fuzz: compiled tier vs interpreter, bit for bit.
+
+The compiled tier (:mod:`repro.compile.codegen`) must be perfectly
+invisible: for every design, workload, accumulation mode, memory-
+management regime, and checkpoint cut, the full ``SimResult.to_dict()``
+payload — outputs, violations, stats, fast-path counters, BDD cache
+counters — and the VCD stream must compare equal byte for byte
+against the interpreter.  The interpreter is the differential oracle
+(``SimOptions(compile_tier=False)`` / ``symsim --no-compile``).
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro import AccumulationMode, SimOptions
+from repro.designs import PLANTED_BUGS, load
+
+
+#: design -> (loader kwargs, until) — small editions of every Table-1
+#: design plus the extra workloads, sized for tier-1 runtime.
+WORKLOADS = {
+    "gcd": ({"rounds": 1, "width": 3}, 2000),
+    "dram": ({"bursts": 1}, 2000),
+    "risc8": ({"runtime": 60}, 100),
+    "mcu8": ({"runtime": 30, "fixed": True}, 40),
+    "alu4": ({"runtime": 30, "fixed": True}, 50),
+    "arbiter": ({"runtime": 40}, 60),
+}
+
+
+def run_one(name, *, until, compile_tier, vcd_path=None, resume=None,
+            **option_kwargs):
+    src, top, defines = load(name, **WORKLOADS[name][0])
+    options = SimOptions(compile_tier=compile_tier, echo_output=False,
+                         concrete_random=7, vcd_path=vcd_path,
+                         **option_kwargs)
+    sim = repro.open_sim(src, top=top, options=options, defines=defines,
+                         resume=resume)
+    result = sim.run(until=until)
+    return sim, result
+
+
+def payload(result):
+    """Canonical byte string of the full result, stats included."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def assert_differential(name, **option_kwargs):
+    until = WORKLOADS[name][1]
+    _, ref = run_one(name, until=until, compile_tier=False,
+                     **option_kwargs)
+    _, new = run_one(name, until=until, compile_tier=True,
+                     **option_kwargs)
+    assert payload(ref) == payload(new), (
+        f"{name}: compiled tier diverged from the interpreter "
+        f"({option_kwargs or 'default options'})")
+    return ref
+
+
+class TestAllDesigns:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_bit_identical(self, name):
+        assert_differential(name)
+
+    @pytest.mark.parametrize("name", ["gcd", "risc8"])
+    @pytest.mark.parametrize("mode", list(AccumulationMode))
+    def test_accumulation_modes(self, name, mode):
+        assert_differential(name, accumulation=mode)
+
+    @pytest.mark.parametrize("name", ["gcd", "dram"])
+    def test_no_fastpath_matrix(self, name):
+        # compile_tier x no_fastpath: the unspecialized compiled tier
+        # (pure block fusion, no word probes) must also match the
+        # no-fastpath interpreter.
+        assert_differential(name, no_fastpath=True)
+
+    @pytest.mark.parametrize("name", ["gcd", "risc8"])
+    def test_aggressive_gc_and_reorder(self, name):
+        assert_differential(name, gc_threshold=64, dyn_reorder=True,
+                            reorder_threshold=128)
+
+
+class TestPlantedBugs:
+    @pytest.mark.parametrize("name", sorted(PLANTED_BUGS))
+    def test_buggy_editions_agree(self, name):
+        entry = PLANTED_BUGS[name]
+        src, top, defines = load(name, **entry["params"])
+        payloads = []
+        for compile_tier in (False, True):
+            # Fully symbolic stimulus: the planted bugs only fall out
+            # of the symbolic sweep, not one concrete $random draw.
+            # Stop at the first violation — a non-pruning mcu8 run
+            # accumulates BDD state for minutes (see designs docs).
+            options = SimOptions(compile_tier=compile_tier,
+                                 echo_output=False)
+            sim = repro.open_sim(src, top=top, options=options,
+                                 defines=defines)
+            result = sim.run(until=entry["until"])
+            assert result.violations, f"{name}: planted bug not found"
+            payloads.append(payload(result))
+        assert payloads[0] == payloads[1]
+
+
+class TestVcdStreams:
+    @pytest.mark.parametrize("name", ["gcd", "arbiter"])
+    def test_vcd_byte_identical(self, name, tmp_path):
+        until = WORKLOADS[name][1]
+        streams = []
+        for compile_tier in (False, True):
+            path = tmp_path / f"{name}_{int(compile_tier)}.vcd"
+            run_one(name, until=until, compile_tier=compile_tier,
+                    vcd_path=str(path))
+            with open(path, "rb") as handle:
+                streams.append(handle.read())
+        assert streams[0], "VCD stream is empty"
+        assert streams[0] == streams[1]
+
+
+class TestCheckpointAcrossTiers:
+    """A checkpoint is a tier-neutral artifact: saving under one tier
+    and resuming under the other must land on the interpreter-only
+    reference, in every combination."""
+
+    def _final(self, name, until, save_tier, resume_tier, tmp_path):
+        src, top, defines = load(name, **WORKLOADS[name][0])
+        options = SimOptions(compile_tier=save_tier, echo_output=False,
+                             concrete_random=7)
+        sim = repro.open_sim(src, top=top, options=options,
+                             defines=defines)
+        sim.run(until=until // 2)
+        ckpt = os.path.join(tmp_path, f"{name}_{save_tier}_{resume_tier}")
+        repro.save_checkpoint(sim.kernel, ckpt)
+        resumed = repro.open_sim(
+            src, top=top, defines=defines, resume=ckpt,
+            options=SimOptions(compile_tier=resume_tier,
+                               echo_output=False, concrete_random=7))
+        return payload(resumed.run(until=until))
+
+    @pytest.mark.parametrize("save_tier,resume_tier",
+                             [(False, True), (True, False), (True, True)])
+    def test_gcd_resume_matrix(self, save_tier, resume_tier, tmp_path):
+        reference = self._final("gcd", WORKLOADS["gcd"][1],
+                                False, False, str(tmp_path))
+        crossed = self._final("gcd", WORKLOADS["gcd"][1],
+                              save_tier, resume_tier, str(tmp_path))
+        assert crossed == reference
+
+
+class TestTierMechanics:
+    def test_compiled_tier_actually_ran(self):
+        sim, _ = run_one("gcd", until=WORKLOADS["gcd"][1],
+                         compile_tier=True)
+        stats = sim.kernel.compile_tier_stats()
+        assert stats is not None
+        assert stats["blocks"] > 0
+        assert stats["fused_instructions"] > 0
+        assert stats["tier_hits"] + stats["tier_misses"] > 0
+
+    def test_interpreter_reports_no_tier(self):
+        sim, _ = run_one("gcd", until=WORKLOADS["gcd"][1],
+                         compile_tier=False)
+        assert sim.kernel.compile_tier_stats() is None

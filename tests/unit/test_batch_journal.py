@@ -51,6 +51,9 @@ class TestRequestFingerprint:
         assert _fp(options=SimOptions(vcd_path="/tmp/w.vcd")) == base
         assert _fp(options=SimOptions(checkpoint_dir="/tmp/ck")) == base
         assert _fp(options=SimOptions(defer_interrupt=True)) == base
+        # the compiled tier is bit-identical to the interpreter, so
+        # toggling it must not invalidate a resumable journal
+        assert _fp(options=SimOptions(compile_tier=False)) == base
 
     def test_fault_plans_are_fingerprinted(self):
         injector = FaultInjector([Fault("interrupt", at_step=3)])
