@@ -41,10 +41,9 @@ package raises inherits :class:`repro.errors.ReproError`.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional
 
-from repro import errors
+from repro import api, errors
 from repro.batch import (
     BatchResult, RetryPolicy, RunOutcome, RunRequest, load_manifest,
     run_batch,
@@ -55,8 +54,8 @@ from repro.compile.instructions import AccumulationMode
 from repro.errors import (
     AssertionViolation, BatchError, BddError, CheckpointError, CompileError,
     ElaborationError, FourValueError, MutationError, QuarantinedRunError,
-    ReproError, ResimulationError, SimulationAborted, SimulationError,
-    SimulationHang, SymbolicDelayError, VerilogSyntaxError,
+    ReproError, RequestError, ResimulationError, SimulationAborted,
+    SimulationError, SimulationHang, SymbolicDelayError, VerilogSyntaxError,
 )
 from repro.fourval import FourVec
 from repro.frontend import elaborate, parse_source
@@ -70,6 +69,7 @@ from repro.mutate import (
 from repro.obs import (
     HotSpotProfiler, MetricsRegistry, Observability, Tracer,
 )
+from repro.serve import ServeApp, ServeConfig, TenantQuota, serve_app
 from repro.sim import (
     ErrorTrace, Kernel, SimOptions, SimResult, SimStatus, Violation,
 )
@@ -82,9 +82,13 @@ __version__ = "1.1.0"
 __all__ = [
     # entry points
     "open_sim", "SymbolicSimulator",
+    # unified request/options schema (`api` is the module)
+    "api",
     # batch engine (durable: leases, retries, quarantine, resume)
     "RunRequest", "RunOutcome", "BatchResult", "run_batch", "load_manifest",
     "RetryPolicy",
+    # serving (simulation-as-a-service front door)
+    "ServeApp", "ServeConfig", "TenantQuota", "serve_app",
     # mutation campaigns
     "CampaignConfig", "CampaignReport", "MutationPlan", "build_plan",
     "run_campaign",
@@ -104,7 +108,7 @@ __all__ = [
     "ReproError", "VerilogSyntaxError", "ElaborationError", "CompileError",
     "SimulationError", "SimulationHang", "SimulationAborted",
     "SymbolicDelayError", "CheckpointError", "BatchError", "MutationError",
-    "QuarantinedRunError",
+    "QuarantinedRunError", "RequestError",
     "AssertionViolation", "ResimulationError", "BddError", "FourValueError",
 ]
 
@@ -128,10 +132,6 @@ def open_sim(
     ``options=None`` the checkpoint's semantic options are reused; a
     given ``options`` must match them semantically but may change
     operational knobs (GC, observability, budgets).
-
-    Replaces the ``SymbolicSimulator.from_source`` / ``from_file`` /
-    ``resume_source`` / ``resume_file`` class methods (still present
-    as deprecated shims).
     """
     if (source is None) == (path is None):
         raise CompileError("open_sim takes exactly one of source= or path=")
@@ -151,20 +151,13 @@ def open_sim(
     return sim
 
 
-def _deprecated(old: str) -> None:
-    warnings.warn(
-        f"SymbolicSimulator.{old}() is deprecated; use repro.open_sim()",
-        DeprecationWarning, stacklevel=3)
-
-
 class SymbolicSimulator:
     """High-level façade: source text in, symbolic simulation out.
 
     Wraps the full pipeline (preprocess → parse → elaborate → compile →
     kernel) and keeps the compiled :class:`Program` so error traces can
     be resimulated against the identical design.  Build instances with
-    :func:`open_sim` (or :meth:`repro.batch.RunRequest.open`); the
-    ``from_*``/``resume_*`` class methods are deprecated shims.
+    :func:`open_sim` (or :meth:`repro.batch.RunRequest.open`).
     """
 
     def __init__(self, program: Program,
@@ -172,62 +165,6 @@ class SymbolicSimulator:
         self.program = program
         self.options = options or SimOptions()
         self.kernel = Kernel(program, options=self.options)
-
-    # -- deprecated constructors (pre-1.1 API) -------------------------
-
-    @classmethod
-    def from_source(
-        cls,
-        source: str,
-        top: Optional[str] = None,
-        options: Optional[SimOptions] = None,
-        defines: Optional[Dict[str, str]] = None,
-    ) -> "SymbolicSimulator":
-        """Deprecated — use ``repro.open_sim(source)``."""
-        _deprecated("from_source")
-        return open_sim(source, top=top, options=options, defines=defines)
-
-    @classmethod
-    def from_file(
-        cls,
-        path: str,
-        top: Optional[str] = None,
-        options: Optional[SimOptions] = None,
-        defines: Optional[Dict[str, str]] = None,
-    ) -> "SymbolicSimulator":
-        """Deprecated — use ``repro.open_sim(path=path)``."""
-        _deprecated("from_file")
-        return open_sim(path=path, top=top, options=options, defines=defines)
-
-    @classmethod
-    def resume_source(
-        cls,
-        source: str,
-        checkpoint_path: str,
-        top: Optional[str] = None,
-        options: Optional[SimOptions] = None,
-        defines: Optional[Dict[str, str]] = None,
-    ) -> "SymbolicSimulator":
-        """Deprecated — use ``repro.open_sim(source, resume=...)``."""
-        _deprecated("resume_source")
-        return open_sim(source, top=top, options=options, defines=defines,
-                        resume=checkpoint_path)
-
-    @classmethod
-    def resume_file(
-        cls,
-        path: str,
-        checkpoint_path: str,
-        top: Optional[str] = None,
-        options: Optional[SimOptions] = None,
-        defines: Optional[Dict[str, str]] = None,
-    ) -> "SymbolicSimulator":
-        """Deprecated — use ``repro.open_sim(path=path, resume=...)``."""
-        _deprecated("resume_file")
-        return open_sim(path=path, top=top, options=options, defines=defines,
-                        resume=checkpoint_path)
-
-    # ------------------------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> SimResult:
         """Run (or continue) the symbolic simulation."""

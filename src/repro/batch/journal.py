@@ -37,14 +37,13 @@ The format is specified in docs/ROBUSTNESS.md.
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import IO, Dict, List, Optional
 
+from repro.api import OPERATIONAL_OPTIONS, semantic_options
 from repro.errors import BatchError
 
 #: Journal format tag (header ``schema`` field).
@@ -53,40 +52,10 @@ JOURNAL_SCHEMA = "BATCHJRNL/1"
 #: File name under the batch ``out_dir``.
 JOURNAL_NAME = "journal.jsonl"
 
-#: :class:`~repro.sim.kernel.SimOptions` fields excluded from request
-#: fingerprints: per-process objects the batch forbids anyway (``obs``,
-#: ``heartbeat_callback``), operational knobs the engine rewrites
-#: per worker/run (paths, heartbeat cadence, interrupt handling), and
-#: ``compile_tier`` — the compiled tier is bit-identical to the
-#: interpreter, so toggling it must not invalidate a resumable journal.
-#: Everything else is semantic and fingerprinted.
-_OPERATIONAL_OPTIONS = frozenset({
-    "obs", "heartbeat_callback", "heartbeat_path", "heartbeat_every",
-    "heartbeat_name", "vcd_path", "checkpoint_dir", "defer_interrupt",
-    "compile_tier",
-})
-
-
-def _canonical(value):
-    """Fold an options field value into a JSON-stable shape."""
-    if isinstance(value, enum.Enum):
-        return value.value
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {key: _canonical(val)
-                for key, val in sorted(dataclasses.asdict(value).items())}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(item) for item in value]
-    if isinstance(value, dict):
-        return {str(key): _canonical(val)
-                for key, val in sorted(value.items())}
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    # scripted chaos plans and other structured objects: stable repr of
-    # their dataclass payloads where available, else repr
-    faults = getattr(value, "faults", None)
-    if faults is not None:
-        return [_canonical(fault) for fault in faults]
-    return repr(value)
+#: Compatibility alias — the semantic/operational option split now
+#: lives in :mod:`repro.api` (:data:`repro.api.OPERATIONAL_OPTIONS`),
+#: shared with the serve result cache.
+_OPERATIONAL_OPTIONS = OPERATIONAL_OPTIONS
 
 
 def request_fingerprint(request, design_fingerprint: str) -> str:
@@ -94,20 +63,17 @@ def request_fingerprint(request, design_fingerprint: str) -> str:
 
     Covers the compiled design (via the catalog fingerprint, which
     already hashes source/top/defines), the time bound, the VCD flag,
-    and every semantic :class:`~repro.sim.kernel.SimOptions` field.
-    Two requests with equal fingerprints produce byte-identical
-    results, so a journaled terminal outcome may stand in for a rerun.
+    and every semantic :class:`~repro.sim.kernel.SimOptions` field
+    (the :mod:`repro.api` split).  Two requests with equal
+    fingerprints produce byte-identical results, so a journaled
+    terminal outcome may stand in for a rerun — and a served result
+    may be deduplicated from cache.
     """
-    options = {
-        f.name: _canonical(getattr(request.options, f.name))
-        for f in dataclasses.fields(request.options)
-        if f.name not in _OPERATIONAL_OPTIONS
-    }
     payload = {
         "design": design_fingerprint,
         "until": request.until,
         "vcd": bool(request.vcd),
-        "options": options,
+        "options": semantic_options(request.options),
     }
     return hashlib.sha256(
         json.dumps(payload, sort_keys=True,

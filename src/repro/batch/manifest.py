@@ -22,88 +22,39 @@ Each run names its design one of three ways: ``design`` (+ optional
 per-run field not set on the run itself (``options`` dictionaries are
 merged key-wise, the run's entries winning).
 
-The ``options`` mapping covers the :class:`~repro.sim.SimOptions`
-fields a batch can meaningfully set, plus two conveniences: ``seed``
-is ``concrete_random`` and ``budget`` builds a
-:class:`~repro.guard.ResourceBudgets`.  Anything malformed raises
-:class:`~repro.errors.BatchError` with the run name in the message.
+The run shape *is* the ``repro.serve.request/1`` schema — this module
+is a thin adapter over :mod:`repro.api` (:func:`repro.api.parse_run`,
+:func:`repro.api.parse_retry`), re-raising its
+:class:`~repro.errors.RequestError` as
+:class:`~repro.errors.BatchError` with the run name in the message so
+batch callers keep one exception type.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
-from typing import Dict, List, Optional
+from typing import List
 
+from repro import api
 from repro.batch.request import RunRequest
-from repro.errors import BatchError
-from repro.sim import SimOptions
-
-#: SimOptions fields settable from a manifest, manifest key -> field.
-_OPTION_KEYS = {
-    "accumulation": "accumulation",
-    "seed": "concrete_random",
-    "concrete_random": "concrete_random",
-    "max_step_activity": "max_step_activity",
-    "stop_on_violation": "stop_on_violation",
-    "check_unknown_assert": "check_unknown_assert",
-    "depth_first_priorities": "depth_first_priorities",
-    "gc_threshold": "gc_threshold",
-    "dyn_reorder": "dyn_reorder",
-    "no_fastpath": "no_fastpath",
-    "compile_tier": "compile_tier",
-    "checkpoint_every": "checkpoint_every",
-    "heartbeat_every": "heartbeat_every",
-    "budget": "budgets",
-}
+from repro.errors import BatchError, RequestError
 
 
-def _build_options(spec: Dict, run_name: str) -> SimOptions:
-    from repro.compile.instructions import AccumulationMode
-    from repro.guard import ResourceBudgets
-
-    fields = {}
-    for key, value in spec.items():
-        if key not in _OPTION_KEYS:
-            raise BatchError(
-                f"run {run_name!r}: unknown option {key!r} "
-                f"(known: {sorted(_OPTION_KEYS)})")
-        if key == "accumulation":
-            try:
-                value = AccumulationMode[str(value).upper()]
-            except KeyError:
-                raise BatchError(
-                    f"run {run_name!r}: unknown accumulation mode "
-                    f"{value!r}") from None
-        elif key == "budget":
-            if not isinstance(value, dict):
-                raise BatchError(
-                    f"run {run_name!r}: budget must be an object")
-            known = {f.name for f in dataclasses.fields(ResourceBudgets)}
-            bad = set(value) - known
-            if bad:
-                raise BatchError(
-                    f"run {run_name!r}: unknown budget keys {sorted(bad)}")
-            value = ResourceBudgets(**value)
-        fields[_OPTION_KEYS[key]] = value
-    return SimOptions(**fields)
-
-
-def _merged(run: Dict, defaults: Dict, key: str, fallback=None):
-    return run.get(key, defaults.get(key, fallback))
-
-
-def load_manifest(path: str) -> List[RunRequest]:
-    """Parse a jobs manifest into the requests ``run_batch`` consumes."""
+def _load_document(path: str):
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
+            return json.load(handle)
     except OSError as exc:
         raise BatchError(f"cannot read manifest {path!r}: {exc}") from exc
     except json.JSONDecodeError as exc:
         raise BatchError(f"manifest {path!r} is not valid JSON: {exc}") \
             from exc
+
+
+def load_manifest(path: str) -> List[RunRequest]:
+    """Parse a jobs manifest into the requests ``run_batch`` consumes."""
+    document = _load_document(path)
     if not isinstance(document, dict) or "runs" not in document:
         raise BatchError(
             f"manifest {path!r} must be an object with a \"runs\" array")
@@ -118,61 +69,13 @@ def load_manifest(path: str) -> List[RunRequest]:
     base_dir = os.path.dirname(os.path.abspath(path))
     requests = []
     for index, run in enumerate(runs):
-        if not isinstance(run, dict):
-            raise BatchError(f"manifest run #{index} is not an object")
-        name = run.get("name")
-        if not name or not isinstance(name, str):
-            raise BatchError(f"manifest run #{index} needs a \"name\"")
-
-        ways = [key for key in ("design", "path", "source") if key in run]
-        if len(ways) != 1:
-            raise BatchError(
-                f"run {name!r}: give exactly one of \"design\", \"path\" "
-                f"or \"source\" (got {ways or 'none'})")
-
-        source: Optional[str] = None
-        file_path: Optional[str] = None
-        top = _merged(run, defaults, "top")
-        defines = dict(_merged(run, defaults, "defines", {}) or {})
-        if "design" in run:
-            from repro import designs
-
-            params = run.get("params", {})
-            if not isinstance(params, dict):
-                raise BatchError(f"run {name!r}: \"params\" must be an "
-                                 "object")
-            try:
-                source, top, builtin_defines = designs.load(
-                    run["design"], **params)
-            except (KeyError, TypeError) as exc:
-                raise BatchError(f"run {name!r}: {exc}") from exc
-            # built-in workload macros first; explicit defines override
-            defines = {**builtin_defines, **defines}
-        elif "path" in run:
-            file_path = run["path"]
-            if not os.path.isabs(file_path):
-                file_path = os.path.join(base_dir, file_path)
-            if not os.path.exists(file_path):
-                raise BatchError(
-                    f"run {name!r}: source file {file_path!r} not found")
-        else:
-            source = run["source"]
-
-        option_spec = {**defaults.get("options", {}),
-                       **run.get("options", {})}
         try:
-            requests.append(RunRequest(
-                name=name,
-                source=source,
-                path=file_path,
-                top=top,
-                defines=defines or None,
-                options=_build_options(option_spec, name),
-                until=_merged(run, defaults, "until"),
-                vcd=bool(_merged(run, defaults, "vcd", False)),
-            ))
-        except TypeError as exc:
-            raise BatchError(f"run {name!r}: {exc}") from exc
+            requests.append(api.parse_run(
+                run, defaults=defaults, base_dir=base_dir,
+                where=f"manifest run #{index}" if not (
+                    isinstance(run, dict) and run.get("name")) else None))
+        except RequestError as exc:
+            raise BatchError(str(exc)) from exc
     return requests
 
 
@@ -189,36 +92,10 @@ def load_policy(path: str):
     CLI flags (``--max-attempts`` and friends) override manifest
     values; the CLI applies them on top of what this returns.
     """
-    from repro.batch.queue import RetryPolicy
-
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-    except OSError as exc:
-        raise BatchError(f"cannot read manifest {path!r}: {exc}") from exc
-    except json.JSONDecodeError as exc:
-        raise BatchError(f"manifest {path!r} is not valid JSON: {exc}") \
-            from exc
+    document = _load_document(path)
     if not isinstance(document, dict) or "retry" not in document:
         return None
-    spec = document["retry"]
-    if not isinstance(spec, dict):
-        raise BatchError(f"manifest {path!r}: \"retry\" must be an object")
-    known = {f.name for f in dataclasses.fields(RetryPolicy)}
-    bad = set(spec) - known
-    if bad:
-        raise BatchError(
-            f"manifest {path!r}: unknown retry keys {sorted(bad)} "
-            f"(known: {sorted(known)})")
-    fields = dict(spec)
-    if "retry_statuses" in fields:
-        statuses = fields["retry_statuses"]
-        if not isinstance(statuses, list):
-            raise BatchError(
-                f"manifest {path!r}: retry_statuses must be an array")
-        fields["retry_statuses"] = frozenset(str(s) for s in statuses)
     try:
-        return RetryPolicy(**fields)
-    except TypeError as exc:
-        raise BatchError(f"manifest {path!r}: bad retry object: {exc}") \
-            from exc
+        return api.parse_retry(document["retry"], f"manifest {path!r}")
+    except RequestError as exc:
+        raise BatchError(str(exc)) from exc

@@ -103,6 +103,14 @@ def _worker_main(task_conn, result_conn, catalog: Dict[str, bytes],
     never raises, so the loop only exits on shutdown — or dies abruptly
     (OOM kill, segfault, chaos), which the controller observes through
     the process sentinel and converts into a lease requeue.
+
+    A 4-tuple ``(request, fingerprint, attempt, image)`` extends a job
+    with a pickled program image for a design this worker has never
+    seen — the :mod:`repro.serve` front door compiles designs as they
+    arrive over HTTP, long after the pool (and its init-time catalog)
+    started.  The image lands in the worker's catalog exactly as an
+    init-time entry would; the controller tracks which workers hold
+    which fingerprints so each image ships at most once per worker.
     """
     try:
         _worker_init(catalog, out_dir, trace, heartbeat_every)
@@ -113,7 +121,12 @@ def _worker_main(task_conn, result_conn, catalog: Dict[str, bytes],
                 break
             if job is None:
                 break
-            request, fingerprint, attempt = job
+            if len(job) == 4:
+                request, fingerprint, attempt, image = job
+                if image is not None:
+                    _STATE["catalog"][fingerprint] = image  # type: ignore[index]
+            else:
+                request, fingerprint, attempt = job
             _maybe_chaos_kill(request.name, attempt)
             outcome = _run_job(request, fingerprint, attempt=attempt)
             try:

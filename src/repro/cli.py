@@ -38,6 +38,11 @@ Batch simulation (see docs/BATCH.md)::
     symsim batch jobs.json --max-attempts 4 --lease-timeout 300
     symsim batch jobs.json --resume out/      # finish an interrupted batch
 
+Serving (see docs/SERVE.md)::
+
+    symsim serve --port 9088 --workers 4 --out-dir out/
+    symsim serve --tenants tenants.json --max-in-flight 2
+
 Mutation campaigns (see docs/MUTATION.md)::
 
     symsim mutate campaign.json --workers 4 --out-dir out/
@@ -64,8 +69,8 @@ import sys
 from typing import List, Optional
 
 from repro import (
-    AccumulationMode, Observability, ReproError, SimOptions,
-    SimulationAborted, open_sim,
+    AccumulationMode, Observability, ReproError, SimulationAborted, api,
+    open_sim,
 )
 
 
@@ -650,6 +655,127 @@ def serve_metrics_main(argv: List[str]) -> int:
     return 0
 
 
+def build_front_door_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="symsim serve",
+        description="The simulation-as-a-service front door: accept "
+                    "repro.serve.request/1 submissions over HTTP+JSON "
+                    "and run them on a durable multi-tenant worker pool "
+                    "(see docs/SERVE.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9088,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(default 9088)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker pool width (default 1)")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="artifact root (runs/, status/, serve.jsonl); "
+                             "a temp dir when omitted")
+    parser.add_argument("--max-in-flight", type=int, default=2, metavar="N",
+                        help="default per-tenant concurrent-run quota "
+                             "(default 2)")
+    parser.add_argument("--max-pending", type=int, default=16, metavar="N",
+                        help="default per-tenant queue depth before 429 "
+                             "(default 16)")
+    parser.add_argument("--heartbeat-every", type=int, default=None,
+                        metavar="N",
+                        help="per-run heartbeat cadence in safe points "
+                             "(default 25; 0 disables)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="retry budget per run before quarantine "
+                             "(default 3)")
+    parser.add_argument("--tenants", default=None, metavar="PATH",
+                        help="JSON file of per-tenant quota overrides: "
+                             '{"<tenant>": {"max_in_flight": N, '
+                             '"max_pending": N, "budget": {...}}}')
+    parser.add_argument("--trace", action="store_true",
+                        help="give workers JSONL trace shards")
+    return parser
+
+
+def _load_tenants(path: str):
+    """Parse a ``--tenants`` quota file through the request schema."""
+    from repro.api import parse_budgets
+    from repro.errors import RequestError
+    from repro.serve import TenantQuota
+
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise RequestError(f"tenants file {path!r} must be a JSON object")
+    quotas = {}
+    for tenant, spec in document.items():
+        if not isinstance(spec, dict):
+            raise RequestError(f"tenant {tenant!r}: quota must be an object")
+        known = {"max_in_flight", "max_pending", "budget"}
+        bad = set(spec) - known
+        if bad:
+            raise RequestError(f"tenant {tenant!r}: unknown quota keys "
+                               f"{sorted(bad)} (known: {sorted(known)})")
+        budgets = None
+        if "budget" in spec:
+            budgets = parse_budgets(spec["budget"], f"tenant {tenant!r}")
+        quotas[tenant] = TenantQuota(
+            max_in_flight=int(spec.get("max_in_flight", 2)),
+            max_pending=int(spec.get("max_pending", 16)),
+            budgets=budgets)
+    return quotas
+
+
+def front_door_main(argv: List[str]) -> int:
+    import signal
+
+    from repro.batch import RetryPolicy
+    from repro.errors import RequestError
+    from repro.obs.live import DEFAULT_EVERY
+    from repro.serve import ServeConfig, TenantQuota, serve_app
+
+    args = build_front_door_parser().parse_args(argv)
+    try:
+        quotas = _load_tenants(args.tenants) if args.tenants else {}
+    except (OSError, json.JSONDecodeError, RequestError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    heartbeat = DEFAULT_EVERY if args.heartbeat_every is None \
+        else (args.heartbeat_every or None)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        out_dir=args.out_dir, heartbeat_every=heartbeat, trace=args.trace,
+        retry=RetryPolicy(max_attempts=args.max_attempts)
+        if args.max_attempts else None,
+        default_quota=TenantQuota(max_in_flight=args.max_in_flight,
+                                  max_pending=args.max_pending),
+        quotas=quotas)
+    try:
+        app = serve_app(config)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"serving symsim front door on http://{app.host}:{app.port} "
+          f"({args.workers} worker(s), out_dir={app.out_dir}; "
+          "SIGINT/SIGTERM drains and stops)", flush=True)
+
+    def _drain(signum, frame):
+        raise KeyboardInterrupt
+
+    # explicit handlers: SIGTERM (service managers) drains like Ctrl-C,
+    # and background-job shells that start us with SIGINT ignored get
+    # the handler back
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        app.serve_forever()
+    except KeyboardInterrupt:
+        print("draining in-flight runs...", flush=True)
+    finally:
+        app.close(drain=True)
+    return 0
+
+
 def build_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="symsim bench compare",
@@ -693,6 +819,7 @@ _SUBCOMMANDS = {
     "top": top_main,
     "status": status_main,
     "serve-metrics": serve_metrics_main,
+    "serve": front_door_main,
     "bench": bench_main,
 }
 
@@ -718,41 +845,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         print(f"error: cannot open trace output: {exc}", file=sys.stderr)
         return 2
-    budgets = None
-    if (args.budget_seconds is not None or args.budget_nodes is not None
-            or args.budget_rss_mb is not None
-            or args.budget_events is not None):
-        from repro.guard import ResourceBudgets
-
-        budgets = ResourceBudgets(
-            wall_seconds=args.budget_seconds,
-            max_live_nodes=args.budget_nodes,
-            max_rss_mb=args.budget_rss_mb,
-            max_events=args.budget_events,
-            max_concretizations=args.max_concretize,
-        )
     if args.checkpoint_every is not None and args.checkpoint_dir is None:
         print("error: --checkpoint-every requires --checkpoint-dir",
               file=sys.stderr)
         return 2
-    options = SimOptions(
-        accumulation=AccumulationMode(args.accumulation),
-        stop_on_violation=not args.continue_on_violation,
-        echo_output=not args.quiet,
-        concrete_random=args.random_seed,
-        trace_stats=obs is not None and obs.metrics is not None,
-        gc_threshold=args.gc_threshold,
-        dyn_reorder=args.dyn_reorder,
-        reorder_threshold=args.reorder_threshold,
-        no_fastpath=args.no_fastpath,
-        compile_tier=not args.no_compile,
-        obs=obs,
-        budgets=budgets,
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_dir=args.checkpoint_dir,
-        heartbeat_path=args.heartbeat,
-        heartbeat_every=args.heartbeat_every,
-    )
+    # Flags route through the same repro.serve.request/1 schema a
+    # manifest or HTTP submission uses.
+    options = api.options_from_flags(args, obs=obs)
     aborted = None
     try:
         sim = open_sim(path=args.source, top=args.top, options=options,

@@ -123,6 +123,18 @@ class ResimulationError(SimulationError):
     """Concrete resimulation diverged from the recorded error trace."""
 
 
+class RequestError(ReproError):
+    """A run request did not parse against ``repro.serve.request/1``.
+
+    Raised by the :mod:`repro.api` schema functions — the one
+    option/budget/retry parsing implementation behind CLI flags, batch
+    manifests, mutation manifests and HTTP submissions.  The manifest
+    loaders re-raise it as :class:`BatchError` / :class:`MutationError`
+    so their callers keep one exception type per entry point; the HTTP
+    front door maps it to a 400 with a single-line error body.
+    """
+
+
 class BatchError(ReproError):
     """The batch engine rejected a request or manifest.
 

@@ -29,7 +29,11 @@ means ``concrete_random``; the *mutation* seed is the top-level
 ``seed`` key).  ``variants`` lists explicit pre-built designs — e.g.
 planted-bug editions — classified alongside the generated mutants.
 
-Anything malformed raises :class:`~repro.errors.MutationError`.
+Design and option parsing is a thin adapter over :mod:`repro.api`
+(the ``repro.serve.request/1`` schema, with ``inline=True`` so a
+``path`` design is read into source text — the mutation engine works
+on text).  Anything malformed raises
+:class:`~repro.errors.MutationError`.
 """
 
 from __future__ import annotations
@@ -38,51 +42,22 @@ import json
 import os
 from typing import Dict, Tuple
 
-from repro.batch.manifest import _build_options
-from repro.errors import BatchError, MutationError
+from repro import api
+from repro.errors import MutationError, RequestError
 from repro.mutate.campaign import CampaignConfig, Variant
 from repro.mutate.operators import resolve_operators
 
 
-def _resolve_design(spec: Dict, base_dir: str, label: str
-                    ) -> Tuple[str, object, object]:
-    """Shared design resolution: returns (source, top, defines)."""
-    ways = [key for key in ("design", "path", "source") if key in spec]
-    if len(ways) != 1:
-        raise MutationError(
-            f"{label}: give exactly one of \"design\", \"path\" or "
-            f"\"source\" (got {ways or 'none'})")
-    top = spec.get("top")
-    defines = dict(spec.get("defines", {}) or {})
-    if "design" in spec:
-        from repro import designs
-
-        params = spec.get("params", {})
-        if not isinstance(params, dict):
-            raise MutationError(f"{label}: \"params\" must be an object")
-        try:
-            source, top, builtin_defines = designs.load(
-                spec["design"], **params)
-        except (KeyError, TypeError) as exc:
-            raise MutationError(f"{label}: {exc}") from exc
-        defines = {**builtin_defines, **defines}
-    elif "path" in spec:
-        path = spec["path"]
-        if not os.path.isabs(path):
-            path = os.path.join(base_dir, path)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            raise MutationError(
-                f"{label}: cannot read source file {path!r}: {exc}") \
-                from exc
-    else:
-        source = spec["source"]
-        if not isinstance(source, str) or not source:
-            raise MutationError(f"{label}: \"source\" must be a non-empty "
-                                "string")
-    return source, top, defines or None
+def _design(spec: Dict, base_dir: str, label: str
+            ) -> Tuple[str, object, object]:
+    """:func:`repro.api.resolve_design` with the mutation-engine error
+    type; ``inline=True`` reads ``path`` designs into source text."""
+    try:
+        source, _path, top, defines = api.resolve_design(
+            spec, base_dir, label, inline=True)
+    except RequestError as exc:
+        raise MutationError(str(exc)) from exc
+    return source, top, defines
 
 
 def load_campaign(path: str) -> Tuple[CampaignConfig, int]:
@@ -108,7 +83,7 @@ def load_campaign(path: str) -> Tuple[CampaignConfig, int]:
             f"(known: {sorted(known)})")
 
     base_dir = os.path.dirname(os.path.abspath(path))
-    source, top, defines = _resolve_design(document, base_dir, "manifest")
+    source, top, defines = _design(document, base_dir, "manifest")
 
     modules = document.get("modules")
     if modules is not None and (
@@ -136,8 +111,8 @@ def load_campaign(path: str) -> Tuple[CampaignConfig, int]:
         raise MutationError("manifest: \"workers\" must be >= 1")
 
     try:
-        options = _build_options(document.get("options", {}), "campaign")
-    except BatchError as exc:
+        options = api.parse_options(document.get("options", {}), "campaign")
+    except RequestError as exc:
         raise MutationError(str(exc)) from exc
 
     variants = []
@@ -151,7 +126,7 @@ def load_campaign(path: str) -> Tuple[CampaignConfig, int]:
         if name in seen:
             raise MutationError(f"duplicate variant name {name!r}")
         seen.add(name)
-        v_source, v_top, v_defines = _resolve_design(
+        v_source, v_top, v_defines = _design(
             spec, base_dir, f"variant {name!r}")
         variants.append(Variant(name=name, source=v_source, top=v_top,
                                 defines=v_defines))

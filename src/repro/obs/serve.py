@@ -1,6 +1,15 @@
-"""``symsim serve-metrics`` — a stdlib OpenMetrics scrape endpoint.
+"""Stdlib HTTP serving: the shared endpoint base and the
+``symsim serve-metrics`` OpenMetrics scrape endpoint.
 
-Serves three routes from a background-threaded ``http.server``:
+:class:`HttpEndpoint` is the one threaded-``http.server`` harness in
+the package — request dispatch, reply framing (each response carries
+exactly one ``Content-Type``/``Content-Length`` pair), and the shared
+``GET /status`` + ``GET /healthz`` handler implementation that both
+``symsim serve-metrics`` and the :mod:`repro.serve` front door expose.
+Subclasses implement :meth:`HttpEndpoint.handle` for their own routes
+and fall through to ``super().handle(...)`` for the common ones.
+
+:class:`MetricsServer` serves three routes:
 
 * ``GET /metrics``  — the OpenMetrics text exposition (Prometheus
   scrapes this; content type per the OpenMetrics spec);
@@ -12,21 +21,157 @@ metric snapshots + status records to expose and re-evaluates it per
 request, so a scrape always reflects the files on disk at scrape time
 — point it at a live run's ``--metrics-out``/``--heartbeat`` files (or
 a batch ``status/`` directory) and watch the run converge from your
-dashboard.  No third-party dependency; this is the groundwork for the
-``repro.serve`` front door on the roadmap.
+dashboard.  No third-party dependency.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.live import scan_status
 from repro.obs.metrics import (
     MetricsRegistry, OPENMETRICS_CONTENT_TYPE, render_openmetrics,
 )
+
+#: The package's two reply content types, declared once — handlers
+#: never spell them inline (that is how the pre-refactor server ended
+#: up with drifting duplicates of the charset suffix).
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+TEXT_CONTENT_TYPE = "text/plain; charset=utf-8"
+
+#: What a route handler returns: status code, content type, body, and
+#: any extra headers.  ``None`` means "not my route" (404s at the top).
+Response = Optional[Tuple[int, str, bytes, Dict[str, str]]]
+
+
+class HttpEndpoint:
+    """Threaded stdlib HTTP server with one shared handler core.
+
+    ``port=0`` binds an ephemeral port (tests, parallel CI lanes);
+    read :attr:`port` after construction.  ``start()`` serves from a
+    daemon thread; ``serve_forever()`` blocks (the CLI paths).
+
+    Request handling is centralized: the inner ``http.server`` handler
+    only parses the request line and delegates to :meth:`handle`,
+    which returns a :data:`Response`.  The base implementation serves
+    the routes every endpoint in the package shares — ``/healthz``
+    (liveness) and ``/status`` (heartbeat records via
+    :meth:`status_records`) — so there is exactly one implementation
+    of each, however many servers subclass this.
+    """
+
+    #: Thread name of the background serve loop.
+    thread_name = "symsim-http"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 — http.server API
+                endpoint._dispatch(self, "GET", None)
+
+            def do_POST(self) -> None:  # noqa: N802 — http.server API
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                endpoint._dispatch(self, "POST", body)
+
+            def log_message(self, *args) -> None:  # quiet by default
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    # -- request plumbing ---------------------------------------------
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str,
+                  body: Optional[bytes]) -> None:
+        path, _, raw_query = handler.path.partition("?")
+        query = {key: values[-1] for key, values
+                 in urllib.parse.parse_qs(raw_query).items()}
+        try:
+            response = self.handle(method, path, query, body)
+        except Exception as exc:  # surface, don't kill the server
+            response = (500, TEXT_CONTENT_TYPE,
+                        f"error: {exc}\n".encode("utf-8"), {})
+        if response is None:
+            handler.send_error(404)
+            return
+        code, ctype, payload, headers = response
+        handler.send_response(code)
+        handler.send_header("Content-Type", ctype)
+        handler.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            handler.send_header(name, value)
+        handler.end_headers()
+        try:
+            handler.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply
+
+    def handle(self, method: str, path: str, query: Dict[str, str],
+               body: Optional[bytes]) -> Response:
+        """Route one request; subclasses extend and fall through here."""
+        if method == "GET" and path == "/healthz":
+            return 200, TEXT_CONTENT_TYPE, b"ok\n", {}
+        if method == "GET" and path == "/status":
+            payload = json.dumps(self.status_records()).encode("utf-8")
+            return 200, JSON_CONTENT_TYPE, payload, {}
+        return None
+
+    def status_records(self) -> List[dict]:
+        """Heartbeat records behind ``/status`` (subclass hook)."""
+        return []
+
+    @staticmethod
+    def json_response(code: int, payload: dict,
+                      headers: Optional[Dict[str, str]] = None) -> Response:
+        return (code, JSON_CONTENT_TYPE,
+                json.dumps(payload, sort_keys=True).encode("utf-8"),
+                dict(headers or {}))
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HttpEndpoint":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name=self.thread_name,
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if self._thread is not None:
+            # shutdown() must only run against a live serve_forever loop
+            # (it deadlocks otherwise), i.e. after start().
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "HttpEndpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def registry_from_status(records: Iterable[dict]) -> MetricsRegistry:
@@ -113,49 +258,23 @@ def build_scrape_source(
     return render
 
 
-class MetricsServer:
-    """Threaded HTTP server around a scrape-source callable.
+class MetricsServer(HttpEndpoint):
+    """Threaded HTTP server around a scrape-source callable."""
 
-    ``port=0`` binds an ephemeral port (tests, parallel CI lanes);
-    read :attr:`port` after construction.  ``start()`` serves from a
-    daemon thread; ``serve_forever()`` blocks (the CLI path).
-    """
+    thread_name = "symsim-metrics"
 
     def __init__(self, source: Callable[[], str],
                  host: str = "127.0.0.1", port: int = 0) -> None:
-        server = self
-
-        class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 — http.server API
-                if self.path in ("/metrics", "/"):
-                    try:
-                        body = source().encode("utf-8")
-                    except Exception as exc:  # surface, don't kill serve
-                        self.send_error(500, explain=str(exc))
-                        return
-                    self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
-                elif self.path == "/status":
-                    body = json.dumps(server.status_records()).encode("utf-8")
-                    self._reply(200, "application/json", body)
-                elif self.path == "/healthz":
-                    self._reply(200, "text/plain; charset=utf-8", b"ok\n")
-                else:
-                    self.send_error(404)
-
-            def _reply(self, code: int, ctype: str, body: bytes) -> None:
-                self.send_response(code)
-                self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
-
-            def log_message(self, *args) -> None:  # quiet by default
-                pass
-
+        super().__init__(host, port)
         self._source = source
         self._status_paths: List[str] = []
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
-        self._thread: Optional[threading.Thread] = None
+
+    def handle(self, method: str, path: str, query: Dict[str, str],
+               body: Optional[bytes]) -> Response:
+        if method == "GET" and path in ("/metrics", "/"):
+            payload = self._source().encode("utf-8")
+            return 200, OPENMETRICS_CONTENT_TYPE, payload, {}
+        return super().handle(method, path, query, body)
 
     def watch_status(self, paths: Iterable[str]) -> None:
         """Also expose these heartbeat files on ``/status``."""
@@ -165,39 +284,8 @@ class MetricsServer:
         return scan_status(self._status_paths)
 
     @property
-    def host(self) -> str:
-        return self._httpd.server_address[0]
-
-    @property
-    def port(self) -> int:
-        return self._httpd.server_address[1]
-
-    @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
 
-    def start(self) -> "MetricsServer":
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="symsim-metrics",
-            daemon=True)
-        self._thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        self._httpd.serve_forever()
-
-    def close(self) -> None:
-        if self._thread is not None:
-            # shutdown() must only run against a live serve_forever loop
-            # (it deadlocks otherwise), i.e. after start().
-            self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
-
     def __enter__(self) -> "MetricsServer":
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()

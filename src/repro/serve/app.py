@@ -1,0 +1,206 @@
+"""The HTTP front door — ``repro.serve``'s endpoint layer.
+
+:class:`ServeApp` binds a :class:`~repro.serve.scheduler.Scheduler` to
+the package's shared :class:`~repro.obs.serve.HttpEndpoint` harness
+(the same threaded-``http.server`` base behind ``symsim
+serve-metrics``, so ``/healthz`` and ``/status`` have exactly one
+implementation).  Routes:
+
+* ``POST /v1/runs`` — submit one ``repro.serve.request/1`` body;
+  202 + run id (or 200 with ``cached: true`` for a result-cache hit),
+  400 for malformed requests (single-line error), 429 +
+  ``Retry-After`` past the tenant quota, 503 while draining.
+* ``GET /v1/runs/<id>`` — status document (state, cached flag, live
+  heartbeat, outcome summary).
+* ``GET /v1/runs/<id>/result`` — the full ``RunOutcome.to_dict()``
+  payload, byte-identical across cache hits (``X-Serve-Cache:
+  hit|miss``); 202 while pending (``?wait=S`` long-polls).
+* ``GET /v1/runs/<id>/trace`` — the run's violations with their
+  concrete error traces; 202 while pending, 404 unknown.
+* ``GET /metrics`` — OpenMetrics: the scheduler's ``serve.*``
+  families + per-run ``symsim.run.*`` from the status directory.
+* ``GET /status`` / ``GET /healthz`` — the shared handlers.
+
+Errors map one exception to one status code: ``RequestError`` and the
+compile-time ``ReproError`` family → 400, :class:`QuotaExceeded` →
+429, :class:`ServeUnavailable` → 503 — always a single-line JSON
+``{"error": ...}`` body.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional
+
+from repro.errors import ReproError, RequestError
+from repro.obs.serve import (
+    HttpEndpoint, JSON_CONTENT_TYPE, OPENMETRICS_CONTENT_TYPE, Response,
+    build_scrape_source,
+)
+from repro.serve.scheduler import (
+    QuotaExceeded, Scheduler, ServeConfig, ServeUnavailable,
+)
+
+#: Longest ``?wait=`` long-poll a single request may hold (seconds).
+MAX_WAIT_SECONDS = 30.0
+
+_RUN_PATH = re.compile(r"^/v1/runs/([A-Za-z0-9_.-]+)(/result|/trace)?$")
+
+
+class ServeApp(HttpEndpoint):
+    """The simulation-as-a-service HTTP server.  Context-managed:
+    ``close()`` drains in-flight runs to journaled completion."""
+
+    thread_name = "repro-serve-http"
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        super().__init__(self.config.host, self.config.port)
+        self.scheduler = Scheduler(self.config)
+        status_paths = [self.scheduler.status_dir] \
+            if self.scheduler.status_dir else []
+        self._scrape = build_scrape_source(
+            status_paths=status_paths, registry=self.scheduler.metrics)
+
+    @property
+    def out_dir(self) -> str:
+        return self.scheduler.out_dir
+
+    def start(self) -> "ServeApp":
+        self.scheduler.start()
+        super().start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.scheduler.start()
+        super().serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        super().close()  # stop accepting connections first
+        self.scheduler.close(drain=drain)
+
+    def __enter__(self) -> "ServeApp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------
+
+    def handle(self, method: str, path: str, query: Dict[str, str],
+               body: Optional[bytes]) -> Response:
+        if method == "POST" and path == "/v1/runs":
+            return self._submit(body)
+        match = _RUN_PATH.match(path)
+        if match and method == "GET":
+            rid, sub = match.group(1), match.group(2)
+            if sub is None:
+                return self._run_status(rid)
+            self._maybe_wait(rid, query)
+            if sub == "/result":
+                return self._run_result(rid)
+            return self._run_trace(rid)
+        if method == "GET" and path == "/metrics":
+            payload = self._scrape().encode("utf-8")
+            return 200, OPENMETRICS_CONTENT_TYPE, payload, {}
+        return super().handle(method, path, query, body)
+
+    def status_records(self):
+        return self.scheduler.status_records()
+
+    # -- route handlers ------------------------------------------------
+
+    def _submit(self, body: Optional[bytes]) -> Response:
+        try:
+            try:
+                spec = json.loads((body or b"").decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise RequestError(
+                    f"request body is not valid JSON: {exc}") from exc
+            doc = self.scheduler.submit(spec)
+        except QuotaExceeded as exc:
+            return self.json_response(
+                429, {"error": str(exc)},
+                {"Retry-After": str(int(exc.retry_after + 0.5))})
+        except ServeUnavailable as exc:
+            return self.json_response(503, {"error": str(exc)})
+        except ReproError as exc:
+            # RequestError and any compile-time error: the request —
+            # including the design it carries — is malformed
+            return self.json_response(400, {"error": _one_line(exc)})
+        code = 200 if doc["state"] == "done" else 202
+        headers = {"Location": f"/v1/runs/{doc['id']}"}
+        return self.json_response(code, doc, headers)
+
+    def _run_status(self, rid: str) -> Response:
+        doc = self.scheduler.snapshot(rid)
+        if doc is None:
+            return self.json_response(404, {"error": f"no run {rid!r}"})
+        return self.json_response(200, doc)
+
+    def _maybe_wait(self, rid: str, query: Dict[str, str]) -> None:
+        wait = query.get("wait")
+        if wait is None:
+            return
+        try:
+            seconds = min(max(float(wait), 0.0), MAX_WAIT_SECONDS)
+        except ValueError:
+            return
+        self.scheduler.wait_done(rid, seconds)
+
+    def _run_result(self, rid: str) -> Response:
+        found = self.scheduler.result_bytes(rid)
+        if found is None:
+            return self.json_response(404, {"error": f"no run {rid!r}"})
+        state, payload, cached = found
+        if state == "cancelled":
+            return self.json_response(
+                409, {"error": f"run {rid!r} was cancelled", "id": rid,
+                      "state": state})
+        if payload is None:
+            return self.json_response(202, {"id": rid, "state": state})
+        # cache hits replay the cold run's payload verbatim — the
+        # cached marker travels in this header and the status document,
+        # never inside the payload, to keep it byte-identical
+        return (200, JSON_CONTENT_TYPE, payload,
+                {"X-Serve-Cache": "hit" if cached else "miss"})
+
+    def _run_trace(self, rid: str) -> Response:
+        found = self.scheduler.result_bytes(rid)
+        if found is None:
+            return self.json_response(404, {"error": f"no run {rid!r}"})
+        state, payload, cached = found
+        if payload is None:
+            return self.json_response(
+                202 if state != "cancelled" else 409,
+                {"id": rid, "state": state})
+        outcome = json.loads(payload.decode("utf-8"))
+        result = outcome.get("result") or {}
+        return self.json_response(
+            200,
+            {"id": rid, "status": outcome["status"],
+             "violations": result.get("violations", [])},
+            {"X-Serve-Cache": "hit" if cached else "miss"})
+
+
+def _one_line(exc: Exception) -> str:
+    return " ".join(str(exc).split())
+
+
+def serve_app(config: Optional[ServeConfig] = None, **overrides) -> ServeApp:
+    """Build (but do not start) the front door.
+
+    ``overrides`` are :class:`~repro.serve.scheduler.ServeConfig`
+    fields applied over ``config`` (or over a default config)::
+
+        with repro.serve.serve_app(workers=4, port=8080) as app:
+            app.start()          # background thread; or serve_forever()
+            ...
+    """
+    import dataclasses
+
+    base = config or ServeConfig()
+    if overrides:
+        base = dataclasses.replace(base, **overrides)
+    return ServeApp(base)

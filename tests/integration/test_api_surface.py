@@ -1,5 +1,6 @@
 """The supported public surface: ``repro.__all__``, the documented
-quickstart, the exception contract, and the deprecation shims."""
+quickstart, the exception contract, and the completed deprecation
+cycle (the pre-1.1 ``from_*``/``resume_*`` shims are gone)."""
 
 from __future__ import annotations
 
@@ -109,26 +110,16 @@ endmodule
 @pytest.mark.parametrize("shim", [
     "from_source", "from_file", "resume_source", "resume_file",
 ])
-def test_shims_warn_and_work(tmp_path, shim):
-    design = tmp_path / "t.v"
-    design.write_text(STEPPED)
-    ckpt = str(tmp_path / "t.ckpt")
+def test_deprecated_shims_are_gone(shim):
+    """The pre-1.1 constructor shims completed their deprecation cycle:
+    they were removed outright, not left to warn forever."""
+    assert not hasattr(repro.SymbolicSimulator, shim)
+
+
+def test_stepped_design_runs_via_open_sim():
     sim = repro.open_sim(STEPPED)
-    sim.run(until=15)
-    repro.save_checkpoint(sim.kernel, ckpt)
-    calls = {
-        "from_source": lambda: repro.SymbolicSimulator.from_source(STEPPED),
-        "from_file": lambda: repro.SymbolicSimulator.from_file(str(design)),
-        "resume_source": lambda: repro.SymbolicSimulator.resume_source(
-            STEPPED, ckpt),
-        "resume_file": lambda: repro.SymbolicSimulator.resume_file(
-            str(design), ckpt),
-    }
-    with pytest.deprecated_call(match="open_sim"):
-        built = calls[shim]()
-    result = built.run()
-    assert result.finished
-    assert built.value("k").to_int() == 4
+    assert sim.run().finished
+    assert sim.value("k").to_int() == 4
 
 
 def test_request_open_matches_open_sim():
@@ -136,23 +127,27 @@ def test_request_open_matches_open_sim():
     assert request.open().run().finished
 
 
-def test_suite_runs_deprecation_clean():
-    """Nothing in the repo leans on the deprecated shims any more.
+def test_serve_surface_is_exported():
+    """The serving front door is part of the supported surface."""
+    for name in ("ServeApp", "ServeConfig", "TenantQuota", "serve_app"):
+        assert name in repro.__all__, name
+    from repro.serve import ServeConfig, TenantQuota, serve_app
 
-    Two layers: the pytest config escalates the shim's
-    DeprecationWarning to an error for the whole suite (so any test,
-    fixture, or helper that still calls ``from_*``/``resume_*`` fails
-    loudly — except the shim tests above, whose ``deprecated_call``
-    bypasses the filter), and the supported ``open_sim`` path itself
-    must be warning-free.
-    """
-    import os
+    assert repro.ServeConfig is ServeConfig
+    assert repro.TenantQuota is TenantQuota
+    assert repro.serve_app is serve_app
+
+
+def test_api_module_is_exported():
+    """``repro.api`` — the one request/options parsing surface — is
+    public, and RequestError joined the exception contract."""
+    assert "api" in repro.__all__ and "RequestError" in repro.__all__
+    assert repro.api.REQUEST_SCHEMA == "repro.serve.request/1"
+    assert issubclass(repro.RequestError, repro.ReproError)
+
+
+def test_open_sim_path_is_warning_free():
     import warnings
-
-    pyproject = os.path.join(os.path.dirname(__file__), "..", "..",
-                             "pyproject.toml")
-    with open(pyproject, "r", encoding="utf-8") as handle:
-        assert "error:SymbolicSimulator" in handle.read()
 
     with warnings.catch_warnings():
         warnings.simplefilter("error")
